@@ -1,0 +1,157 @@
+// google-benchmark microbenchmarks for the substrates backing the
+// reproduction: GEMM, a full autodiff training step, Sinkhorn OT, herding
+// selection, one collapsed-Gibbs LDA sweep, MVN sampling, and correlation-
+// matrix generation. Run in Release mode for meaningful numbers.
+#include <benchmark/benchmark.h>
+
+#include "autodiff/composite.h"
+#include "autodiff/ops.h"
+#include "causal/herding.h"
+#include "corrgen/hub_correlation.h"
+#include "linalg/gemm.h"
+#include "nn/mlp.h"
+#include "nn/optim.h"
+#include "ot/ipm.h"
+#include "ot/sinkhorn.h"
+#include "stats/mvn.h"
+#include "topics/lda_generative.h"
+#include "topics/lda_gibbs.h"
+#include "util/rng.h"
+
+namespace cerl {
+namespace {
+
+linalg::Matrix RandomMatrix(Rng* rng, int rows, int cols) {
+  linalg::Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Normal();
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  linalg::Matrix a = RandomMatrix(&rng, n, n);
+  linalg::Matrix b = RandomMatrix(&rng, n, n);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::Gemm(linalg::Trans::kNo, linalg::Trans::kNo, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AutodiffTrainingStep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::MlpConfig config;
+  config.dims = {100, 48, 16, 1};
+  nn::Mlp mlp(&rng, config);
+  nn::Adam opt(mlp.Parameters(), 1e-3);
+  linalg::Matrix x = RandomMatrix(&rng, batch, 100);
+  linalg::Matrix y = RandomMatrix(&rng, batch, 1);
+  for (auto _ : state) {
+    autodiff::Tape tape;
+    autodiff::Var out = mlp.Forward(&tape, tape.Constant(x));
+    autodiff::Var loss = autodiff::MseLoss(out, tape.Constant(y));
+    opt.ZeroGrad();
+    tape.Backward(loss);
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_AutodiffTrainingStep)->Arg(64)->Arg(256);
+
+void BM_Sinkhorn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  linalg::Matrix a = RandomMatrix(&rng, n, 16);
+  linalg::Matrix b = RandomMatrix(&rng, n, 16);
+  ot::SinkhornConfig config;
+  for (auto _ : state) {
+    auto d = ot::SinkhornDistance(a, b, config);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Sinkhorn)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_HerdingSelect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  linalg::Matrix reps = RandomMatrix(&rng, n, 32);
+  for (auto _ : state) {
+    auto idx = causal::HerdingSelect(reps, n / 10);
+    benchmark::DoNotOptimize(idx);
+  }
+}
+BENCHMARK(BM_HerdingSelect)->Arg(500)->Arg(2000);
+
+void BM_LdaGibbsSweep(benchmark::State& state) {
+  Rng rng(5);
+  topics::GenerativeLdaConfig gen_config;
+  gen_config.num_docs = 200;
+  gen_config.vocab_size = 300;
+  gen_config.num_topics = 20;
+  gen_config.doc_length_mean = 60.0;
+  auto corpus = topics::GenerateLdaCorpus(gen_config, &rng);
+  topics::LdaGibbsConfig config;
+  config.num_topics = 20;
+  config.iterations = 1;  // One sweep per iteration.
+  for (auto _ : state) {
+    Rng train_rng(6);
+    auto model = topics::TrainLdaGibbs(corpus.corpus, config, &train_rng);
+    benchmark::DoNotOptimize(model.doc_topic().data());
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.corpus.num_tokens());
+}
+BENCHMARK(BM_LdaGibbsSweep);
+
+void BM_MvnSample(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<corrgen::HubBlockSpec> specs(1);
+  specs[0].size = dim;
+  auto corr = corrgen::GenerateCorrelationMatrix(specs, 0.3, 20, &rng);
+  auto mvn = stats::MultivariateNormal::Create(linalg::Vector(dim, 0.0),
+                                               corr.value());
+  for (auto _ : state) {
+    auto x = mvn.value().Sample(&rng);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MvnSample)->Arg(100);
+
+void BM_CorrelationMatrixGeneration(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<corrgen::HubBlockSpec> specs(4);
+  const int sizes[] = {35, 10, 20, 35};
+  for (int i = 0; i < 4; ++i) specs[i].size = sizes[i];
+  for (auto _ : state) {
+    auto corr = corrgen::GenerateCorrelationMatrix(specs, 0.5, 50, &rng);
+    benchmark::DoNotOptimize(corr);
+  }
+}
+BENCHMARK(BM_CorrelationMatrixGeneration);
+
+void BM_WassersteinPenaltyBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  autodiff::Parameter reps(RandomMatrix(&rng, n, 16), "reps");
+  linalg::Matrix fixed = RandomMatrix(&rng, n, 16);
+  ot::SinkhornConfig config;
+  for (auto _ : state) {
+    autodiff::Tape tape;
+    autodiff::Var pen = ot::WassersteinPenalty(
+        tape.Param(&reps), tape.Constant(fixed), config);
+    reps.ZeroGrad();
+    tape.Backward(pen);
+    benchmark::DoNotOptimize(reps.grad.data());
+  }
+}
+BENCHMARK(BM_WassersteinPenaltyBackward)->Arg(64);
+
+}  // namespace
+}  // namespace cerl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+#include "autodiff/composite.h"
+
+namespace cerl::autodiff {
+
+Var RowL2Normalize(Var x, double eps) {
+  Var norm = Sqrt(ScalarAdd(RowSum(Square(x)), eps));
+  return MulColBroadcast(x, Reciprocal(norm));
+}
+
+Var ColL2Normalize(Var w, double eps) {
+  return Transpose(RowL2Normalize(Transpose(w), eps));
+}
+
+Var CosineRowwise(Var a, Var b, double eps) {
+  return RowSum(Mul(RowL2Normalize(a, eps), RowL2Normalize(b, eps)));
+}
+
+Var MeanCosineDistance(Var a, Var b, double eps) {
+  Var cos = CosineRowwise(a, b, eps);
+  // mean(1 - cos) = 1 - mean(cos).
+  return ScalarAdd(ScalarMul(Mean(cos), -1.0), 1.0);
+}
+
+Var MseLoss(Var pred, Var target) { return Mean(Square(Sub(pred, target))); }
+
+Var L2Penalty(Var w) { return Sum(Square(w)); }
+
+Var L1Penalty(Var w) { return Sum(Abs(w)); }
+
+Var ElasticNetPenalty(Var w) { return Add(L2Penalty(w), L1Penalty(w)); }
+
+}  // namespace cerl::autodiff

@@ -1,0 +1,38 @@
+// Composite differentiable expressions assembled from the primitives in
+// ops.h. These implement the building blocks the paper's losses need:
+// row-wise L2 normalization (cosine normalization, Eq. 2), row-wise cosine
+// similarity (distillation Eq. 6 and transformation Eq. 7 losses), MSE, and
+// elastic-net penalties (Eq. 1). Gradients follow from the primitives.
+#pragma once
+
+#include "autodiff/ops.h"
+
+namespace cerl::autodiff {
+
+/// Rows rescaled to unit L2 norm: out_i = x_i / sqrt(|x_i|^2 + eps).
+Var RowL2Normalize(Var x, double eps = 1e-12);
+
+/// Columns rescaled to unit L2 norm (used for weight vectors in cosine
+/// normalization).
+Var ColL2Normalize(Var w, double eps = 1e-12);
+
+/// Row-wise cosine similarity between same-shaped a and b: rows x 1.
+Var CosineRowwise(Var a, Var b, double eps = 1e-12);
+
+/// Mean over rows of (1 - cos(a_i, b_i)) — the paper's distillation /
+/// transformation loss shape (Eqs. 6, 7). Scalar.
+Var MeanCosineDistance(Var a, Var b, double eps = 1e-12);
+
+/// Mean squared error between prediction and target (same shape). Scalar.
+Var MseLoss(Var pred, Var target);
+
+/// ||w||_2^2 (scalar).
+Var L2Penalty(Var w);
+
+/// ||w||_1 (scalar, subgradient at 0 is 0).
+Var L1Penalty(Var w);
+
+/// Elastic net ||w||_2^2 + ||w||_1 (Eq. 1). Scalar.
+Var ElasticNetPenalty(Var w);
+
+}  // namespace cerl::autodiff

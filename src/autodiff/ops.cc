@@ -1,0 +1,452 @@
+#include "autodiff/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "linalg/gemm.h"
+
+namespace cerl::autodiff {
+namespace {
+
+using linalg::Gemm;
+using linalg::Trans;
+
+Tape* SameTape(Var a, Var b) {
+  CERL_CHECK(a.valid() && b.valid());
+  CERL_CHECK(a.tape() == b.tape());
+  return a.tape();
+}
+
+// Helper that appends a node and rebinds a backward closure that knows the
+// new node's id. All ops below use this pattern.
+Var AddWithBackward(Tape* tape, Matrix value, std::vector<int> deps,
+                    std::function<void(Tape*, int)> backward) {
+  // Two-phase: create the node with a placeholder, then wrap the closure
+  // with the now-known id.
+  struct Slot {
+    std::function<void(Tape*, int)> fn;
+    int id = -1;
+  };
+  auto slot = std::make_shared<Slot>();
+  slot->fn = std::move(backward);
+  Var v = tape->AddNode(
+      std::move(value), std::move(deps),
+      [slot](Tape* t) { slot->fn(t, slot->id); });
+  slot->id = v.id();
+  return v;
+}
+
+}  // namespace
+
+Var MatMul(Var a, Var b) {
+  Tape* tape = SameTape(a, b);
+  CERL_CHECK_EQ(a.cols(), b.rows());
+  Matrix out = linalg::MatMul(a.value(), b.value());
+  const int a_id = a.id(), b_id = b.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) {
+          Gemm(Trans::kNo, Trans::kYes, 1.0, g, t->ValueOf(b_id), 1.0,
+               &t->GradRef(a_id));
+        }
+        if (t->RequiresGrad(b_id)) {
+          Gemm(Trans::kYes, Trans::kNo, 1.0, t->ValueOf(a_id), g, 1.0,
+               &t->GradRef(b_id));
+        }
+      });
+}
+
+Var MatMulBt(Var a, Var b) {
+  Tape* tape = SameTape(a, b);
+  CERL_CHECK_EQ(a.cols(), b.cols());
+  Matrix out = linalg::MatMulT(Trans::kNo, Trans::kYes, a.value(), b.value());
+  const int a_id = a.id(), b_id = b.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) {
+          Gemm(Trans::kNo, Trans::kNo, 1.0, g, t->ValueOf(b_id), 1.0,
+               &t->GradRef(a_id));
+        }
+        if (t->RequiresGrad(b_id)) {
+          Gemm(Trans::kYes, Trans::kNo, 1.0, g, t->ValueOf(a_id), 1.0,
+               &t->GradRef(b_id));
+        }
+      });
+}
+
+Var Add(Var a, Var b) {
+  Tape* tape = SameTape(a, b);
+  CERL_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.Add(b.value());
+  const int a_id = a.id(), b_id = b.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) t->GradRef(a_id).Add(g);
+        if (t->RequiresGrad(b_id)) t->GradRef(b_id).Add(g);
+      });
+}
+
+Var Sub(Var a, Var b) {
+  Tape* tape = SameTape(a, b);
+  CERL_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.Sub(b.value());
+  const int a_id = a.id(), b_id = b.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) t->GradRef(a_id).Add(g);
+        if (t->RequiresGrad(b_id)) t->GradRef(b_id).Sub(g);
+      });
+}
+
+Var Mul(Var a, Var b) {
+  Tape* tape = SameTape(a, b);
+  CERL_CHECK(a.value().SameShape(b.value()));
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  Matrix out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out.data()[i] = av.data()[i] * bv.data()[i];
+  }
+  const int a_id = a.id(), b_id = b.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) {
+          Matrix& ga = t->GradRef(a_id);
+          const Matrix& bv = t->ValueOf(b_id);
+          for (int64_t i = 0; i < g.size(); ++i) {
+            ga.data()[i] += g.data()[i] * bv.data()[i];
+          }
+        }
+        if (t->RequiresGrad(b_id)) {
+          Matrix& gb = t->GradRef(b_id);
+          const Matrix& av = t->ValueOf(a_id);
+          for (int64_t i = 0; i < g.size(); ++i) {
+            gb.data()[i] += g.data()[i] * av.data()[i];
+          }
+        }
+      });
+}
+
+Var AddRowBroadcast(Var a, Var bias) {
+  Tape* tape = SameTape(a, bias);
+  const Matrix& av = a.value();
+  const Matrix& bv = bias.value();
+  CERL_CHECK_EQ(bv.rows(), 1);
+  CERL_CHECK_EQ(bv.cols(), av.cols());
+  Matrix out = av;
+  for (int r = 0; r < out.rows(); ++r) {
+    double* row = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] += bv(0, c);
+  }
+  const int a_id = a.id(), b_id = bias.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) t->GradRef(a_id).Add(g);
+        if (t->RequiresGrad(b_id)) {
+          Matrix& gb = t->GradRef(b_id);
+          for (int r = 0; r < g.rows(); ++r) {
+            const double* row = g.row(r);
+            for (int c = 0; c < g.cols(); ++c) gb(0, c) += row[c];
+          }
+        }
+      });
+}
+
+Var MulColBroadcast(Var a, Var s) {
+  Tape* tape = SameTape(a, s);
+  const Matrix& av = a.value();
+  const Matrix& sv = s.value();
+  CERL_CHECK_EQ(sv.cols(), 1);
+  CERL_CHECK_EQ(sv.rows(), av.rows());
+  Matrix out = av;
+  for (int r = 0; r < out.rows(); ++r) {
+    double* row = out.row(r);
+    const double k = sv(r, 0);
+    for (int c = 0; c < out.cols(); ++c) row[c] *= k;
+  }
+  const int a_id = a.id(), s_id = s.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, s_id}, [a_id, s_id](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        const Matrix& av = t->ValueOf(a_id);
+        const Matrix& sv = t->ValueOf(s_id);
+        if (t->RequiresGrad(a_id)) {
+          Matrix& ga = t->GradRef(a_id);
+          for (int r = 0; r < g.rows(); ++r) {
+            const double k = sv(r, 0);
+            const double* grow = g.row(r);
+            double* garow = ga.row(r);
+            for (int c = 0; c < g.cols(); ++c) garow[c] += grow[c] * k;
+          }
+        }
+        if (t->RequiresGrad(s_id)) {
+          Matrix& gs = t->GradRef(s_id);
+          for (int r = 0; r < g.rows(); ++r) {
+            const double* grow = g.row(r);
+            const double* arow = av.row(r);
+            double acc = 0.0;
+            for (int c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
+            gs(r, 0) += acc;
+          }
+        }
+      });
+}
+
+Var ScalarMul(Var a, double k) {
+  Tape* tape = a.tape();
+  Matrix out = a.value();
+  out.Scale(k);
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id, k](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        const Matrix& g = t->GradRef(self);
+        Matrix& ga = t->GradRef(a_id);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[i] += k * g.data()[i];
+        }
+      });
+}
+
+Var ScalarAdd(Var a, double k) {
+  Tape* tape = a.tape();
+  Matrix out = a.value();
+  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += k;
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        t->GradRef(a_id).Add(t->GradRef(self));
+      });
+}
+
+namespace {
+
+// Shared implementation for elementwise unary ops whose local derivative can
+// be written in terms of the input x and output y.
+Var ElementwiseUnary(Var a, double (*fwd)(double),
+                     double (*dfdx)(double, double)) {
+  Tape* tape = a.tape();
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = fwd(av.data()[i]);
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id, dfdx](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        const Matrix& g = t->GradRef(self);
+        const Matrix& x = t->ValueOf(a_id);
+        const Matrix& y = t->ValueOf(self);
+        Matrix& ga = t->GradRef(a_id);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[i] += g.data()[i] * dfdx(x.data()[i], y.data()[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Var Reciprocal(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return 1.0 / x; },
+      [](double, double y) { return -y * y; });
+}
+
+Var Relu(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var Elu(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return x > 0.0 ? x : std::expm1(x); },
+      [](double x, double y) { return x > 0.0 ? 1.0 : y + 1.0; });
+}
+
+Var Tanh(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Var Sigmoid(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Var Exp(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return std::exp(x); },
+      [](double, double y) { return y; });
+}
+
+Var Log(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return std::log(x); },
+      [](double x, double) { return 1.0 / x; });
+}
+
+Var Sqrt(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return std::sqrt(x); },
+      [](double, double y) { return y > 0.0 ? 0.5 / y : 0.0; });
+}
+
+Var Square(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return x * x; },
+      [](double x, double) { return 2.0 * x; });
+}
+
+Var Abs(Var a) {
+  return ElementwiseUnary(
+      a, [](double x) { return std::fabs(x); },
+      [](double x, double) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+}
+
+Var Sum(Var a) {
+  Tape* tape = a.tape();
+  const Matrix& av = a.value();
+  double s = 0.0;
+  for (int64_t i = 0; i < av.size(); ++i) s += av.data()[i];
+  Matrix out(1, 1, s);
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        const double g = t->GradRef(self)(0, 0);
+        Matrix& ga = t->GradRef(a_id);
+        for (int64_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+      });
+}
+
+Var Mean(Var a) {
+  const int64_t n = a.value().size();
+  CERL_CHECK_GT(n, 0);
+  return ScalarMul(Sum(a), 1.0 / static_cast<double>(n));
+}
+
+Var RowSum(Var a) {
+  Tape* tape = a.tape();
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    const double* row = av.row(r);
+    double s = 0.0;
+    for (int c = 0; c < av.cols(); ++c) s += row[c];
+    out(r, 0) = s;
+  }
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        const Matrix& g = t->GradRef(self);
+        Matrix& ga = t->GradRef(a_id);
+        for (int r = 0; r < ga.rows(); ++r) {
+          const double k = g(r, 0);
+          double* row = ga.row(r);
+          for (int c = 0; c < ga.cols(); ++c) row[c] += k;
+        }
+      });
+}
+
+Var ColSum(Var a) {
+  Tape* tape = a.tape();
+  const Matrix& av = a.value();
+  Matrix out(1, av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    const double* row = av.row(r);
+    for (int c = 0; c < av.cols(); ++c) out(0, c) += row[c];
+  }
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        const Matrix& g = t->GradRef(self);
+        Matrix& ga = t->GradRef(a_id);
+        for (int r = 0; r < ga.rows(); ++r) {
+          double* row = ga.row(r);
+          for (int c = 0; c < ga.cols(); ++c) row[c] += g(0, c);
+        }
+      });
+}
+
+Var Transpose(Var a) {
+  Tape* tape = a.tape();
+  Matrix out = a.value().Transposed();
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        t->GradRef(a_id).Add(t->GradRef(self).Transposed());
+      });
+}
+
+Var ConcatRows(Var a, Var b) {
+  Tape* tape = SameTape(a, b);
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  CERL_CHECK_EQ(av.cols(), bv.cols());
+  Matrix out(av.rows() + bv.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    std::copy(av.row(r), av.row(r) + av.cols(), out.row(r));
+  }
+  for (int r = 0; r < bv.rows(); ++r) {
+    std::copy(bv.row(r), bv.row(r) + bv.cols(), out.row(av.rows() + r));
+  }
+  const int a_id = a.id(), b_id = b.id();
+  const int a_rows = av.rows();
+  return AddWithBackward(
+      tape, std::move(out), {a_id, b_id},
+      [a_id, b_id, a_rows](Tape* t, int self) {
+        const Matrix& g = t->GradRef(self);
+        if (t->RequiresGrad(a_id)) {
+          Matrix& ga = t->GradRef(a_id);
+          for (int r = 0; r < ga.rows(); ++r) {
+            const double* src = g.row(r);
+            double* dst = ga.row(r);
+            for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
+          }
+        }
+        if (t->RequiresGrad(b_id)) {
+          Matrix& gb = t->GradRef(b_id);
+          for (int r = 0; r < gb.rows(); ++r) {
+            const double* src = g.row(a_rows + r);
+            double* dst = gb.row(r);
+            for (int c = 0; c < gb.cols(); ++c) dst[c] += src[c];
+          }
+        }
+      });
+}
+
+Var GatherRows(Var a, std::vector<int> index) {
+  Tape* tape = a.tape();
+  Matrix out = a.value().GatherRows(index);
+  const int a_id = a.id();
+  return AddWithBackward(
+      tape, std::move(out), {a_id},
+      [a_id, index = std::move(index)](Tape* t, int self) {
+        if (!t->RequiresGrad(a_id)) return;
+        const Matrix& g = t->GradRef(self);
+        Matrix& ga = t->GradRef(a_id);
+        for (size_t i = 0; i < index.size(); ++i) {
+          const double* src = g.row(static_cast<int>(i));
+          double* dst = ga.row(index[i]);
+          for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
+        }
+      });
+}
+
+}  // namespace cerl::autodiff

@@ -1,0 +1,78 @@
+#include "autodiff/tape.h"
+
+namespace cerl::autodiff {
+
+const Matrix& Var::value() const {
+  CERL_CHECK(valid());
+  return tape_->ValueOf(id_);
+}
+
+const Matrix& Var::grad() const {
+  CERL_CHECK(valid());
+  return tape_->GradRef(id_);
+}
+
+double Var::scalar() const {
+  const Matrix& v = value();
+  CERL_CHECK(v.rows() == 1 && v.cols() == 1);
+  return v(0, 0);
+}
+
+Var Tape::Constant(Matrix value) {
+  return AddNode(std::move(value), {}, nullptr, /*force_requires_grad=*/false);
+}
+
+Var Tape::Leaf(Matrix value) {
+  return AddNode(std::move(value), {}, nullptr, /*force_requires_grad=*/true);
+}
+
+Var Tape::Param(Parameter* p) {
+  CERL_CHECK(p != nullptr);
+  Var v = Leaf(p->value);
+  bindings_.emplace_back(v.id(), p);
+  return v;
+}
+
+Var Tape::AddNode(Matrix value, std::vector<int> deps, BackwardFn backward,
+                  bool force_requires_grad) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = force_requires_grad;
+  for (int d : deps) {
+    CERL_CHECK(d >= 0 && d < size());
+    if (nodes_[d].requires_grad) node.requires_grad = true;
+  }
+  if (node.requires_grad) node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var(this, size() - 1);
+}
+
+Matrix& Tape::GradRef(int id) {
+  CERL_CHECK(id >= 0 && id < size());
+  Node& node = nodes_[id];
+  if (node.grad.empty() || !node.grad.SameShape(node.value)) {
+    node.grad = Matrix(node.value.rows(), node.value.cols());
+  }
+  return node.grad;
+}
+
+void Tape::Backward(const Var& root) {
+  CERL_CHECK(root.valid() && root.tape() == this);
+  const Matrix& rv = ValueOf(root.id());
+  CERL_CHECK_MSG(rv.rows() == 1 && rv.cols() == 1,
+                 "Backward root must be a scalar");
+  GradRef(root.id())(0, 0) = 1.0;
+  for (int id = root.id(); id >= 0; --id) {
+    Node& node = nodes_[id];
+    if (!node.requires_grad || !node.backward) continue;
+    if (node.grad.empty()) continue;  // No gradient flowed to this node.
+    node.backward(this);
+  }
+  for (const auto& [id, param] : bindings_) {
+    if (nodes_[id].grad.empty()) continue;
+    if (!param->grad.SameShape(param->value)) param->ZeroGrad();
+    param->grad.Add(nodes_[id].grad);
+  }
+}
+
+}  // namespace cerl::autodiff

@@ -1,0 +1,126 @@
+// Tape-based reverse-mode automatic differentiation over dense matrices.
+//
+// A Tape owns a growing arena of nodes; each op appends a node whose
+// backward closure scatters the node's gradient into its dependencies.
+// Because dependencies always precede their consumers in the arena,
+// reverse insertion order is a valid reverse-topological order.
+//
+// Model parameters live outside the tape as `Parameter` (value + grad).
+// Each training step binds parameters as leaves via Tape::Param; after
+// Tape::Backward the leaf gradients are accumulated back into the bound
+// Parameter::grad. Binding the same Parameter several times in one tape is
+// supported (the gradients add), which the CERL losses rely on (the same
+// representation network is applied to data, memory, and distillation
+// inputs within a single objective).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace cerl::autodiff {
+
+using linalg::Matrix;
+
+class Tape;
+
+/// A trainable tensor: value plus accumulated gradient.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+  std::string name;
+
+  Parameter() = default;
+  Parameter(Matrix v, std::string n = "")
+      : value(std::move(v)), grad(value.rows(), value.cols()),
+        name(std::move(n)) {}
+
+  /// Resets the gradient to zero (call before each optimization step).
+  void ZeroGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+    grad.Fill(0.0);
+  }
+};
+
+/// Lightweight handle to a tape node.
+class Var {
+ public:
+  Var() : tape_(nullptr), id_(-1) {}
+  Var(Tape* tape, int id) : tape_(tape), id_(id) {}
+
+  bool valid() const { return tape_ != nullptr && id_ >= 0; }
+  Tape* tape() const { return tape_; }
+  int id() const { return id_; }
+
+  const Matrix& value() const;
+  const Matrix& grad() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Scalar convenience for 1x1 nodes.
+  double scalar() const;
+
+ private:
+  Tape* tape_;
+  int id_;
+};
+
+/// The autodiff graph arena for one forward/backward pass.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Constant input; no gradient is tracked through it.
+  Var Constant(Matrix value);
+
+  /// Leaf with gradient tracking (not bound to any Parameter).
+  Var Leaf(Matrix value);
+
+  /// Leaf bound to a Parameter: after Backward, the leaf gradient is added
+  /// into p->grad. The value is snapshotted at bind time.
+  Var Param(Parameter* p);
+
+  /// Runs reverse-mode accumulation from scalar `root` (must be 1x1) and
+  /// flushes gradients of bound parameters into their Parameter::grad.
+  void Backward(const Var& root);
+
+  /// Number of nodes currently on the tape.
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  // --- Internal API used by op implementations -----------------------------
+
+  using BackwardFn = std::function<void(Tape*)>;
+
+  /// Appends a node; requires_grad is inferred from deps unless forced.
+  Var AddNode(Matrix value, std::vector<int> deps, BackwardFn backward,
+              bool force_requires_grad = false);
+
+  const Matrix& ValueOf(int id) const {
+    CERL_DCHECK(id >= 0 && id < size());
+    return nodes_[id].value;
+  }
+  bool RequiresGrad(int id) const { return nodes_[id].requires_grad; }
+
+  /// Gradient of node `id`, lazily initialized to zeros.
+  Matrix& GradRef(int id);
+
+  /// True if the node has a non-null gradient buffer already.
+  bool HasGrad(int id) const { return !nodes_[id].grad.empty(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // empty until first accumulation
+    bool requires_grad = false;
+    BackwardFn backward;  // null for leaves/constants
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::pair<int, Parameter*>> bindings_;
+};
+
+}  // namespace cerl::autodiff

@@ -1,0 +1,102 @@
+#include "causal/baselines.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/gemm.h"
+#include "linalg/ops.h"
+
+namespace cerl::causal {
+namespace {
+
+// Centered ridge fit: returns weights and intercept for one arm.
+Status FitRidgeArm(const linalg::Matrix& x, const linalg::Vector& y,
+                   double l2, linalg::Vector* w, double* intercept) {
+  const int n = x.rows();
+  const int p = x.cols();
+  if (n == 0) return Status::InvalidArgument("empty treatment arm");
+
+  const linalg::Vector x_mean = linalg::ColumnMeans(x);
+  const double y_mean = linalg::Mean(y);
+  linalg::Matrix xc = x;
+  for (int i = 0; i < n; ++i) {
+    double* row = xc.row(i);
+    for (int j = 0; j < p; ++j) row[j] -= x_mean[j];
+  }
+  // (Xc^T Xc + l2 I) w = Xc^T yc.
+  linalg::Matrix gram(p, p);
+  linalg::Gemm(linalg::Trans::kYes, linalg::Trans::kNo, 1.0, xc, xc, 0.0,
+               &gram);
+  for (int j = 0; j < p; ++j) gram(j, j) += l2;
+  linalg::Vector rhs(p, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double yc = y[i] - y_mean;
+    const double* row = xc.row(i);
+    for (int j = 0; j < p; ++j) rhs[j] += row[j] * yc;
+  }
+  auto chol = linalg::Cholesky::Factor(gram);
+  if (!chol.ok()) {
+    return Status::NumericalError("ridge normal equations singular: " +
+                                  chol.status().message());
+  }
+  *w = chol.value().Solve(rhs);
+  double dot = 0.0;
+  for (int j = 0; j < p; ++j) dot += (*w)[j] * x_mean[j];
+  *intercept = y_mean - dot;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RidgeTLearner::Fit(const data::CausalDataset& train) {
+  train.CheckConsistent();
+  const auto treated = train.TreatedIndices();
+  const auto control = train.ControlIndices();
+  if (treated.empty() || control.empty()) {
+    return Status::InvalidArgument("both treatment arms must be non-empty");
+  }
+  const data::CausalDataset d1 = train.Subset(treated);
+  const data::CausalDataset d0 = train.Subset(control);
+  CERL_RETURN_IF_ERROR(FitRidgeArm(d1.x, d1.y, l2_, &w1_, &b1_));
+  CERL_RETURN_IF_ERROR(FitRidgeArm(d0.x, d0.y, l2_, &w0_, &b0_));
+  fitted_ = true;
+  return Status::Ok();
+}
+
+linalg::Vector RidgeTLearner::PredictOutcome(const linalg::Matrix& x,
+                                             int treatment) const {
+  CERL_CHECK(fitted_);
+  CERL_CHECK(treatment == 0 || treatment == 1);
+  const linalg::Vector& w = treatment == 1 ? w1_ : w0_;
+  const double b = treatment == 1 ? b1_ : b0_;
+  linalg::Vector out = linalg::MatVec(x, w);
+  for (double& v : out) v += b;
+  return out;
+}
+
+linalg::Vector RidgeTLearner::PredictIte(const linalg::Matrix& x) const {
+  linalg::Vector y1 = PredictOutcome(x, 1);
+  const linalg::Vector y0 = PredictOutcome(x, 0);
+  for (size_t i = 0; i < y1.size(); ++i) y1[i] -= y0[i];
+  return y1;
+}
+
+CausalMetrics RidgeTLearner::Evaluate(const data::CausalDataset& test) const {
+  return EvaluateOnDataset(test, PredictIte(test.x));
+}
+
+double NaiveAteEstimate(const data::CausalDataset& d) {
+  double sum1 = 0.0, sum0 = 0.0;
+  int n1 = 0, n0 = 0;
+  for (int i = 0; i < d.num_units(); ++i) {
+    if (d.t[i] == 1) {
+      sum1 += d.y[i];
+      ++n1;
+    } else {
+      sum0 += d.y[i];
+      ++n0;
+    }
+  }
+  CERL_CHECK(n1 > 0 && n0 > 0);
+  return sum1 / n1 - sum0 / n0;
+}
+
+}  // namespace cerl::causal

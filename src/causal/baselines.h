@@ -1,0 +1,47 @@
+// Classic non-neural baselines. The paper compares CFR variants only; a
+// usable library also wants cheap reference estimators:
+//  - RidgeTLearner: one linear ridge regression per treatment arm,
+//    ITE(x) = f1(x) - f0(x). Exact on linear effect surfaces; a sanity
+//    anchor for the neural models.
+//  - NaiveAteEstimate: difference of group means — ignores confounding and
+//    demonstrates why selection bias must be handled.
+#pragma once
+
+#include "causal/metrics.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace cerl::causal {
+
+/// Two independent ridge regressions (T-learner).
+class RidgeTLearner {
+ public:
+  /// l2 >= 0 is the ridge penalty (intercept not penalized).
+  explicit RidgeTLearner(double l2 = 1e-3) : l2_(l2) {}
+
+  /// Fits both arms. Fails if either arm has no units or the (regularized)
+  /// normal equations are singular.
+  Status Fit(const data::CausalDataset& train);
+
+  /// Per-arm outcome prediction on raw covariates. Requires Fit.
+  linalg::Vector PredictOutcome(const linalg::Matrix& x, int treatment) const;
+
+  /// Estimated ITE: f1(x) - f0(x). Requires Fit.
+  linalg::Vector PredictIte(const linalg::Matrix& x) const;
+
+  /// PEHE / ATE error against ground truth. Requires Fit.
+  CausalMetrics Evaluate(const data::CausalDataset& test) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  double l2_;
+  linalg::Vector w0_, w1_;
+  double b0_ = 0.0, b1_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Naive ATE: mean(y | t=1) - mean(y | t=0). Biased under selection.
+double NaiveAteEstimate(const data::CausalDataset& d);
+
+}  // namespace cerl::causal

@@ -1,0 +1,180 @@
+#include "causal/cfr.h"
+
+#include <algorithm>
+
+#include "autodiff/composite.h"
+#include "autodiff/ops.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace cerl::causal {
+
+FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
+                                const std::vector<int>& t,
+                                const linalg::Vector& y_scaled) {
+  using namespace autodiff;  // NOLINT
+  const int n = x_scaled.rows();
+  CERL_CHECK_EQ(static_cast<int>(t.size()), n);
+  CERL_CHECK_EQ(static_cast<int>(y_scaled.size()), n);
+
+  FactualForward out;
+  out.rep = net->Rep(tape, x_scaled);
+
+  std::vector<int> treated_idx, control_idx;
+  linalg::Vector y_treated, y_control;
+  for (int i = 0; i < n; ++i) {
+    if (t[i] == 1) {
+      treated_idx.push_back(i);
+      y_treated.push_back(y_scaled[i]);
+    } else {
+      control_idx.push_back(i);
+      y_control.push_back(y_scaled[i]);
+    }
+  }
+  out.n_treated = static_cast<int>(treated_idx.size());
+  out.n_control = static_cast<int>(control_idx.size());
+  out.rep_treated = GatherRows(out.rep, treated_idx);
+  out.rep_control = GatherRows(out.rep, control_idx);
+
+  // Sum of squared factual errors over both arms, averaged over the batch.
+  Var sse = tape->Constant(linalg::Matrix(1, 1, 0.0));
+  if (out.n_treated > 0) {
+    Var pred = net->Head(tape, out.rep_treated, 1);
+    Var target = tape->Constant(linalg::Matrix::ColVector(y_treated));
+    sse = Add(sse, Sum(Square(Sub(pred, target))));
+  }
+  if (out.n_control > 0) {
+    Var pred = net->Head(tape, out.rep_control, 0);
+    Var target = tape->Constant(linalg::Matrix::ColVector(y_control));
+    sse = Add(sse, Sum(Square(Sub(pred, target))));
+  }
+  out.loss = ScalarMul(sse, 1.0 / std::max(1, n));
+  return out;
+}
+
+std::vector<linalg::Matrix> SnapshotValues(
+    const std::vector<Parameter*>& params) {
+  std::vector<linalg::Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const auto* p : params) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void RestoreValues(const std::vector<Parameter*>& params,
+                   const std::vector<linalg::Matrix>& snapshot) {
+  CERL_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+CfrModel::CfrModel(const NetConfig& net_config, const TrainConfig& train_config,
+                   int input_dim)
+    : net_config_(net_config),
+      train_config_(train_config),
+      rng_(train_config.seed),
+      net_(&rng_, net_config, input_dim) {}
+
+TrainStats CfrModel::Train(const data::CausalDataset& train,
+                           const data::CausalDataset& valid) {
+  return RunTraining(train, valid, /*refit_scalers=*/true);
+}
+
+TrainStats CfrModel::FineTune(const data::CausalDataset& train,
+                              const data::CausalDataset& valid) {
+  return RunTraining(train, valid, /*refit_scalers=*/false);
+}
+
+double CfrModel::ValidFactualLoss(const linalg::Matrix& x_scaled,
+                                  const std::vector<int>& t,
+                                  const linalg::Vector& y_scaled) {
+  Tape tape;
+  Var x = tape.Constant(x_scaled);
+  FactualForward fwd = BuildFactualLoss(&net_, &tape, x, t, y_scaled);
+  return fwd.loss.scalar();
+}
+
+TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
+                                 const data::CausalDataset& valid,
+                                 bool refit_scalers) {
+  using namespace autodiff;  // NOLINT
+  train.CheckConsistent();
+  valid.CheckConsistent();
+  if (refit_scalers) {
+    net_.x_scaler().Fit(train.x);
+    net_.y_scaler().Fit(train.y);
+  }
+  const linalg::Matrix x_train = net_.x_scaler().Apply(train.x);
+  const linalg::Vector y_train = net_.y_scaler().Transform(train.y);
+  const linalg::Matrix x_valid = net_.x_scaler().Apply(valid.x);
+  const linalg::Vector y_valid = net_.y_scaler().Transform(valid.y);
+
+  auto params = net_.Parameters();
+  nn::Adam optimizer(params, train_config_.learning_rate);
+
+  const int n = train.num_units();
+  const int batch = std::min(train_config_.batch_size, n);
+
+  TrainStats stats;
+  double best_valid = ValidFactualLoss(x_valid, valid.t, y_valid);
+  std::vector<linalg::Matrix> best_snapshot = SnapshotValues(params);
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < train_config_.epochs; ++epoch) {
+    std::vector<int> perm = rng_.Permutation(n);
+    for (int start = 0; start + batch <= n; start += batch) {
+      std::vector<int> idx(perm.begin() + start, perm.begin() + start + batch);
+      linalg::Matrix xb = x_train.GatherRows(idx);
+      std::vector<int> tb(batch);
+      linalg::Vector yb(batch);
+      for (int i = 0; i < batch; ++i) {
+        tb[i] = train.t[idx[i]];
+        yb[i] = y_train[idx[i]];
+      }
+
+      Tape tape;
+      Var x = tape.Constant(std::move(xb));
+      FactualForward fwd = BuildFactualLoss(&net_, &tape, x, tb, yb);
+      Var loss = fwd.loss;
+      if (train_config_.alpha > 0.0 && fwd.n_treated > 0 &&
+          fwd.n_control > 0) {
+        Var ipm = ot::IpmPenalty(train_config_.ipm, fwd.rep_treated,
+                                 fwd.rep_control, train_config_.sinkhorn);
+        loss = Add(loss, ScalarMul(ipm, train_config_.alpha));
+      }
+      if (train_config_.lambda > 0.0) {
+        Var w1 = tape.Param(&net_.FirstLayerWeight());
+        loss = Add(loss, ScalarMul(ElasticNetPenalty(w1),
+                                   train_config_.lambda));
+      }
+      optimizer.ZeroGrad();
+      tape.Backward(loss);
+      optimizer.Step();
+    }
+
+    const double valid_loss = ValidFactualLoss(x_valid, valid.t, y_valid);
+    stats.epochs_run = epoch + 1;
+    if (valid_loss < best_valid - 1e-6) {
+      best_valid = valid_loss;
+      best_snapshot = SnapshotValues(params);
+      since_best = 0;
+    } else if (++since_best >= train_config_.patience) {
+      break;
+    }
+    if (train_config_.verbose && epoch % 10 == 0) {
+      CERL_LOG(Info) << "cfr epoch " << epoch << " valid loss " << valid_loss;
+    }
+  }
+
+  RestoreValues(params, best_snapshot);
+  stats.best_valid_loss = best_valid;
+  return stats;
+}
+
+linalg::Vector CfrModel::PredictIte(const linalg::Matrix& x_raw) {
+  return net_.PredictIte(x_raw);
+}
+
+CausalMetrics CfrModel::Evaluate(const data::CausalDataset& test) {
+  return EvaluateOnDataset(test, PredictIte(test.x));
+}
+
+}  // namespace cerl::causal

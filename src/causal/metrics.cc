@@ -1,0 +1,52 @@
+#include "causal/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cerl::causal {
+
+CausalMetrics EvaluateIte(const linalg::Vector& true_ite,
+                          const linalg::Vector& predicted_ite) {
+  CERL_CHECK_EQ(true_ite.size(), predicted_ite.size());
+  CERL_CHECK(!true_ite.empty());
+  const size_t n = true_ite.size();
+  double sq_sum = 0.0;
+  double true_ate = 0.0;
+  double pred_ate = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = true_ite[i] - predicted_ite[i];
+    sq_sum += d * d;
+    true_ate += true_ite[i];
+    pred_ate += predicted_ite[i];
+  }
+  CausalMetrics m;
+  m.pehe = std::sqrt(sq_sum / static_cast<double>(n));
+  m.ate_error = std::fabs(true_ate - pred_ate) / static_cast<double>(n);
+  return m;
+}
+
+CausalMetrics EvaluateOnDataset(const data::CausalDataset& dataset,
+                                const linalg::Vector& predicted_ite) {
+  return EvaluateIte(dataset.TrueIte(), predicted_ite);
+}
+
+double PolicyValue(const data::CausalDataset& dataset,
+                   const linalg::Vector& predicted_ite, double threshold) {
+  const int n = dataset.num_units();
+  CERL_CHECK_EQ(static_cast<int>(predicted_ite.size()), n);
+  CERL_CHECK_GT(n, 0);
+  double value = 0.0;
+  for (int i = 0; i < n; ++i) {
+    value += predicted_ite[i] > threshold ? dataset.mu1[i] : dataset.mu0[i];
+  }
+  return value / n;
+}
+
+double PolicyRegret(const data::CausalDataset& dataset,
+                    const linalg::Vector& predicted_ite, double threshold) {
+  return PolicyValue(dataset, dataset.TrueIte(), threshold) -
+         PolicyValue(dataset, predicted_ite, threshold);
+}
+
+}  // namespace cerl::causal

@@ -1,0 +1,37 @@
+// Evaluation metrics for treatment-effect estimation (paper §IV-B):
+//   sqrt(eps_PEHE) = sqrt(mean_i (ITE_i - ITE_hat_i)^2)
+//   eps_ATE        = | ATE - ATE_hat |
+#pragma once
+
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace cerl::causal {
+
+/// Metric pair reported throughout the paper's tables.
+struct CausalMetrics {
+  double pehe = 0.0;       ///< sqrt(eps_PEHE)
+  double ate_error = 0.0;  ///< eps_ATE
+};
+
+/// Computes both metrics from true and predicted per-unit effects.
+CausalMetrics EvaluateIte(const linalg::Vector& true_ite,
+                          const linalg::Vector& predicted_ite);
+
+/// Convenience: evaluates predictions against a dataset's ground truth.
+CausalMetrics EvaluateOnDataset(const data::CausalDataset& dataset,
+                                const linalg::Vector& predicted_ite);
+
+/// Value of the policy "treat iff predicted ITE > threshold", evaluated on
+/// ground-truth potential outcomes: mean_i [ pi(x_i) mu1_i + (1-pi) mu0_i ].
+double PolicyValue(const data::CausalDataset& dataset,
+                   const linalg::Vector& predicted_ite,
+                   double threshold = 0.0);
+
+/// Regret of that policy against the oracle policy "treat iff true ITE >
+/// threshold". Non-negative; 0 iff the induced decisions are optimal.
+double PolicyRegret(const data::CausalDataset& dataset,
+                    const linalg::Vector& predicted_ite,
+                    double threshold = 0.0);
+
+}  // namespace cerl::causal

@@ -1,0 +1,69 @@
+#include "causal/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/ops.h"
+#include "util/check.h"
+
+namespace cerl::causal {
+
+void FeatureScaler::Fit(const linalg::Matrix& x) {
+  CERL_CHECK_GT(x.rows(), 0);
+  mean_ = linalg::ColumnMeans(x);
+  std_ = linalg::ColumnStds(x, /*min_std=*/1e-8);
+  fitted_ = true;
+}
+
+linalg::Matrix FeatureScaler::Apply(const linalg::Matrix& x) const {
+  CERL_CHECK(fitted_);
+  return linalg::Standardize(x, mean_, std_);
+}
+
+void FeatureScaler::Restore(linalg::Vector mean, linalg::Vector std) {
+  CERL_CHECK_EQ(mean.size(), std.size());
+  mean_ = std::move(mean);
+  std_ = std::move(std);
+  fitted_ = !mean_.empty();
+}
+
+void OutcomeScaler::Fit(const linalg::Vector& y) {
+  CERL_CHECK(!y.empty());
+  mean_ = linalg::Mean(y);
+  std_ = std::max(std::sqrt(linalg::Variance(y)), 1e-8);
+  fitted_ = true;
+}
+
+void OutcomeScaler::Restore(double mean, double std) {
+  CERL_CHECK_GT(std, 0.0);
+  mean_ = mean;
+  std_ = std;
+  fitted_ = true;
+}
+
+double OutcomeScaler::Transform(double y) const {
+  CERL_CHECK(fitted_);
+  return (y - mean_) / std_;
+}
+
+linalg::Vector OutcomeScaler::Transform(const linalg::Vector& y) const {
+  linalg::Vector out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = Transform(y[i]);
+  return out;
+}
+
+double OutcomeScaler::InverseTransform(double y_scaled) const {
+  CERL_CHECK(fitted_);
+  return y_scaled * std_ + mean_;
+}
+
+linalg::Vector OutcomeScaler::InverseTransform(
+    const linalg::Vector& y_scaled) const {
+  linalg::Vector out(y_scaled.size());
+  for (size_t i = 0; i < y_scaled.size(); ++i) {
+    out[i] = InverseTransform(y_scaled[i]);
+  }
+  return out;
+}
+
+}  // namespace cerl::causal

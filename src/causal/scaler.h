@@ -1,0 +1,57 @@
+// Feature and outcome standardization fitted on training data. Each model
+// owns its scalers so that representations are always computed in the
+// model's own input space — a requirement for CERL, where the old model
+// g_{w_{d-1}} must embed new raw covariates during distillation.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace cerl::causal {
+
+/// Per-column standardizer for covariates.
+class FeatureScaler {
+ public:
+  /// Fits mean and std on the rows of x (std floored at 1e-8).
+  void Fit(const linalg::Matrix& x);
+
+  /// (x - mean) / std. Requires Fit.
+  linalg::Matrix Apply(const linalg::Matrix& x) const;
+
+  bool fitted() const { return fitted_; }
+
+  /// State access for checkpointing.
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& std() const { return std_; }
+  void Restore(linalg::Vector mean, linalg::Vector std);
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector std_;
+  bool fitted_ = false;
+};
+
+/// Scalar standardizer for outcomes.
+class OutcomeScaler {
+ public:
+  void Fit(const linalg::Vector& y);
+
+  double Transform(double y) const;
+  linalg::Vector Transform(const linalg::Vector& y) const;
+  double InverseTransform(double y_scaled) const;
+  linalg::Vector InverseTransform(const linalg::Vector& y_scaled) const;
+
+  /// ITE-scale factor: effects scale by std only (means cancel).
+  double scale() const { return std_; }
+  bool fitted() const { return fitted_; }
+
+  /// State access for checkpointing.
+  double mean() const { return mean_; }
+  void Restore(double mean, double std);
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace cerl::causal

@@ -1,0 +1,85 @@
+#include "causal/strategies.h"
+
+#include <functional>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace cerl::causal {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kA: return "CFR-A";
+    case Strategy::kB: return "CFR-B";
+    case Strategy::kC: return "CFR-C";
+  }
+  return "?";
+}
+
+StageEval EvaluateStage(int stage, const std::vector<data::DataSplit>& stream,
+                        const std::function<linalg::Vector(
+                            const linalg::Matrix&)>& predict_ite) {
+  StageEval eval;
+  eval.stage = stage;
+  std::vector<const data::CausalDataset*> pooled_parts;
+  for (int j = 0; j <= stage; ++j) {
+    const data::CausalDataset& test = stream[j].test;
+    eval.per_domain.push_back(
+        EvaluateOnDataset(test, predict_ite(test.x)));
+    pooled_parts.push_back(&test);
+  }
+  const data::CausalDataset pooled = data::ConcatDatasets(pooled_parts);
+  eval.pooled = EvaluateOnDataset(pooled, predict_ite(pooled.x));
+  return eval;
+}
+
+StrategyRunResult RunCfrStrategy(Strategy s,
+                                 const std::vector<data::DataSplit>& stream,
+                                 const StrategyConfig& config) {
+  CERL_CHECK(!stream.empty());
+  const int input_dim = stream.front().train.num_features();
+  StrategyRunResult result;
+
+  std::unique_ptr<CfrModel> model;
+  for (int d = 0; d < static_cast<int>(stream.size()); ++d) {
+    switch (s) {
+      case Strategy::kA:
+        if (d == 0) {
+          model = std::make_unique<CfrModel>(config.net, config.train,
+                                             input_dim);
+          model->Train(stream[0].train, stream[0].valid);
+        }
+        break;
+      case Strategy::kB:
+        if (d == 0) {
+          model = std::make_unique<CfrModel>(config.net, config.train,
+                                             input_dim);
+          model->Train(stream[0].train, stream[0].valid);
+        } else {
+          model->FineTune(stream[d].train, stream[d].valid);
+        }
+        break;
+      case Strategy::kC: {
+        // Retrain from scratch on the union of all seen raw data.
+        std::vector<const data::CausalDataset*> train_parts, valid_parts;
+        for (int j = 0; j <= d; ++j) {
+          train_parts.push_back(&stream[j].train);
+          valid_parts.push_back(&stream[j].valid);
+        }
+        model = std::make_unique<CfrModel>(config.net, config.train,
+                                           input_dim);
+        model->Train(data::ConcatDatasets(train_parts),
+                     data::ConcatDatasets(valid_parts));
+        break;
+      }
+    }
+    result.stages.push_back(EvaluateStage(
+        d, stream,
+        [&model](const linalg::Matrix& x) { return model->PredictIte(x); }));
+    CERL_LOG(Debug) << StrategyName(s) << " stage " << d << " pooled pehe "
+                    << result.stages.back().pooled.pehe;
+  }
+  return result;
+}
+
+}  // namespace cerl::causal

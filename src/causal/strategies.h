@@ -1,0 +1,52 @@
+// The three adaptation strategies the paper evaluates against CERL
+// (§IV-B), built on the CFR estimator:
+//   A — train on the first domain only, apply as-is to later domains
+//       (suffers under domain shift on new data);
+//   B — fine-tune the previous model on each new domain
+//       (catastrophic forgetting on old data);
+//   C — keep all raw data and retrain from scratch on the union
+//       (the ideal upper bound, but needs access to all previous data).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "causal/cfr.h"
+
+namespace cerl::causal {
+
+/// Which adaptation strategy to run.
+enum class Strategy { kA, kB, kC };
+
+const char* StrategyName(Strategy s);
+
+/// Evaluation snapshot after consuming a prefix of the stream.
+struct StageEval {
+  int stage = 0;  ///< index of the last domain consumed (0-based)
+  std::vector<CausalMetrics> per_domain;  ///< on each seen domain's test set
+  CausalMetrics pooled;  ///< on the union of all seen test sets
+};
+
+/// Full run: one StageEval per consumed domain.
+struct StrategyRunResult {
+  std::vector<StageEval> stages;
+  const StageEval& final_stage() const { return stages.back(); }
+};
+
+/// Architecture + optimization configuration for a strategy run.
+struct StrategyConfig {
+  NetConfig net;
+  TrainConfig train;
+};
+
+/// Runs strategy `s` over the domain stream, evaluating after every domain.
+StrategyRunResult RunCfrStrategy(Strategy s,
+                                 const std::vector<data::DataSplit>& stream,
+                                 const StrategyConfig& config);
+
+/// Evaluates an ITE predictor on each seen domain + pooled test set.
+StageEval EvaluateStage(int stage, const std::vector<data::DataSplit>& stream,
+                        const std::function<linalg::Vector(
+                            const linalg::Matrix&)>& predict_ite);
+
+}  // namespace cerl::causal

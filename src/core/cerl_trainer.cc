@@ -1,0 +1,299 @@
+#include "core/cerl_trainer.h"
+
+#include <algorithm>
+
+#include "autodiff/composite.h"
+#include "autodiff/ops.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace cerl::core {
+
+using autodiff::Var;
+using causal::TrainStats;
+
+CerlTrainer::CerlTrainer(const CerlConfig& config, int input_dim)
+    : config_(config), input_dim_(input_dim), rng_(config.train.seed ^ 0xCE51) {}
+
+causal::RepOutcomeNet* CerlTrainer::current_net() {
+  CERL_CHECK(model_ != nullptr);
+  return &model_->net();
+}
+
+TrainStats CerlTrainer::ObserveDomain(const data::DataSplit& split) {
+  ++stages_seen_;
+  if (stages_seen_ == 1) return TrainBaseline(split);
+  return TrainContinual(split);
+}
+
+linalg::Vector CerlTrainer::PredictIte(const linalg::Matrix& x_raw) {
+  CERL_CHECK(model_ != nullptr);
+  return model_->PredictIte(x_raw);
+}
+
+causal::CausalMetrics CerlTrainer::Evaluate(const data::CausalDataset& test) {
+  return causal::EvaluateOnDataset(test, PredictIte(test.x));
+}
+
+void CerlTrainer::SeedMemoryFromCurrent(const data::CausalDataset& train) {
+  if (!config_.use_transform) return;  // w/o FRT: no memory is kept at all.
+  const linalg::Matrix reps = model_->net().Representations(train.x);
+  memory_.Append(reps, train.y, train.t);
+  memory_.Reduce(config_.memory_capacity, config_.use_herding, &rng_);
+}
+
+TrainStats CerlTrainer::TrainBaseline(const data::DataSplit& split) {
+  causal::TrainConfig train_config = config_.train;
+  model_ = std::make_unique<causal::CfrModel>(config_.net, train_config,
+                                              input_dim_);
+  TrainStats stats = model_->Train(split.train, split.valid);
+  SeedMemoryFromCurrent(split.train);
+  CERL_LOG(Debug) << "CERL baseline stage done: memory " << memory_.size()
+                  << " units, best valid loss " << stats.best_valid_loss;
+  return stats;
+}
+
+TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
+  using namespace autodiff;  // NOLINT
+  const data::CausalDataset& train = split.train;
+  const data::CausalDataset& valid = split.valid;
+  train.CheckConsistent();
+
+  // The previous model is frozen for distillation; the new model becomes
+  // the current learner.
+  old_model_ = std::move(model_);
+  causal::TrainConfig stage_train = config_.train;
+  stage_train.seed = config_.train.seed + 7919 * stages_seen_;
+  stage_train.learning_rate *= config_.continual_lr_scale;
+  model_ = std::make_unique<causal::CfrModel>(config_.net, stage_train,
+                                              input_dim_);
+  causal::RepOutcomeNet& net = model_->net();
+  causal::RepOutcomeNet& old_net = old_model_->net();
+  if (config_.init_from_previous) {
+    // Warm start copies weights AND scalers: the representation space must
+    // stay consistent across stages — the memory holds representations in
+    // the old space and the distillation target is the old model, both of
+    // which assume the same input normalization. Refitting scalers each
+    // stage would silently re-map previous-domain units.
+    net.CopyParametersFrom(old_net);
+  } else {
+    // Cold start: scalers come from the new domain (plus memory outcomes
+    // for y, since the heads fit both — Eq. 8).
+    net.x_scaler().Fit(train.x);
+    linalg::Vector y_all = train.y;
+    y_all.insert(y_all.end(), memory_.y().begin(), memory_.y().end());
+    net.y_scaler().Fit(y_all);
+  }
+
+  const linalg::Matrix x_train = net.x_scaler().Apply(train.x);
+  const linalg::Vector y_train = net.y_scaler().Transform(train.y);
+  const linalg::Matrix x_valid = net.x_scaler().Apply(valid.x);
+  const linalg::Vector y_valid = net.y_scaler().Transform(valid.y);
+
+  // Old-model representations of the new data, computed once (frozen).
+  const linalg::Matrix old_reps_train = old_net.Representations(train.x);
+
+  // phi and the joint parameter set (Algorithm 1: OPTIMIZE over w_d,
+  // theta_d, phi).
+  Rng phi_rng(stage_train.seed ^ 0xF17A);
+  TransformNet phi(&phi_rng, net.rep_dim(), config_.transform_hidden);
+  std::vector<Parameter*> params = net.Parameters();
+  if (config_.use_transform || config_.delta > 0.0) {
+    for (Parameter* p : phi.Parameters()) params.push_back(p);
+  }
+  nn::Adam optimizer(params, stage_train.learning_rate);
+
+  const bool use_memory = config_.use_transform && !memory_.empty();
+  const int n = train.num_units();
+  const int batch = std::min(stage_train.batch_size, n);
+  const int mem_batch =
+      use_memory ? std::min(stage_train.batch_size, memory_.size()) : 0;
+
+  Rng loop_rng(stage_train.seed ^ 0xB007);
+  TrainStats stats;
+  // Retention-aware early stopping: new-domain factual loss plus the
+  // replay loss over the whole memory bank. The distillation term must NOT
+  // enter the selection criterion: it is exactly zero at the warm-started
+  // initialization, which would make the un-adapted old model an
+  // unbeatable snapshot and block adaptation entirely.
+  auto valid_loss_fn = [&]() {
+    Tape tape;
+    Var x = tape.Constant(x_valid);
+    causal::FactualForward vfwd =
+        causal::BuildFactualLoss(&net, &tape, x, valid.t, y_valid);
+    double loss = vfwd.loss.scalar();
+    if (use_memory) {
+      Var mem_rep = tape.Constant(memory_.reps());
+      Var mem_mapped = phi.Forward(&tape, mem_rep);
+      std::vector<int> idx_t, idx_c;
+      linalg::Vector y_t, y_c;
+      for (int i = 0; i < memory_.size(); ++i) {
+        const double ys = net.y_scaler().Transform(memory_.y()[i]);
+        if (memory_.t()[i] == 1) {
+          idx_t.push_back(i);
+          y_t.push_back(ys);
+        } else {
+          idx_c.push_back(i);
+          y_c.push_back(ys);
+        }
+      }
+      double sse = 0.0;
+      if (!idx_t.empty()) {
+        Var pred = net.Head(&tape, GatherRows(mem_mapped, idx_t), 1);
+        for (size_t i = 0; i < idx_t.size(); ++i) {
+          const double d = pred.value()(static_cast<int>(i), 0) - y_t[i];
+          sse += d * d;
+        }
+      }
+      if (!idx_c.empty()) {
+        Var pred = net.Head(&tape, GatherRows(mem_mapped, idx_c), 0);
+        for (size_t i = 0; i < idx_c.size(); ++i) {
+          const double d = pred.value()(static_cast<int>(i), 0) - y_c[i];
+          sse += d * d;
+        }
+      }
+      loss += sse / memory_.size();
+    }
+    return loss;
+  };
+  double best_valid = valid_loss_fn();
+  std::vector<linalg::Matrix> best_snapshot = causal::SnapshotValues(params);
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < stage_train.epochs; ++epoch) {
+    std::vector<int> perm = loop_rng.Permutation(n);
+    for (int start = 0; start + batch <= n; start += batch) {
+      std::vector<int> idx(perm.begin() + start, perm.begin() + start + batch);
+      linalg::Matrix xb = x_train.GatherRows(idx);
+      std::vector<int> tb(batch);
+      linalg::Vector yb(batch);
+      for (int i = 0; i < batch; ++i) {
+        tb[i] = train.t[idx[i]];
+        yb[i] = y_train[idx[i]];
+      }
+
+      Tape tape;
+      Var x = tape.Constant(std::move(xb));
+      // L_G new-data term (Eq. 8, second sum) + group representations.
+      causal::FactualForward fwd =
+          causal::BuildFactualLoss(&net, &tape, x, tb, yb);
+      Var loss = fwd.loss;
+
+      // Feature representation distillation, Eq. 6.
+      Var old_rep = tape.Constant(old_reps_train.GatherRows(idx));
+      if (config_.beta > 0.0) {
+        loss = Add(loss, ScalarMul(MeanCosineDistance(fwd.rep, old_rep),
+                                   config_.beta));
+      }
+      // Feature representation transformation, Eq. 7. The new-model
+      // representation enters as a detached target: Eq. 7 trains phi to map
+      // the old space onto the new one, it must not drag g_{w_d} toward
+      // phi's (initially arbitrary) output.
+      if (config_.delta > 0.0) {
+        Var phi_out = phi.Forward(&tape, old_rep);
+        Var rep_target = tape.Constant(fwd.rep.value());
+        loss = Add(loss, ScalarMul(MeanCosineDistance(phi_out, rep_target),
+                                   config_.delta));
+      }
+
+      Var rep_treated_global = fwd.rep_treated;
+      Var rep_control_global = fwd.rep_control;
+      int n_treated = fwd.n_treated;
+      int n_control = fwd.n_control;
+
+      if (use_memory) {
+        // Memory replay: transformed old representations join the global
+        // representation space (Eq. 8 first sum; balanced IPM below).
+        const std::vector<int> mem_idx =
+            memory_.SampleBatch(mem_batch, &loop_rng);
+        Var mem_rep = tape.Constant(memory_.reps().GatherRows(mem_idx));
+        Var mem_transformed = phi.Forward(&tape, mem_rep);
+
+        std::vector<int> mem_treated_idx, mem_control_idx;
+        linalg::Vector y_mem_treated, y_mem_control;
+        for (int i = 0; i < mem_batch; ++i) {
+          const int unit = mem_idx[i];
+          const double y_scaled = net.y_scaler().Transform(memory_.y()[unit]);
+          if (memory_.t()[unit] == 1) {
+            mem_treated_idx.push_back(i);
+            y_mem_treated.push_back(y_scaled);
+          } else {
+            mem_control_idx.push_back(i);
+            y_mem_control.push_back(y_scaled);
+          }
+        }
+        Var mem_sse = tape.Constant(linalg::Matrix(1, 1, 0.0));
+        if (!mem_treated_idx.empty()) {
+          Var rep_t = GatherRows(mem_transformed, mem_treated_idx);
+          Var pred = net.Head(&tape, rep_t, 1);
+          Var target = tape.Constant(linalg::Matrix::ColVector(y_mem_treated));
+          mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
+          // The memory side joins the global IPM as a detached reference
+          // distribution: balancing must shape the new representations (and
+          // heads), not bend phi away from its Eq. 7 alignment target.
+          rep_treated_global =
+              ConcatRows(rep_treated_global, tape.Constant(rep_t.value()));
+          n_treated += static_cast<int>(mem_treated_idx.size());
+        }
+        if (!mem_control_idx.empty()) {
+          Var rep_c = GatherRows(mem_transformed, mem_control_idx);
+          Var pred = net.Head(&tape, rep_c, 0);
+          Var target = tape.Constant(linalg::Matrix::ColVector(y_mem_control));
+          mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
+          rep_control_global =
+              ConcatRows(rep_control_global, tape.Constant(rep_c.value()));
+          n_control += static_cast<int>(mem_control_idx.size());
+        }
+        loss = Add(loss, ScalarMul(mem_sse, 1.0 / std::max(1, mem_batch)));
+      }
+
+      // Balance the global representation space (Eq. 3 over memory ∪ new).
+      if (stage_train.alpha > 0.0 && n_treated > 0 && n_control > 0) {
+        Var ipm = ot::IpmPenalty(stage_train.ipm, rep_treated_global,
+                                 rep_control_global, stage_train.sinkhorn);
+        loss = Add(loss, ScalarMul(ipm, stage_train.alpha));
+      }
+      // Elastic net on the new feature-selection layer (Eq. 1).
+      if (stage_train.lambda > 0.0) {
+        Var w1 = tape.Param(&net.FirstLayerWeight());
+        loss =
+            Add(loss, ScalarMul(ElasticNetPenalty(w1), stage_train.lambda));
+      }
+
+      optimizer.ZeroGrad();
+      tape.Backward(loss);
+      optimizer.Step();
+    }
+
+    const double valid_loss = valid_loss_fn();
+    stats.epochs_run = epoch + 1;
+    if (valid_loss < best_valid - 1e-6) {
+      best_valid = valid_loss;
+      best_snapshot = causal::SnapshotValues(params);
+      since_best = 0;
+    } else if (++since_best >= stage_train.patience) {
+      break;
+    }
+    if (stage_train.verbose && epoch % 10 == 0) {
+      CERL_LOG(Info) << "cerl stage " << stages_seen_ << " epoch " << epoch
+                     << " valid loss " << valid_loss;
+    }
+  }
+  causal::RestoreValues(params, best_snapshot);
+  stats.best_valid_loss = best_valid;
+
+  // Memory migration: M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
+  if (config_.use_transform) {
+    memory_.Transform(
+        [&phi](const linalg::Matrix& reps) { return phi.Apply(reps); });
+    const linalg::Matrix new_reps = net.Representations(train.x);
+    memory_.Append(new_reps, train.y, train.t);
+    memory_.Reduce(config_.memory_capacity, config_.use_herding, &rng_);
+  }
+  CERL_LOG(Debug) << "CERL stage " << stages_seen_ << " done: memory "
+                  << memory_.size() << " units, best valid loss "
+                  << stats.best_valid_loss;
+  return stats;
+}
+
+}  // namespace cerl::core

@@ -1,0 +1,104 @@
+// CERL — Continual Causal Effect Representation Learning (the paper's
+// contribution, Algorithm 1).
+//
+// Stage 1 (baseline, Eq. 5): train a CFR model on the first domain, then
+// store herding-selected representations in the memory bank.
+//
+// Stage d >= 2 (continual, Eq. 9): train a new model g_{w_d}, h_{theta_d}
+// and the transformation phi_{d-1->d} jointly on
+//   L = L_G + alpha * Wass(P, Q) + lambda * ElasticNet(w_d)
+//       + beta * L_FD + delta * L_FT
+// where L_G (Eq. 8) fits factual outcomes on new data AND transformed
+// memory representations, the IPM balances treated/control over the global
+// representation space (memory ∪ new), L_FD (Eq. 6) distills the old
+// model's representations of the new data, and L_FT (Eq. 7) aligns
+// phi(g_{w_{d-1}}(x)) with g_{w_d}(x). Afterwards the memory is migrated:
+//   M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
+// Raw covariates of past domains are never kept (accessibility criterion).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "causal/cfr.h"
+#include "core/memory_bank.h"
+#include "core/transform_net.h"
+
+namespace cerl::core {
+
+/// Full CERL configuration.
+struct CerlConfig {
+  causal::NetConfig net;
+  causal::TrainConfig train;
+
+  /// Distillation weight. The paper fixes beta = 1 (following iCaRL /
+  /// feature-adaptation practice); with this implementation's loss
+  /// normalization a stronger default keeps the same balance between the
+  /// factual term and the distillation term (calibrated on held-out
+  /// streams; see EXPERIMENTS.md).
+  double beta = 3.0;
+  double delta = 1.0;    ///< transformation weight
+  int memory_capacity = 500;  ///< M
+
+  /// Ablation switches (Table II).
+  bool use_transform = true;  ///< false = "w/o FRT": no memory replay at all
+  bool use_herding = true;    ///< false = random memory subsampling
+  // "w/o cosine" is net.cosine_normalized_rep = false.
+
+  /// Warm-start g_{w_d} from g_{w_{d-1}} (speeds convergence; the losses,
+  /// not the init, carry the old knowledge).
+  bool init_from_previous = true;
+
+  /// Learning-rate multiplier for continual stages (d >= 2). Warm-started
+  /// stages need smaller steps than the from-scratch baseline stage:
+  /// large steps let the new-domain factual term overwrite regions of the
+  /// representation the distillation/replay losses cannot observe.
+  double continual_lr_scale = 0.3;
+
+  /// Hidden sizes of phi (empty = single affine+tanh layer).
+  std::vector<int> transform_hidden = {};
+};
+
+/// Continual trainer over an incrementally available domain stream.
+class CerlTrainer {
+ public:
+  CerlTrainer(const CerlConfig& config, int input_dim);
+
+  /// Consumes the next domain (Algorithm 1 body). Returns training stats.
+  causal::TrainStats ObserveDomain(const data::DataSplit& split);
+
+  /// Estimated ITE with the current model h_{theta_d}(g_{w_d}(x)).
+  linalg::Vector PredictIte(const linalg::Matrix& x_raw);
+
+  /// PEHE / ATE error of the current model on a test set.
+  causal::CausalMetrics Evaluate(const data::CausalDataset& test);
+
+  const MemoryBank& memory() const { return memory_; }
+  int stages_seen() const { return stages_seen_; }
+  causal::RepOutcomeNet* current_net();
+
+  /// Persists the continual state — current model (weights + scalers), the
+  /// memory bank, and the stage counter — so estimation can resume in a new
+  /// process without any raw data (checkpoint.cc). Requires >= 1 stage.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Restores a checkpoint into a freshly constructed trainer (same config
+  /// and input dimension as the saver; enforced via parameter shapes).
+  /// Must be called before any ObserveDomain.
+  Status LoadCheckpoint(const std::string& path);
+
+ private:
+  causal::TrainStats TrainBaseline(const data::DataSplit& split);
+  causal::TrainStats TrainContinual(const data::DataSplit& split);
+  void SeedMemoryFromCurrent(const data::CausalDataset& train);
+
+  CerlConfig config_;
+  int input_dim_;
+  Rng rng_;
+  std::unique_ptr<causal::CfrModel> model_;      ///< current stage model
+  std::unique_ptr<causal::CfrModel> old_model_;  ///< g_{w_{d-1}} (frozen)
+  MemoryBank memory_;
+  int stages_seen_ = 0;
+};
+
+}  // namespace cerl::core

@@ -1,0 +1,158 @@
+// CERL checkpointing: persists exactly the state the method itself keeps
+// between stages — the current model h_{theta_d}(g_{w_d}) with its scalers,
+// the representation memory M_d, and the stage counter. By construction no
+// raw covariates of past domains are written (the accessibility criterion),
+// so a checkpoint is as privacy-compatible as the in-memory state.
+//
+// Format: "CERLCKP1", u32 stage_count, u32 input_dim,
+//         x-scaler (u32 dim, mean[], std[]),
+//         y-scaler (f64 mean, f64 std, u8 fitted),
+//         parameter block (nn/serialize framing),
+//         memory (u32 rows, u32 cols, reps[], y[], t[] as u8).
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "core/cerl_trainer.h"
+#include "nn/serialize.h"
+
+namespace cerl::core {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'R', 'L', 'C', 'K', 'P', '1'};
+
+void WriteVector(std::ostream& out, const linalg::Vector& v) {
+  const uint32_t n = static_cast<uint32_t>(v.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+Status ReadVector(std::istream& in, linalg::Vector* v) {
+  uint32_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::IoError("truncated checkpoint (vector size)");
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) return Status::IoError("truncated checkpoint (vector data)");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CerlTrainer::SaveCheckpoint(const std::string& path) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "nothing to checkpoint: no domain observed yet");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t stages = static_cast<uint32_t>(stages_seen_);
+  const uint32_t input_dim = static_cast<uint32_t>(input_dim_);
+  out.write(reinterpret_cast<const char*>(&stages), sizeof(stages));
+  out.write(reinterpret_cast<const char*>(&input_dim), sizeof(input_dim));
+
+  causal::RepOutcomeNet& net = model_->net();
+  WriteVector(out, net.x_scaler().mean());
+  WriteVector(out, net.x_scaler().std());
+  const double y_mean = net.y_scaler().mean();
+  const double y_std = net.y_scaler().scale();
+  const uint8_t y_fitted = net.y_scaler().fitted() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&y_mean), sizeof(y_mean));
+  out.write(reinterpret_cast<const char*>(&y_std), sizeof(y_std));
+  out.write(reinterpret_cast<const char*>(&y_fitted), sizeof(y_fitted));
+
+  CERL_RETURN_IF_ERROR(nn::SaveParametersToStream(out, net.Parameters()));
+
+  const uint32_t mem_rows = static_cast<uint32_t>(memory_.size());
+  const uint32_t mem_cols =
+      memory_.empty() ? 0 : static_cast<uint32_t>(memory_.rep_dim());
+  out.write(reinterpret_cast<const char*>(&mem_rows), sizeof(mem_rows));
+  out.write(reinterpret_cast<const char*>(&mem_cols), sizeof(mem_cols));
+  if (!memory_.empty()) {
+    out.write(reinterpret_cast<const char*>(memory_.reps().data()),
+              static_cast<std::streamsize>(memory_.reps().size() *
+                                           sizeof(double)));
+    WriteVector(out, memory_.y());
+    for (int t : memory_.t()) {
+      const uint8_t b = static_cast<uint8_t>(t);
+      out.write(reinterpret_cast<const char*>(&b), sizeof(b));
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status CerlTrainer::LoadCheckpoint(const std::string& path) {
+  if (stages_seen_ != 0) {
+    return Status::FailedPrecondition(
+        "LoadCheckpoint requires a fresh trainer");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad checkpoint magic in " + path);
+  }
+  uint32_t stages = 0, input_dim = 0;
+  in.read(reinterpret_cast<char*>(&stages), sizeof(stages));
+  in.read(reinterpret_cast<char*>(&input_dim), sizeof(input_dim));
+  if (!in) return Status::IoError("truncated checkpoint header");
+  if (static_cast<int>(input_dim) != input_dim_) {
+    return Status::InvalidArgument(
+        "checkpoint input dim " + std::to_string(input_dim) +
+        " does not match trainer input dim " + std::to_string(input_dim_));
+  }
+
+  linalg::Vector x_mean, x_std;
+  CERL_RETURN_IF_ERROR(ReadVector(in, &x_mean));
+  CERL_RETURN_IF_ERROR(ReadVector(in, &x_std));
+  double y_mean = 0.0, y_std = 1.0;
+  uint8_t y_fitted = 0;
+  in.read(reinterpret_cast<char*>(&y_mean), sizeof(y_mean));
+  in.read(reinterpret_cast<char*>(&y_std), sizeof(y_std));
+  in.read(reinterpret_cast<char*>(&y_fitted), sizeof(y_fitted));
+  if (!in) return Status::IoError("truncated checkpoint scalers");
+
+  // Rebuild the model with the same architecture, then overwrite weights.
+  model_ = std::make_unique<causal::CfrModel>(config_.net, config_.train,
+                                              input_dim_);
+  causal::RepOutcomeNet& net = model_->net();
+  CERL_RETURN_IF_ERROR(nn::LoadParametersFromStream(in, net.Parameters()));
+  net.x_scaler().Restore(std::move(x_mean), std::move(x_std));
+  if (y_fitted) net.y_scaler().Restore(y_mean, y_std);
+
+  uint32_t mem_rows = 0, mem_cols = 0;
+  in.read(reinterpret_cast<char*>(&mem_rows), sizeof(mem_rows));
+  in.read(reinterpret_cast<char*>(&mem_cols), sizeof(mem_cols));
+  if (!in) return Status::IoError("truncated checkpoint memory header");
+  memory_ = MemoryBank();
+  if (mem_rows > 0) {
+    linalg::Matrix reps(mem_rows, mem_cols);
+    in.read(reinterpret_cast<char*>(reps.data()),
+            static_cast<std::streamsize>(reps.size() * sizeof(double)));
+    linalg::Vector y;
+    CERL_RETURN_IF_ERROR(ReadVector(in, &y));
+    if (y.size() != mem_rows) {
+      return Status::IoError("memory outcome size mismatch");
+    }
+    std::vector<int> t(mem_rows);
+    for (uint32_t i = 0; i < mem_rows; ++i) {
+      uint8_t b = 0;
+      in.read(reinterpret_cast<char*>(&b), sizeof(b));
+      t[i] = b;
+    }
+    if (!in) return Status::IoError("truncated checkpoint memory");
+    memory_.Append(reps, y, t);
+  }
+  stages_seen_ = static_cast<int>(stages);
+  return Status::Ok();
+}
+
+}  // namespace cerl::core

@@ -1,0 +1,53 @@
+// The CERL memory M_d (§III-A2): a bounded set of *feature representations*
+// with their observed outcomes and treatments — never raw covariates. After
+// each continual stage the bank is transformed into the new representation
+// space (phi) and reduced back to capacity with herding, balanced across
+// treatment groups:
+//   M_d = Herding({R_d, Y_d, T_d} ∪ phi_{d-1->d}(M_{d-1})).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace cerl::core {
+
+/// Bounded store of (representation, outcome, treatment) triples.
+class MemoryBank {
+ public:
+  MemoryBank() = default;
+
+  /// Appends units (reps rows aligned with y and t).
+  void Append(const linalg::Matrix& reps, const linalg::Vector& y,
+              const std::vector<int>& t);
+
+  /// Maps all stored representations through `f` (the trained phi).
+  void Transform(
+      const std::function<linalg::Matrix(const linalg::Matrix&)>& f);
+
+  /// Shrinks to at most `capacity` units, selecting the same number per
+  /// treatment group (paper §III-A2). `use_herding` selects by greedy mean
+  /// matching; otherwise random subsampling (the w/o-herding ablation).
+  void Reduce(int capacity, bool use_herding, Rng* rng);
+
+  bool empty() const { return y_.empty(); }
+  int size() const { return static_cast<int>(y_.size()); }
+  int num_treated() const;
+  int rep_dim() const { return reps_.cols(); }
+
+  const linalg::Matrix& reps() const { return reps_; }
+  const linalg::Vector& y() const { return y_; }
+  const std::vector<int>& t() const { return t_; }
+
+  /// Uniform-with-replacement batch of indices.
+  std::vector<int> SampleBatch(int batch_size, Rng* rng) const;
+
+ private:
+  linalg::Matrix reps_;
+  linalg::Vector y_;
+  std::vector<int> t_;
+};
+
+}  // namespace cerl::core

@@ -1,0 +1,41 @@
+// Feature representation transformation phi_{d-1 -> d} (§III-A3, Eq. 7):
+// a small network mapping the previous representation space into the new
+// one, trained jointly with the continual objective via
+//   L_FT = 1 - cos(phi(g_{w_{d-1}}(x)), g_{w_d}(x)),  x in D_d.
+// Once trained, it migrates the memory bank: R~_{d-1} = phi(R_{d-1}).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "util/rng.h"
+
+namespace cerl::core {
+
+using autodiff::Parameter;
+using autodiff::Tape;
+using autodiff::Var;
+
+/// phi network: rep_dim -> rep_dim with bounded (tanh) outputs, matching the
+/// bounded cosine-normalized representation space.
+class TransformNet {
+ public:
+  /// hidden = sizes of hidden layers; empty means a single affine+tanh map.
+  TransformNet(Rng* rng, int rep_dim, std::vector<int> hidden = {});
+
+  Var Forward(Tape* tape, Var rep);
+
+  /// No-grad application to a matrix of representations.
+  linalg::Matrix Apply(const linalg::Matrix& reps);
+
+  std::vector<Parameter*> Parameters();
+
+  int rep_dim() const { return rep_dim_; }
+
+ private:
+  int rep_dim_;
+  std::unique_ptr<nn::Mlp> net_;
+};
+
+}  // namespace cerl::core

@@ -1,0 +1,144 @@
+#include "corrgen/hub_correlation.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace cerl::corrgen {
+
+std::vector<double> HubCorrelationSequence(const HubBlockSpec& spec) {
+  CERL_CHECK_GE(spec.size, 1);
+  CERL_CHECK(spec.rho_max >= spec.rho_min);
+  const int d = spec.size;
+  std::vector<double> rho;
+  rho.reserve(std::max(0, d - 1));
+  for (int i = 2; i <= d; ++i) {
+    // Eq. 12 with offset k = i - 1. For d == 2 the single off-diagonal
+    // correlation is rho_max.
+    double frac = d > 2 ? static_cast<double>(i - 2) / (d - 2) : 0.0;
+    rho.push_back(spec.rho_max -
+                  std::pow(frac, spec.gamma) * (spec.rho_max - spec.rho_min));
+  }
+  return rho;
+}
+
+linalg::Matrix HubToeplitzBlock(const HubBlockSpec& spec) {
+  const int d = spec.size;
+  linalg::Matrix block = linalg::Matrix::Identity(d);
+  const std::vector<double> rho = HubCorrelationSequence(spec);
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      const double v = rho[j - i - 1];  // Toeplitz: depends on |i - j| only.
+      block(i, j) = v;
+      block(j, i) = v;
+    }
+  }
+  return block;
+}
+
+linalg::Matrix BlockDiagonalCorrelation(
+    const std::vector<HubBlockSpec>& specs) {
+  int n = 0;
+  for (const auto& s : specs) n += s.size;
+  linalg::Matrix r = linalg::Matrix::Identity(n);
+  int offset = 0;
+  for (const auto& s : specs) {
+    const linalg::Matrix block = HubToeplitzBlock(s);
+    for (int i = 0; i < s.size; ++i) {
+      for (int j = 0; j < s.size; ++j) {
+        r(offset + i, offset + j) = block(i, j);
+      }
+    }
+    offset += s.size;
+  }
+  return r;
+}
+
+Result<linalg::Matrix> AddCrossTypeNoise(const linalg::Matrix& r,
+                                         double noise_fraction, int noise_dim,
+                                         Rng* rng) {
+  if (noise_fraction < 0.0 || noise_fraction >= 1.0) {
+    return Status::InvalidArgument("noise_fraction must be in [0, 1)");
+  }
+  if (noise_fraction == 0.0) return r;
+  CERL_CHECK_GE(noise_dim, 1);
+
+  auto min_eig = linalg::MinEigenvalue(r);
+  if (!min_eig.ok()) return min_eig.status();
+  if (min_eig.value() <= 0.0) {
+    return Status::NumericalError("base correlation matrix is not PD");
+  }
+  const double eps = noise_fraction * min_eig.value();
+
+  const int n = r.rows();
+  // Random unit vectors u_i as columns of an noise_dim x n matrix.
+  linalg::Matrix u(noise_dim, n);
+  for (int j = 0; j < n; ++j) {
+    double norm2 = 0.0;
+    for (int i = 0; i < noise_dim; ++i) {
+      const double v = rng->Normal();
+      u(i, j) = v;
+      norm2 += v * v;
+    }
+    const double inv = 1.0 / std::sqrt(std::max(norm2, 1e-300));
+    for (int i = 0; i < noise_dim; ++i) u(i, j) *= inv;
+  }
+
+  linalg::Matrix out = r;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < noise_dim; ++k) dot += u(k, i) * u(k, j);
+      out(i, j) += eps * dot;
+      out(j, i) = out(i, j);
+    }
+  }
+  if (!linalg::IsPositiveDefinite(out)) {
+    return Status::NumericalError("noised correlation matrix lost PD");
+  }
+  return out;
+}
+
+Result<linalg::Matrix> RepairToPositiveDefinite(const linalg::Matrix& r,
+                                                double min_eigenvalue) {
+  CERL_CHECK_GT(min_eigenvalue, 0.0);
+  CERL_CHECK_LT(min_eigenvalue, 1.0);
+  auto lambda_min = linalg::MinEigenvalue(r);
+  if (!lambda_min.ok()) return lambda_min.status();
+  if (lambda_min.value() >= min_eigenvalue) return r;
+  // (lambda + c) / (1 + c) >= m  <=>  c >= (m - lambda) / (1 - m).
+  const double c =
+      (min_eigenvalue - lambda_min.value()) / (1.0 - min_eigenvalue);
+  linalg::Matrix out = r;
+  const double scale = 1.0 / (1.0 + c);
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      out(i, j) = (r(i, j) + (i == j ? c : 0.0)) * scale;
+    }
+  }
+  return out;
+}
+
+Result<linalg::Matrix> GenerateCorrelationMatrix(
+    const std::vector<HubBlockSpec>& specs, double noise_fraction,
+    int noise_dim, Rng* rng) {
+  auto repaired =
+      RepairToPositiveDefinite(BlockDiagonalCorrelation(specs));
+  if (!repaired.ok()) return repaired.status();
+  return AddCrossTypeNoise(repaired.value(), noise_fraction, noise_dim, rng);
+}
+
+linalg::Matrix CorrelationToCovariance(const linalg::Matrix& corr,
+                                       const linalg::Vector& stds) {
+  CERL_CHECK_EQ(corr.rows(), static_cast<int>(stds.size()));
+  linalg::Matrix cov = corr;
+  for (int i = 0; i < cov.rows(); ++i) {
+    for (int j = 0; j < cov.cols(); ++j) {
+      cov(i, j) *= stds[i] * stds[j];
+    }
+  }
+  return cov;
+}
+
+}  // namespace cerl::corrgen

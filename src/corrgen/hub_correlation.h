@@ -1,0 +1,69 @@
+// Realistic correlation-matrix generation following Hardin, Garcia & Golan,
+// "A method for generating realistic correlation matrices", Annals of
+// Applied Statistics (2013) — the construction the paper's synthetic study
+// cites (its Algorithm 3):
+//
+//  1. Per variable type (confounders, instruments, adjustments, irrelevant),
+//     build a hub-Toeplitz block: the first variable is the hub and its
+//     correlation with the i-th variable decays per Eq. 12 of the paper,
+//        R_{i,1} = rho_max - ((i-2)/(d-2))^gamma (rho_max - rho_min),
+//     and the remainder of the block is filled with the Toeplitz structure
+//     (constant along diagonals).
+//  2. Assemble the blocks along the diagonal (zero cross-type correlation).
+//  3. Add weak cross-type correlation via a random Gram perturbation
+//     N_ij = eps * u_i . u_j (i != j, unit vectors u), which preserves unit
+//     diagonal and keeps the matrix positive definite for eps < lambda_min.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cerl::corrgen {
+
+/// One variable-type block of the correlation matrix.
+struct HubBlockSpec {
+  int size = 1;          ///< number of variables of this type
+  double rho_max = 0.7;  ///< correlation between the hub and its neighbour
+  double rho_min = 0.1;  ///< correlation between the hub and the farthest var
+  double gamma = 1.0;    ///< decay-rate exponent (Eq. 12)
+};
+
+/// Hub correlation sequence: rho(offset) for offset = 1..size-1 (Eq. 12).
+std::vector<double> HubCorrelationSequence(const HubBlockSpec& spec);
+
+/// Builds one hub-Toeplitz correlation block (unit diagonal, symmetric).
+linalg::Matrix HubToeplitzBlock(const HubBlockSpec& spec);
+
+/// Block-diagonal correlation matrix from per-type blocks; zero across types.
+linalg::Matrix BlockDiagonalCorrelation(const std::vector<HubBlockSpec>& specs);
+
+/// Hardin-Garcia-Golan Algorithm 3: adds cross-type noise
+/// eps * (U^T U - I) with unit columns u_i in R^noise_dim and
+/// eps = noise_fraction * lambda_min(r). Returns a matrix that is verified
+/// positive definite; fails with NumericalError otherwise.
+Result<linalg::Matrix> AddCrossTypeNoise(const linalg::Matrix& r,
+                                         double noise_fraction, int noise_dim,
+                                         Rng* rng);
+
+/// Shrinks a symmetric unit-diagonal matrix toward the identity just enough
+/// to make its smallest eigenvalue >= min_eigenvalue:
+///   R' = (R + c I) / (1 + c). Hub-Toeplitz blocks with fast decay (small
+/// gamma) are not guaranteed PD, so the generator repairs them this way
+/// before adding cross-type noise. Unit diagonal is preserved.
+Result<linalg::Matrix> RepairToPositiveDefinite(const linalg::Matrix& r,
+                                                double min_eigenvalue = 1e-3);
+
+/// Full pipeline: blocks -> assembly -> noise. noise_fraction in [0, 1).
+Result<linalg::Matrix> GenerateCorrelationMatrix(
+    const std::vector<HubBlockSpec>& specs, double noise_fraction,
+    int noise_dim, Rng* rng);
+
+/// Covariance from correlation and per-variable standard deviations:
+/// Sigma = D R D with D = diag(stds).
+linalg::Matrix CorrelationToCovariance(const linalg::Matrix& corr,
+                                       const linalg::Vector& stds);
+
+}  // namespace cerl::corrgen

@@ -1,0 +1,128 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cerl::data {
+
+int CausalDataset::num_treated() const {
+  return static_cast<int>(std::accumulate(t.begin(), t.end(), 0));
+}
+
+int CausalDataset::num_control() const { return num_units() - num_treated(); }
+
+linalg::Vector CausalDataset::TrueIte() const {
+  CERL_CHECK_EQ(mu0.size(), mu1.size());
+  linalg::Vector ite(mu0.size());
+  for (size_t i = 0; i < ite.size(); ++i) ite[i] = mu1[i] - mu0[i];
+  return ite;
+}
+
+double CausalDataset::TrueAte() const {
+  const linalg::Vector ite = TrueIte();
+  if (ite.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : ite) s += v;
+  return s / static_cast<double>(ite.size());
+}
+
+std::vector<int> CausalDataset::TreatedIndices() const {
+  std::vector<int> idx;
+  for (int i = 0; i < num_units(); ++i) {
+    if (t[i] == 1) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<int> CausalDataset::ControlIndices() const {
+  std::vector<int> idx;
+  for (int i = 0; i < num_units(); ++i) {
+    if (t[i] == 0) idx.push_back(i);
+  }
+  return idx;
+}
+
+CausalDataset CausalDataset::Subset(const std::vector<int>& indices) const {
+  CausalDataset out;
+  out.x = x.GatherRows(indices);
+  out.t.reserve(indices.size());
+  out.y.reserve(indices.size());
+  out.mu0.reserve(indices.size());
+  out.mu1.reserve(indices.size());
+  for (int i : indices) {
+    CERL_CHECK(i >= 0 && i < num_units());
+    out.t.push_back(t[i]);
+    out.y.push_back(y[i]);
+    out.mu0.push_back(mu0[i]);
+    out.mu1.push_back(mu1[i]);
+  }
+  return out;
+}
+
+void CausalDataset::CheckConsistent() const {
+  const size_t n = static_cast<size_t>(num_units());
+  CERL_CHECK_EQ(t.size(), n);
+  CERL_CHECK_EQ(y.size(), n);
+  CERL_CHECK_EQ(mu0.size(), n);
+  CERL_CHECK_EQ(mu1.size(), n);
+  for (int v : t) CERL_CHECK(v == 0 || v == 1);
+}
+
+DataSplit SplitDataset(const CausalDataset& d, Rng* rng, double train_frac,
+                       double valid_frac) {
+  CERL_CHECK(train_frac > 0.0 && valid_frac >= 0.0 &&
+             train_frac + valid_frac < 1.0);
+  const int n = d.num_units();
+  std::vector<int> perm = rng->Permutation(n);
+  const int n_train = static_cast<int>(train_frac * n);
+  const int n_valid = static_cast<int>(valid_frac * n);
+  std::vector<int> train_idx(perm.begin(), perm.begin() + n_train);
+  std::vector<int> valid_idx(perm.begin() + n_train,
+                             perm.begin() + n_train + n_valid);
+  std::vector<int> test_idx(perm.begin() + n_train + n_valid, perm.end());
+  DataSplit split;
+  split.train = d.Subset(train_idx);
+  split.valid = d.Subset(valid_idx);
+  split.test = d.Subset(test_idx);
+  return split;
+}
+
+CausalDataset ConcatDatasets(const std::vector<const CausalDataset*>& parts) {
+  CERL_CHECK(!parts.empty());
+  int total = 0;
+  const int p = parts.front()->num_features();
+  for (const auto* d : parts) {
+    CERL_CHECK_EQ(d->num_features(), p);
+    total += d->num_units();
+  }
+  CausalDataset out;
+  out.x = linalg::Matrix(total, p);
+  out.t.reserve(total);
+  out.y.reserve(total);
+  out.mu0.reserve(total);
+  out.mu1.reserve(total);
+  int row = 0;
+  for (const auto* d : parts) {
+    for (int i = 0; i < d->num_units(); ++i, ++row) {
+      std::copy(d->x.row(i), d->x.row(i) + p, out.x.row(row));
+      out.t.push_back(d->t[i]);
+      out.y.push_back(d->y[i]);
+      out.mu0.push_back(d->mu0[i]);
+      out.mu1.push_back(d->mu1[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<DataSplit> SplitStream(const DomainStream& stream, Rng* rng,
+                                   double train_frac, double valid_frac) {
+  std::vector<DataSplit> splits;
+  splits.reserve(stream.size());
+  for (const auto& d : stream) {
+    splits.push_back(SplitDataset(d, rng, train_frac, valid_frac));
+  }
+  return splits;
+}
+
+}  // namespace cerl::data

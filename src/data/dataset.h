@@ -1,0 +1,67 @@
+// Observational causal dataset containers. Each unit carries covariates x,
+// a binary treatment t, the observed (factual) outcome y, and — because all
+// benchmarks here are (semi-)synthetic — the ground-truth noiseless
+// potential outcomes mu0/mu1 used only for evaluation (PEHE/ATE error),
+// never for training.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace cerl::data {
+
+/// One observational dataset (a single domain / data source).
+struct CausalDataset {
+  linalg::Matrix x;       ///< n x p covariates
+  std::vector<int> t;     ///< treatment assignment (0/1)
+  linalg::Vector y;       ///< observed factual outcome
+  linalg::Vector mu0;     ///< ground-truth E[Y(0) | x] (evaluation only)
+  linalg::Vector mu1;     ///< ground-truth E[Y(1) | x] (evaluation only)
+
+  int num_units() const { return x.rows(); }
+  int num_features() const { return x.cols(); }
+  int num_treated() const;
+  int num_control() const;
+
+  /// Ground-truth individual treatment effects mu1 - mu0.
+  linalg::Vector TrueIte() const;
+
+  /// Ground-truth average treatment effect.
+  double TrueAte() const;
+
+  /// Indices of treated / control units.
+  std::vector<int> TreatedIndices() const;
+  std::vector<int> ControlIndices() const;
+
+  /// Subset by unit indices (in order).
+  CausalDataset Subset(const std::vector<int>& indices) const;
+
+  /// Checks internal shape consistency (aborts on violation).
+  void CheckConsistent() const;
+};
+
+/// Train / validation / test partition of one domain.
+struct DataSplit {
+  CausalDataset train;
+  CausalDataset valid;
+  CausalDataset test;
+};
+
+/// Randomly splits a dataset, default 60/20/20 as in the paper.
+DataSplit SplitDataset(const CausalDataset& d, Rng* rng,
+                       double train_frac = 0.6, double valid_frac = 0.2);
+
+/// Concatenates datasets (units stacked; feature dims must match).
+CausalDataset ConcatDatasets(const std::vector<const CausalDataset*>& parts);
+
+/// A sequence of incrementally available domains (D_1, ..., D_d).
+using DomainStream = std::vector<CausalDataset>;
+
+/// Splits every domain of a stream with a shared rng.
+std::vector<DataSplit> SplitStream(const DomainStream& stream, Rng* rng,
+                                   double train_frac = 0.6,
+                                   double valid_frac = 0.2);
+
+}  // namespace cerl::data

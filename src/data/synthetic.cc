@@ -1,0 +1,174 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "corrgen/hub_correlation.h"
+#include "linalg/ops.h"
+#include "stats/mvn.h"
+#include "stats/normal_cdf.h"
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+
+namespace cerl::data {
+
+SyntheticConfig SyntheticConfigSmall() {
+  SyntheticConfig c;
+  c.units_per_domain = 2000;
+  return c;
+}
+
+VariableLayout LayoutOf(const SyntheticConfig& config) {
+  VariableLayout l;
+  l.confounder_begin = 0;
+  l.confounder_end = config.num_confounders;
+  l.instrument_begin = l.confounder_end;
+  l.instrument_end = l.instrument_begin + config.num_instruments;
+  l.irrelevant_begin = l.instrument_end;
+  l.irrelevant_end = l.irrelevant_begin + config.num_irrelevant;
+  l.adjuster_begin = l.irrelevant_end;
+  l.adjuster_end = l.adjuster_begin + config.num_adjusters;
+  return l;
+}
+
+namespace {
+
+// Draws a uniform(0,1) weight vector of length n (the paper's b ~ U(0,1)).
+linalg::Vector UniformWeights(Rng* rng, int n) {
+  linalg::Vector w(n);
+  for (double& v : w) v = rng->Uniform();
+  return w;
+}
+
+// dot of selected columns of row `x` with weights (cols: two ranges).
+double RangesDot(const double* x, int b1, int e1, int b2, int e2,
+                 const linalg::Vector& w) {
+  double s = 0.0;
+  int wi = 0;
+  for (int c = b1; c < e1; ++c) s += x[c] * w[wi++];
+  for (int c = b2; c < e2; ++c) s += x[c] * w[wi++];
+  return s;
+}
+
+}  // namespace
+
+SyntheticStream GenerateSyntheticStream(const SyntheticConfig& config) {
+  CERL_CHECK_GT(config.num_domains, 0);
+  CERL_CHECK_GT(config.units_per_domain, 1);
+  const int p = config.num_features();
+  const VariableLayout lay = LayoutOf(config);
+
+  Rng master(config.seed);
+  // Shared causal mechanism: weights for tau, g (over C,A) and a (over C,Z).
+  Rng weights_rng = master.Split();
+  const int n_ca = config.num_confounders + config.num_adjusters;
+  const int n_cz = config.num_confounders + config.num_instruments;
+  // Raw weights per the paper; rescaled once on the first domain's sample
+  // so the sin/cos arguments have the configured standard deviation (the
+  // covariates are strongly correlated within blocks, so an analytic
+  // normalization would underestimate the argument variance).
+  linalg::Vector b_tau = UniformWeights(&weights_rng, n_ca);
+  linalg::Vector b_g = UniformWeights(&weights_rng, n_ca);
+  linalg::Vector b_a = UniformWeights(&weights_rng, n_cz);
+  bool weights_calibrated = false;
+
+  SyntheticStream out;
+  for (int d = 0; d < config.num_domains; ++d) {
+    Rng rng = master.Split();
+
+    // Domain-specific mean vector and covariance structure.
+    linalg::Vector mu(p);
+    for (double& v : mu) v = rng.Uniform(-config.mean_shift, config.mean_shift);
+
+    auto block = [&](int size) {
+      corrgen::HubBlockSpec s;
+      s.size = size;
+      s.rho_max = rng.Uniform(config.rho_max_lo, config.rho_max_hi);
+      s.rho_min = rng.Uniform(config.rho_min_lo, config.rho_min_hi);
+      s.gamma = rng.Uniform(config.gamma_lo, config.gamma_hi);
+      return s;
+    };
+    const std::vector<corrgen::HubBlockSpec> specs = {
+        block(config.num_confounders), block(config.num_instruments),
+        block(config.num_irrelevant), block(config.num_adjusters)};
+    auto corr = corrgen::GenerateCorrelationMatrix(
+        specs, config.noise_fraction, config.noise_dim, &rng);
+    CERL_CHECK_MSG(corr.ok(), corr.status().ToString().c_str());
+
+    linalg::Vector stds(p);
+    for (double& v : stds) v = rng.Uniform(config.std_lo, config.std_hi);
+    const linalg::Matrix cov =
+        corrgen::CorrelationToCovariance(corr.value(), stds);
+
+    auto mvn = stats::MultivariateNormal::Create(mu, cov);
+    CERL_CHECK_MSG(mvn.ok(), mvn.status().ToString().c_str());
+
+    const int n = config.units_per_domain;
+    CausalDataset ds;
+    ds.x = mvn.value().SampleMatrix(&rng, n);
+
+    if (!weights_calibrated) {
+      // Empirical argument std over the first domain, per weight vector.
+      auto rescale = [&](linalg::Vector* b, int b1, int e1, int b2, int e2) {
+        linalg::Vector arg(n);
+        for (int i = 0; i < n; ++i) {
+          arg[i] = RangesDot(ds.x.row(i), b1, e1, b2, e2, *b);
+        }
+        const double sd = std::sqrt(std::max(linalg::Variance(arg), 1e-12));
+        const double scale = config.argument_std_target / sd;
+        for (double& v : *b) v *= scale;
+      };
+      rescale(&b_tau, lay.confounder_begin, lay.confounder_end,
+              lay.adjuster_begin, lay.adjuster_end);
+      rescale(&b_g, lay.confounder_begin, lay.confounder_end,
+              lay.adjuster_begin, lay.adjuster_end);
+      rescale(&b_a, lay.confounder_begin, lay.confounder_end,
+              lay.instrument_begin, lay.instrument_end);
+      weights_calibrated = true;
+    }
+
+    // Propensity: a = sin((C,Z).b_a), standardized within domain, probit.
+    linalg::Vector a(n);
+    for (int i = 0; i < n; ++i) {
+      a[i] = std::sin(RangesDot(ds.x.row(i), lay.confounder_begin,
+                                lay.confounder_end, lay.instrument_begin,
+                                lay.instrument_end, b_a));
+    }
+    const double a_mean = linalg::Mean(a);
+    const double a_sd = std::sqrt(std::max(linalg::Variance(a), 1e-12));
+
+    ds.t.resize(n);
+    ds.y.resize(n);
+    ds.mu0.resize(n);
+    ds.mu1.resize(n);
+    double prop_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double e0 = stats::NormalCdf((a[i] - a_mean) / a_sd);
+      prop_sum += e0;
+      ds.t[i] = SampleBernoulli(&rng, e0);
+
+      const double* row = ds.x.row(i);
+      const double tau_arg = RangesDot(row, lay.confounder_begin,
+                                       lay.confounder_end, lay.adjuster_begin,
+                                       lay.adjuster_end, b_tau);
+      const double g_arg = RangesDot(row, lay.confounder_begin,
+                                     lay.confounder_end, lay.adjuster_begin,
+                                     lay.adjuster_end, b_g);
+      const double tau = std::sin(tau_arg) * std::sin(tau_arg);
+      const double g = std::cos(g_arg) * std::cos(g_arg);
+      ds.mu0[i] = g;
+      ds.mu1[i] = g + tau;
+      const double mean = ds.t[i] == 1 ? ds.mu1[i] : ds.mu0[i];
+      ds.y[i] = mean + rng.Normal(0.0, config.outcome_noise_std);
+    }
+    ds.CheckConsistent();
+    out.mean_propensity.push_back(prop_sum / n);
+    out.domains.push_back(std::move(ds));
+    CERL_LOG(Debug) << "synthetic domain " << d << ": n=" << n
+                    << " treated=" << out.domains.back().num_treated()
+                    << " mean propensity=" << out.mean_propensity.back();
+  }
+  return out;
+}
+
+}  // namespace cerl::data

@@ -1,0 +1,90 @@
+// Synthetic multi-domain generator of paper §IV-C.
+//
+// Covariates X = (C, Z, I, A): 35 confounders, 10 instruments, 20 irrelevant
+// variables, 35 adjustment variables (100 total by default). Per domain d,
+// X ~ N(mu_d, Sigma_d) where mu_d is domain-specific and Sigma_d comes from
+// the Hardin-Garcia-Golan hub-Toeplitz construction with cross-type noise.
+//
+// Outcome (partially linear regression, Robinson 1988):
+//   Y = tau(C, A) * T + g(C, A) + eps,       eps ~ N(0, 1)
+//   tau(C, A) = sin((C, A) . b_tau)^2        (heterogeneous effect)
+//   g(C, A)   = cos((C, A) . b_g)^2          (nuisance)
+// Treatment via probit propensity on confounders and instruments:
+//   a = sin((C, Z) . b_a),  e0 = Phi((a - mean(a)) / sd(a)),
+//   T ~ Bernoulli(e0).
+// The weight vectors b_tau, b_g, b_a ~ U(0, 1) are drawn once and shared by
+// all domains: the causal mechanism is stable, only the covariate
+// distribution shifts.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace cerl::data {
+
+/// Configuration of the synthetic stream (defaults = paper values).
+struct SyntheticConfig {
+  int num_confounders = 35;   ///< C
+  int num_instruments = 10;   ///< Z
+  int num_irrelevant = 20;    ///< I
+  int num_adjusters = 35;     ///< A
+  int units_per_domain = 10000;
+  int num_domains = 5;
+
+  /// Per-domain mean vectors are drawn from U(-shift, shift) entrywise.
+  double mean_shift = 2.0;
+  /// Per-variable standard deviations from U(std_lo, std_hi).
+  double std_lo = 0.5;
+  double std_hi = 1.5;
+  /// Hub-correlation parameter ranges (per domain, per block).
+  double rho_max_lo = 0.55, rho_max_hi = 0.85;
+  double rho_min_lo = 0.05, rho_min_hi = 0.25;
+  double gamma_lo = 0.5, gamma_hi = 2.0;
+  /// Cross-type noise (fraction of the smallest eigenvalue) and Gram dim.
+  double noise_fraction = 0.5;
+  int noise_dim = 50;
+
+  double outcome_noise_std = 1.0;
+
+  /// Target standard deviation of the arguments fed to sin/cos. The paper
+  /// draws b ~ U(0,1) per covariate; over 70 covariates the raw argument
+  /// has std ~5 rad, so sin^2/cos^2 wrap several periods and the effect
+  /// surface degenerates into unlearnable high-frequency noise. Scaling the
+  /// weight vectors to a unit-order argument preserves the functional form
+  /// at the intended smoothness.
+  double argument_std_target = 0.6;
+
+  uint64_t seed = 7;
+
+  int num_features() const {
+    return num_confounders + num_instruments + num_irrelevant + num_adjusters;
+  }
+};
+
+/// Reduced-scale preset for the 2-core container.
+SyntheticConfig SyntheticConfigSmall();
+
+/// Column layout of the generated X (for diagnostics, e.g. the Fig. 2
+/// variable-role bench).
+struct VariableLayout {
+  int confounder_begin, confounder_end;  ///< [begin, end)
+  int instrument_begin, instrument_end;
+  int irrelevant_begin, irrelevant_end;
+  int adjuster_begin, adjuster_end;
+};
+
+VariableLayout LayoutOf(const SyntheticConfig& config);
+
+/// The generated stream plus per-domain diagnostics.
+struct SyntheticStream {
+  DomainStream domains;
+  std::vector<double> mean_propensity;  ///< per domain
+};
+
+/// Generates `config.num_domains` sequential datasets. Deterministic in
+/// config.seed; the causal weights are derived from the seed and shared
+/// across domains.
+SyntheticStream GenerateSyntheticStream(const SyntheticConfig& config);
+
+}  // namespace cerl::data

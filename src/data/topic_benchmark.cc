@@ -1,0 +1,197 @@
+#include "data/topic_benchmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+
+namespace cerl::data {
+
+DomainShift ParseDomainShift(const std::string& s) {
+  if (s == "substantial") return DomainShift::kSubstantial;
+  if (s == "moderate") return DomainShift::kModerate;
+  if (s == "none") return DomainShift::kNone;
+  CERL_CHECK_MSG(false, "unknown shift (want substantial|moderate|none)");
+  return DomainShift::kNone;
+}
+
+const char* DomainShiftName(DomainShift shift) {
+  switch (shift) {
+    case DomainShift::kSubstantial: return "substantial";
+    case DomainShift::kModerate: return "moderate";
+    case DomainShift::kNone: return "none";
+  }
+  return "?";
+}
+
+TopicBenchmarkConfig NewsConfigSmall() {
+  TopicBenchmarkConfig c;
+  c.corpus.num_docs = 1600;
+  c.corpus.vocab_size = 420;
+  c.corpus.num_topics = 24;
+  c.corpus.doc_length_mean = 60.0;
+  c.lda.num_topics = 24;
+  c.lda.iterations = 60;
+  return c;
+}
+
+TopicBenchmarkConfig NewsConfigPaper() {
+  TopicBenchmarkConfig c;
+  c.corpus.num_docs = 5000;
+  c.corpus.vocab_size = 3477;
+  c.corpus.num_topics = 50;
+  c.corpus.doc_length_mean = 120.0;
+  c.lda.num_topics = 50;
+  c.lda.iterations = 150;
+  return c;
+}
+
+TopicBenchmarkConfig BlogCatalogConfigSmall() {
+  TopicBenchmarkConfig c;
+  c.corpus.num_docs = 1600;
+  c.corpus.vocab_size = 300;
+  c.corpus.num_topics = 24;
+  c.corpus.doc_length_mean = 40.0;  // Blogger keyword lists are short.
+  c.corpus.alpha = 0.05;            // More peaked interests per blogger.
+  c.lda.num_topics = 24;
+  c.lda.iterations = 60;
+  return c;
+}
+
+TopicBenchmarkConfig BlogCatalogConfigPaper() {
+  TopicBenchmarkConfig c;
+  c.corpus.num_docs = 5196;
+  c.corpus.vocab_size = 2160;
+  c.corpus.num_topics = 50;
+  c.corpus.doc_length_mean = 80.0;
+  c.corpus.alpha = 0.05;
+  c.lda.num_topics = 50;
+  c.lda.iterations = 150;
+  return c;
+}
+
+namespace {
+
+// Assigns documents to the two domains based on their trained dominant
+// topic, per the paper's three scenarios.
+void AssignDomains(const std::vector<int>& dominant, int num_topics,
+                   DomainShift shift, double moderate_fraction, Rng* rng,
+                   std::vector<int>* domain1, std::vector<int>* domain2) {
+  const int n = static_cast<int>(dominant.size());
+  switch (shift) {
+    case DomainShift::kSubstantial: {
+      // No topic overlap: first half of topics vs second half.
+      const int mid = num_topics / 2;
+      for (int i = 0; i < n; ++i) {
+        (dominant[i] < mid ? domain1 : domain2)->push_back(i);
+      }
+      break;
+    }
+    case DomainShift::kModerate: {
+      // Overlapping topic ranges: [0, hi1) and [lo2, K). Documents whose
+      // dominant topic falls in the overlap are split at random.
+      const int hi1 = static_cast<int>(moderate_fraction * num_topics);
+      const int lo2 = num_topics - hi1;
+      CERL_CHECK_LT(lo2, hi1);  // Fractions > 0.5 guarantee an overlap.
+      for (int i = 0; i < n; ++i) {
+        const int k = dominant[i];
+        if (k < lo2) {
+          domain1->push_back(i);
+        } else if (k >= hi1) {
+          domain2->push_back(i);
+        } else {
+          (rng->Uniform() < 0.5 ? domain1 : domain2)->push_back(i);
+        }
+      }
+      break;
+    }
+    case DomainShift::kNone: {
+      // Random split: both domains draw from the same distribution.
+      for (int i = 0; i < n; ++i) {
+        (rng->Uniform() < 0.5 ? domain1 : domain2)->push_back(i);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+TopicBenchmark GenerateTopicBenchmark(const TopicBenchmarkConfig& config) {
+  Rng rng(config.seed);
+
+  // 1. Corpus synthesis (stands in for NY Times / BlogCatalog raw data).
+  topics::GeneratedCorpus gen = topics::GenerateLdaCorpus(config.corpus, &rng);
+
+  // 2. Topic model trained on the corpus — exactly what the paper does.
+  topics::LdaModel lda = topics::TrainLdaGibbs(gen.corpus, config.lda, &rng);
+  const linalg::Matrix& z = lda.doc_topic();
+  const int n = z.rows();
+  const int k_topics = z.cols();
+
+  // 3. Centroids: zc1 from one random document, zc0 the corpus average.
+  TopicBenchmark out;
+  const int pivot = static_cast<int>(rng.UniformInt(n));
+  out.centroid_z1 = z.RowCopy(pivot);
+  out.centroid_z0.assign(k_topics, 0.0);
+  for (int d = 0; d < n; ++d) {
+    for (int k = 0; k < k_topics; ++k) out.centroid_z0[k] += z(d, k);
+  }
+  for (double& v : out.centroid_z0) v /= n;
+
+  // 4. Outcomes and treatments for every document.
+  linalg::Vector s0(n), s1(n);  // z.zc0 and z.zc1 per doc
+  for (int d = 0; d < n; ++d) {
+    double a0 = 0.0, a1 = 0.0;
+    for (int k = 0; k < k_topics; ++k) {
+      a0 += z(d, k) * out.centroid_z0[k];
+      a1 += z(d, k) * out.centroid_z1[k];
+    }
+    s0[d] = a0;
+    s1[d] = a1;
+  }
+  std::vector<int> treat(n);
+  linalg::Vector y(n), mu0(n), mu1(n);
+  double prop_sum = 0.0;
+  const double c_scale = config.outcome_scale_c;
+  const double k_bias = config.selection_bias_k;
+  for (int d = 0; d < n; ++d) {
+    const double e0 = std::exp(k_bias * s0[d]);
+    const double e1 = std::exp(k_bias * s1[d]);
+    const double p1 = e1 / (e0 + e1);
+    prop_sum += p1;
+    treat[d] = SampleBernoulli(&rng, p1);
+    mu0[d] = c_scale * s0[d];
+    mu1[d] = c_scale * (s0[d] + s1[d]);
+    const double mean = treat[d] == 1 ? mu1[d] : mu0[d];
+    y[d] = mean + rng.Normal(0.0, config.noise_std);
+  }
+  out.mean_propensity = prop_sum / n;
+
+  // 5. Domain assignment by trained dominant topic.
+  std::vector<int> dom1, dom2;
+  AssignDomains(lda.DominantTopics(), k_topics, config.shift,
+                config.moderate_topic_fraction, &rng, &dom1, &dom2);
+  CERL_CHECK_GT(dom1.size(), 0u);
+  CERL_CHECK_GT(dom2.size(), 0u);
+
+  linalg::Matrix counts = gen.corpus.ToCountMatrix();
+  CausalDataset all;
+  all.x = std::move(counts);
+  all.t = std::move(treat);
+  all.y = std::move(y);
+  all.mu0 = std::move(mu0);
+  all.mu1 = std::move(mu1);
+  all.CheckConsistent();
+
+  out.domains.push_back(all.Subset(dom1));
+  out.domains.push_back(all.Subset(dom2));
+  CERL_LOG(Debug) << "topic benchmark (" << DomainShiftName(config.shift)
+                  << "): domain sizes " << dom1.size() << " / " << dom2.size()
+                  << ", mean propensity " << out.mean_propensity;
+  return out;
+}
+
+}  // namespace cerl::data

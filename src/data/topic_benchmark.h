@@ -1,0 +1,67 @@
+// Semi-synthetic News / BlogCatalog benchmark (paper §IV-A), extended to
+// incrementally available domains with controllable shift.
+//
+// Pipeline (identical to the paper's, with a generative-LDA corpus standing
+// in for the non-redistributable NY Times / BlogCatalog bag-of-words data):
+//   1. synthesize a corpus; units are documents, covariates are word counts;
+//   2. train an LDA topic model by collapsed Gibbs; z(x) = topic mixture;
+//   3. centroids: zc1 = topic distribution of one randomly sampled document
+//      (mobile), zc0 = average topic representation of all documents
+//      (desktop);
+//   4. outcome  y(x) = C * (z(x).zc0 + t * z(x).zc1) + N(0,1), C = 60;
+//      treatment p(t=1|x) = e^{k z.zc1} / (e^{k z.zc0} + e^{k z.zc1}), k=10;
+//   5. split documents into two sequential domains by trained dominant
+//      topic: substantial shift = first half vs second half of topics,
+//      moderate = overlapping topic ranges (1-35 vs 16-50 out of 50),
+//      none = random split.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "topics/lda_generative.h"
+#include "topics/lda_gibbs.h"
+
+namespace cerl::data {
+
+/// Degree of distribution shift between sequential domains (paper Table I).
+enum class DomainShift { kSubstantial, kModerate, kNone };
+
+/// Parses "substantial" / "moderate" / "none".
+DomainShift ParseDomainShift(const std::string& s);
+const char* DomainShiftName(DomainShift shift);
+
+/// Configuration of the topic benchmark.
+struct TopicBenchmarkConfig {
+  topics::GenerativeLdaConfig corpus;  ///< synthetic corpus shape
+  topics::LdaGibbsConfig lda;          ///< trained topic model (paper: 50)
+  double outcome_scale_c = 60.0;       ///< C
+  double selection_bias_k = 10.0;      ///< k
+  double noise_std = 1.0;
+  DomainShift shift = DomainShift::kSubstantial;
+  /// Fraction of topics per domain under moderate shift (paper: 35/50).
+  double moderate_topic_fraction = 0.7;
+  uint64_t seed = 1;
+};
+
+/// News preset at reduced scale (paper: 5000 docs, 3477 words, 50 topics).
+TopicBenchmarkConfig NewsConfigSmall();
+/// News preset at paper scale.
+TopicBenchmarkConfig NewsConfigPaper();
+/// BlogCatalog preset at reduced scale (paper: 5196 units, 2160 features).
+TopicBenchmarkConfig BlogCatalogConfigSmall();
+/// BlogCatalog preset at paper scale.
+TopicBenchmarkConfig BlogCatalogConfigPaper();
+
+/// The generated two-domain stream plus generator diagnostics.
+struct TopicBenchmark {
+  DomainStream domains;            ///< two sequential datasets
+  linalg::Vector centroid_z0;      ///< desktop centroid (topic space)
+  linalg::Vector centroid_z1;      ///< mobile centroid (topic space)
+  double mean_propensity = 0.0;    ///< average p(t=1|x) across units
+};
+
+/// Generates the benchmark. Deterministic in config.seed.
+TopicBenchmark GenerateTopicBenchmark(const TopicBenchmarkConfig& config);
+
+}  // namespace cerl::data

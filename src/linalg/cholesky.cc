@@ -1,0 +1,75 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace cerl::linalg {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const int n = a.rows();
+  Matrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(
+          "matrix is not positive definite (pivot " + std::to_string(j) +
+          " = " + std::to_string(diag) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const int n = l_.rows();
+  CERL_CHECK_EQ(static_cast<int>(b.size()), n);
+  // Forward: L y = b.
+  Vector y(n);
+  for (int i = 0; i < n; ++i) {
+    double s = b[i];
+    for (int k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Backward: L^T x = y.
+  Vector x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    double s = y[i];
+    for (int k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+double Cholesky::LogDet() const {
+  double s = 0.0;
+  for (int i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector Cholesky::LowerTimes(const Vector& v) const {
+  const int n = l_.rows();
+  CERL_CHECK_EQ(static_cast<int>(v.size()), n);
+  Vector out(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int k = 0; k <= i; ++k) s += l_(i, k) * v[k];
+    out[i] = s;
+  }
+  return out;
+}
+
+bool IsPositiveDefinite(const Matrix& a) {
+  if (a.rows() != a.cols()) return false;
+  return Cholesky::Factor(a).ok();
+}
+
+}  // namespace cerl::linalg

@@ -1,0 +1,39 @@
+// Cholesky factorization A = L * L^T for symmetric positive-definite
+// matrices, with triangular solves and log-determinant. Non-PD inputs are a
+// data condition (e.g. a candidate correlation matrix), so the factorization
+// reports failure through Status rather than aborting.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace cerl::linalg {
+
+/// Holds the lower-triangular factor L with A = L L^T.
+class Cholesky {
+ public:
+  /// Factors `a` (symmetric; only the lower triangle is read). Fails with
+  /// NumericalError when a non-positive pivot is encountered.
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// The lower-triangular factor.
+  const Matrix& L() const { return l_; }
+
+  /// Solves A x = b via forward/backward substitution.
+  Vector Solve(const Vector& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)).
+  double LogDet() const;
+
+  /// Returns L * v (used to transform standard-normal draws into N(0, A)).
+  Vector LowerTimes(const Vector& v) const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// True if `a` is symmetric positive definite (factorization succeeds).
+bool IsPositiveDefinite(const Matrix& a);
+
+}  // namespace cerl::linalg

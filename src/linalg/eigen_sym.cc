@@ -1,0 +1,88 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cerl::linalg {
+
+Result<EigenSym> EigenSymDecompose(const Matrix& a, int max_sweeps,
+                                   double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSym requires a square matrix");
+  }
+  const int n = a.rows();
+  Matrix m = a;  // Working copy reduced to diagonal form.
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diagonal_norm = [&m, n]() {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(1.0, m.FrobeniusNorm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= tol * scale) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of m.
+        for (int k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (off_diagonal_norm() > 1e-6 * scale) {
+    return Status::NumericalError("Jacobi eigendecomposition did not converge");
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&m](int i, int j) { return m(i, i) < m(j, j); });
+
+  EigenSym out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    out.values[j] = m(order[j], order[j]);
+    for (int i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+Result<double> MinEigenvalue(const Matrix& a) {
+  auto decomp = EigenSymDecompose(a);
+  if (!decomp.ok()) return decomp.status();
+  return decomp.value().values.front();
+}
+
+}  // namespace cerl::linalg

@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+// Used by the correlation-matrix generator (Hardin-Garcia-Golan Algorithm 3
+// scales cross-block noise by the smallest eigenvalue) and by validation
+// code. O(n^3) per sweep, fine for the <= few-hundred-dim matrices here.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace cerl::linalg {
+
+/// Eigenvalues (ascending) and matching eigenvectors (columns) of a
+/// symmetric matrix.
+struct EigenSym {
+  Vector values;      ///< ascending eigenvalues
+  Matrix vectors;     ///< column j is the eigenvector for values[j]
+};
+
+/// Computes the full decomposition of symmetric `a`. Fails if the Jacobi
+/// sweeps do not converge (non-symmetric or pathological input).
+Result<EigenSym> EigenSymDecompose(const Matrix& a, int max_sweeps = 64,
+                                   double tol = 1e-12);
+
+/// Smallest eigenvalue of symmetric `a`.
+Result<double> MinEigenvalue(const Matrix& a);
+
+}  // namespace cerl::linalg

@@ -1,0 +1,154 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace cerl::linalg {
+namespace {
+
+// Panel sizes tuned for L1/L2 residency with doubles.
+constexpr int kBlockM = 64;
+constexpr int kBlockN = 128;
+constexpr int kBlockK = 256;
+
+// Packs op(A)'s [m0, m1) x [k0, k1) panel into row-major `buf`.
+void PackA(Trans trans_a, const Matrix& a, int m0, int m1, int k0, int k1,
+           double* buf) {
+  const int kw = k1 - k0;
+  if (trans_a == Trans::kNo) {
+    for (int i = m0; i < m1; ++i) {
+      const double* src = a.row(i) + k0;
+      std::copy(src, src + kw, buf + static_cast<size_t>(i - m0) * kw);
+    }
+  } else {
+    for (int i = m0; i < m1; ++i) {
+      double* dst = buf + static_cast<size_t>(i - m0) * kw;
+      for (int k = k0; k < k1; ++k) dst[k - k0] = a(k, i);
+    }
+  }
+}
+
+// Packs op(B)'s [k0, k1) x [n0, n1) panel into row-major `buf`.
+void PackB(Trans trans_b, const Matrix& b, int k0, int k1, int n0, int n1,
+           double* buf) {
+  const int nw = n1 - n0;
+  if (trans_b == Trans::kNo) {
+    for (int k = k0; k < k1; ++k) {
+      const double* src = b.row(k) + n0;
+      std::copy(src, src + nw, buf + static_cast<size_t>(k - k0) * nw);
+    }
+  } else {
+    for (int k = k0; k < k1; ++k) {
+      double* dst = buf + static_cast<size_t>(k - k0) * nw;
+      for (int n = n0; n < n1; ++n) dst[n - n0] = b(n, k);
+    }
+  }
+}
+
+// C[m0:m1, :] += alpha * op(A)[m0:m1, :] * op(B); beta already applied.
+void GemmRows(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+              const Matrix& b, Matrix* c, int m_begin, int m_end, int n_dim,
+              int k_dim) {
+  std::vector<double> pack_a(static_cast<size_t>(kBlockM) * kBlockK);
+  std::vector<double> pack_b(static_cast<size_t>(kBlockK) * kBlockN);
+  for (int k0 = 0; k0 < k_dim; k0 += kBlockK) {
+    const int k1 = std::min(k_dim, k0 + kBlockK);
+    const int kw = k1 - k0;
+    for (int n0 = 0; n0 < n_dim; n0 += kBlockN) {
+      const int n1 = std::min(n_dim, n0 + kBlockN);
+      const int nw = n1 - n0;
+      PackB(trans_b, b, k0, k1, n0, n1, pack_b.data());
+      for (int m0 = m_begin; m0 < m_end; m0 += kBlockM) {
+        const int m1 = std::min(m_end, m0 + kBlockM);
+        PackA(trans_a, a, m0, m1, k0, k1, pack_a.data());
+        for (int i = m0; i < m1; ++i) {
+          const double* arow = pack_a.data() + static_cast<size_t>(i - m0) * kw;
+          double* crow = c->row(i) + n0;
+          // Unrolled over k by 4 to expose ILP; the inner loop over n is
+          // contiguous in both pack_b and crow so it vectorizes.
+          int k = 0;
+          for (; k + 4 <= kw; k += 4) {
+            const double a0 = alpha * arow[k];
+            const double a1 = alpha * arow[k + 1];
+            const double a2 = alpha * arow[k + 2];
+            const double a3 = alpha * arow[k + 3];
+            const double* b0 = pack_b.data() + static_cast<size_t>(k) * nw;
+            const double* b1 = b0 + nw;
+            const double* b2 = b1 + nw;
+            const double* b3 = b2 + nw;
+            for (int n = 0; n < nw; ++n) {
+              crow[n] += a0 * b0[n] + a1 * b1[n] + a2 * b2[n] + a3 * b3[n];
+            }
+          }
+          for (; k < kw; ++k) {
+            const double ak = alpha * arow[k];
+            const double* brow = pack_b.data() + static_cast<size_t>(k) * nw;
+            for (int n = 0; n < nw; ++n) crow[n] += ak * brow[n];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c) {
+  const int m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const int k = trans_a == Trans::kNo ? a.cols() : a.rows();
+  const int kb = trans_b == Trans::kNo ? b.rows() : b.cols();
+  const int n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  CERL_CHECK_EQ(k, kb);
+  CERL_CHECK_EQ(c->rows(), m);
+  CERL_CHECK_EQ(c->cols(), n);
+
+  if (beta == 0.0) {
+    c->Fill(0.0);
+  } else if (beta != 1.0) {
+    c->Scale(beta);
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  // Parallelize across row panels; each worker owns a disjoint slice of C.
+  const int64_t flops = static_cast<int64_t>(m) * n * k;
+  if (flops < 1 << 18) {
+    GemmRows(trans_a, trans_b, alpha, a, b, c, 0, m, n, k);
+    return;
+  }
+  ParallelFor(
+      0, m,
+      [&](int64_t lo, int64_t hi) {
+        GemmRows(trans_a, trans_b, alpha, a, b, c, static_cast<int>(lo),
+                 static_cast<int>(hi), n, k);
+      },
+      /*grain=*/kBlockM);
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  return MatMulT(Trans::kNo, Trans::kNo, a, b);
+}
+
+Matrix MatMulT(Trans trans_a, Trans trans_b, const Matrix& a,
+               const Matrix& b) {
+  const int m = trans_a == Trans::kNo ? a.rows() : a.cols();
+  const int n = trans_b == Trans::kNo ? b.cols() : b.rows();
+  Matrix c(m, n);
+  Gemm(trans_a, trans_b, 1.0, a, b, 0.0, &c);
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  CERL_CHECK_EQ(a.cols(), static_cast<int>(x.size()));
+  Vector y(a.rows(), 0.0);
+  for (int r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    double s = 0.0;
+    for (int c = 0; c < a.cols(); ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+}  // namespace cerl::linalg

@@ -1,0 +1,29 @@
+// General matrix multiply with optional operand transposes:
+//   C = alpha * op(A) * op(B) + beta * C
+// Implemented as a cache-blocked kernel parallelized over row panels via the
+// global thread pool. This is the performance-critical primitive behind all
+// neural-network training in the repository.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace cerl::linalg {
+
+/// Transpose selector for Gemm operands.
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C. Shapes are checked; C must already
+/// have the result shape.
+void Gemm(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
+          const Matrix& b, double beta, Matrix* c);
+
+/// Returns A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Returns op(A) * op(B) with explicit transpose flags.
+Matrix MatMulT(Trans trans_a, Trans trans_b, const Matrix& a, const Matrix& b);
+
+/// y = A * x (matrix-vector product).
+Vector MatVec(const Matrix& a, const Vector& x);
+
+}  // namespace cerl::linalg

@@ -1,0 +1,143 @@
+#include "linalg/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/gemm.h"
+
+namespace cerl::linalg {
+
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+  CERL_CHECK_EQ(a.cols(), b.cols());
+  const int na = a.rows();
+  const int nb = b.rows();
+  Vector sq_a(na, 0.0), sq_b(nb, 0.0);
+  for (int i = 0; i < na; ++i) {
+    const double* row = a.row(i);
+    double s = 0.0;
+    for (int c = 0; c < a.cols(); ++c) s += row[c] * row[c];
+    sq_a[i] = s;
+  }
+  for (int j = 0; j < nb; ++j) {
+    const double* row = b.row(j);
+    double s = 0.0;
+    for (int c = 0; c < b.cols(); ++c) s += row[c] * row[c];
+    sq_b[j] = s;
+  }
+  Matrix d(na, nb);
+  Gemm(Trans::kNo, Trans::kYes, -2.0, a, b, 0.0, &d);
+  for (int i = 0; i < na; ++i) {
+    double* row = d.row(i);
+    for (int j = 0; j < nb; ++j) {
+      row[j] = std::max(0.0, row[j] + sq_a[i] + sq_b[j]);
+    }
+  }
+  return d;
+}
+
+Vector ColumnMeans(const Matrix& m) {
+  Vector mean(m.cols(), 0.0);
+  if (m.rows() == 0) return mean;
+  for (int r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    for (int c = 0; c < m.cols(); ++c) mean[c] += row[c];
+  }
+  for (double& v : mean) v /= m.rows();
+  return mean;
+}
+
+Vector ColumnStds(const Matrix& m, double min_std) {
+  Vector mean = ColumnMeans(m);
+  Vector var(m.cols(), 0.0);
+  if (m.rows() == 0) return Vector(m.cols(), min_std);
+  for (int r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    for (int c = 0; c < m.cols(); ++c) {
+      const double d = row[c] - mean[c];
+      var[c] += d * d;
+    }
+  }
+  Vector std(m.cols());
+  for (int c = 0; c < m.cols(); ++c) {
+    std[c] = std::max(min_std, std::sqrt(var[c] / m.rows()));
+  }
+  return std;
+}
+
+Matrix SampleCovariance(const Matrix& m) {
+  const int n = m.rows();
+  const int p = m.cols();
+  CERL_CHECK_GT(n, 1);
+  Vector mean = ColumnMeans(m);
+  Matrix centered = m;
+  for (int r = 0; r < n; ++r) {
+    double* row = centered.row(r);
+    for (int c = 0; c < p; ++c) row[c] -= mean[c];
+  }
+  Matrix cov(p, p);
+  Gemm(Trans::kYes, Trans::kNo, 1.0 / (n - 1), centered, centered, 0.0, &cov);
+  return cov;
+}
+
+Matrix SampleCorrelation(const Matrix& m) {
+  Matrix cov = SampleCovariance(m);
+  const int p = cov.rows();
+  Vector inv_std(p);
+  for (int i = 0; i < p; ++i) {
+    inv_std[i] = cov(i, i) > 0.0 ? 1.0 / std::sqrt(cov(i, i)) : 0.0;
+  }
+  Matrix corr(p, p);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      corr(i, j) = cov(i, j) * inv_std[i] * inv_std[j];
+    }
+  }
+  return corr;
+}
+
+Matrix Standardize(const Matrix& m, const Vector& mean, const Vector& std) {
+  CERL_CHECK_EQ(static_cast<int>(mean.size()), m.cols());
+  CERL_CHECK_EQ(static_cast<int>(std.size()), m.cols());
+  Matrix out = m;
+  for (int r = 0; r < m.rows(); ++r) {
+    double* row = out.row(r);
+    for (int c = 0; c < m.cols(); ++c) {
+      row[c] = (row[c] - mean[c]) / std[c];
+    }
+  }
+  return out;
+}
+
+double Mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const Vector& v) {
+  if (v.empty()) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double PearsonCorrelation(const Vector& a, const Vector& b) {
+  CERL_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace cerl::linalg

@@ -1,0 +1,38 @@
+// Assorted dense-matrix helpers shared by the OT layer, statistics, and the
+// causal models: pairwise distances, column summaries, standardization.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace cerl::linalg {
+
+/// D(i, j) = || a_i - b_j ||^2 for row vectors a_i of `a` and b_j of `b`.
+/// Computed as |a|^2 + |b|^2 - 2 a.b with a single GEMM; clamped at 0.
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b);
+
+/// Column means of `m` (length cols).
+Vector ColumnMeans(const Matrix& m);
+
+/// Column standard deviations (population, ddof = 0); zero-variance columns
+/// report `min_std` to keep downstream divisions safe.
+Vector ColumnStds(const Matrix& m, double min_std = 1e-12);
+
+/// Sample covariance matrix of rows of `m` (ddof = 1).
+Matrix SampleCovariance(const Matrix& m);
+
+/// Pearson correlation matrix of columns of `m`.
+Matrix SampleCorrelation(const Matrix& m);
+
+/// Returns (m - mean) / std per column, using the supplied statistics.
+Matrix Standardize(const Matrix& m, const Vector& mean, const Vector& std);
+
+/// Mean of a vector.
+double Mean(const Vector& v);
+
+/// Population variance of a vector.
+double Variance(const Vector& v);
+
+/// Pearson correlation between two equal-length vectors (0 if degenerate).
+double PearsonCorrelation(const Vector& a, const Vector& b);
+
+}  // namespace cerl::linalg

@@ -1,0 +1,23 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace cerl::nn {
+
+linalg::Matrix XavierUniform(Rng* rng, int fan_in, int fan_out) {
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  linalg::Matrix m(fan_in, fan_out);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-a, a);
+  return m;
+}
+
+linalg::Matrix HeNormal(Rng* rng, int fan_in, int fan_out) {
+  const double s = std::sqrt(2.0 / fan_in);
+  linalg::Matrix m(fan_in, fan_out);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Normal(0.0, s);
+  return m;
+}
+
+linalg::Matrix Zeros(int rows, int cols) { return linalg::Matrix(rows, cols); }
+
+}  // namespace cerl::nn

@@ -1,0 +1,19 @@
+// Weight initialization schemes. All draw from an explicit Rng for
+// reproducibility.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace cerl::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+linalg::Matrix XavierUniform(Rng* rng, int fan_in, int fan_out);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)); suited to ReLU-family nets.
+linalg::Matrix HeNormal(Rng* rng, int fan_in, int fan_out);
+
+/// All-zeros (biases).
+linalg::Matrix Zeros(int rows, int cols);
+
+}  // namespace cerl::nn

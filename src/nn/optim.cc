@@ -1,0 +1,77 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace cerl::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+}
+
+void Sgd::Step() {
+  if (velocity_.empty()) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    linalg::Matrix& vel = velocity_[i];
+    for (int64_t j = 0; j < p->value.size(); ++j) {
+      double g = p->grad.data()[j];
+      if (weight_decay_ != 0.0) g += weight_decay_ * p->value.data()[j];
+      vel.data()[j] = momentum_ * vel.data()[j] + g;
+      p->value.data()[j] -= lr_ * vel.data()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+}
+
+void Adam::Step() {
+  if (m_.empty()) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      m_.emplace_back(p->value.rows(), p->value.cols());
+      v_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    linalg::Matrix& m = m_[i];
+    linalg::Matrix& v = v_[i];
+    for (int64_t j = 0; j < p->value.size(); ++j) {
+      const double g = p->grad.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * g;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * g * g;
+      const double mhat = m.data()[j] / bc1;
+      const double vhat = v.data()[j] / bc2;
+      double update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ != 0.0) update += weight_decay_ * p->value.data()[j];
+      p->value.data()[j] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace cerl::nn

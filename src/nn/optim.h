@@ -1,0 +1,62 @@
+// First-order optimizers over Parameter lists: SGD with momentum and Adam.
+// The parameter list is fixed at construction; per-parameter state (momentum
+// buffers, Adam moments) is allocated lazily on the first step.
+#pragma once
+
+#include <vector>
+
+#include "autodiff/tape.h"
+
+namespace cerl::nn {
+
+using autodiff::Parameter;
+
+/// Optimizer interface.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in params.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Changes the learning rate (e.g. for decay schedules).
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double lr_ = 1e-3;
+};
+
+/// SGD with classical momentum and optional decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void Step() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<linalg::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with optional decoupled weight decay (AdamW).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void Step() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<linalg::Matrix> m_, v_;
+};
+
+}  // namespace cerl::nn

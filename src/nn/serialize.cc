@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace cerl::nn {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'R', 'L', 'P', 'A', 'R', '1'};
+
+}  // namespace
+
+Status SaveParametersToStream(std::ostream& out,
+                              const std::vector<autodiff::Parameter*>& params) {
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto* p : params) {
+    const uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    const uint32_t rows = p->value.rows();
+    const uint32_t cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+  }
+  if (!out) return Status::IoError("parameter stream write failed");
+  return Status::Ok();
+}
+
+Status LoadParametersFromStream(
+    std::istream& in, const std::vector<autodiff::Parameter*>& params) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad parameter-block magic");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: stream has " + std::to_string(count) +
+        ", model has " + std::to_string(params.size()));
+  }
+  for (auto* p : params) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in) return Status::IoError("truncated parameter block");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in) return Status::IoError("truncated parameter block");
+    if (name != p->name) {
+      return Status::InvalidArgument("parameter name mismatch: stream '" +
+                                     name + "' vs model '" + p->name + "'");
+    }
+    if (static_cast<int>(rows) != p->value.rows() ||
+        static_cast<int>(cols) != p->value.cols()) {
+      return Status::InvalidArgument("shape mismatch for parameter " + name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+    if (!in) return Status::IoError("truncated parameter block");
+  }
+  return Status::Ok();
+}
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<autodiff::Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  CERL_RETURN_IF_ERROR(SaveParametersToStream(out, params));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<autodiff::Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  return LoadParametersFromStream(in, params);
+}
+
+}  // namespace cerl::nn

@@ -1,0 +1,34 @@
+// Binary save/load of Parameter lists. Used by the adaptation strategies
+// (checkpoint a model, reload it for fine-tuning) and by the CERL pipeline
+// (the "old model" g_{w_{d-1}} is kept as weights, never as raw data).
+//
+// Format: magic "CERLPAR1", u64 count, then per parameter:
+//   u32 name_len, name bytes, u32 rows, u32 cols, rows*cols doubles (LE).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "util/status.h"
+
+namespace cerl::nn {
+
+/// Writes all parameters to `path`, overwriting.
+Status SaveParameters(const std::string& path,
+                      const std::vector<autodiff::Parameter*>& params);
+
+/// Loads into the given parameters; count, names, and shapes must match the
+/// file (strict round-trip of SaveParameters).
+Status LoadParameters(const std::string& path,
+                      const std::vector<autodiff::Parameter*>& params);
+
+/// Stream variants, used to embed parameter blocks inside larger container
+/// formats (e.g. CERL checkpoints).
+Status SaveParametersToStream(std::ostream& out,
+                              const std::vector<autodiff::Parameter*>& params);
+Status LoadParametersFromStream(
+    std::istream& in, const std::vector<autodiff::Parameter*>& params);
+
+}  // namespace cerl::nn

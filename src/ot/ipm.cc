@@ -1,0 +1,65 @@
+#include "ot/ipm.h"
+
+#include "autodiff/composite.h"
+#include "autodiff/ops.h"
+#include "util/check.h"
+
+namespace cerl::ot {
+
+using autodiff::Var;
+
+Var PairwiseSquaredDistancesVar(Var a, Var b) {
+  using namespace autodiff;  // NOLINT
+  Tape* tape = a.tape();
+  const int n1 = a.rows();
+  const int n2 = b.rows();
+  // C = ra 1^T + 1 rb^T - 2 A B^T, with ra/rb the row squared norms.
+  Var ra = RowSum(Square(a));                  // n1 x 1
+  Var rb = RowSum(Square(b));                  // n2 x 1
+  Var ones_row = tape->Constant(linalg::Matrix(1, n2, 1.0));
+  Var ones_col = tape->Constant(linalg::Matrix(n1, 1, 1.0));
+  Var c = Add(MatMul(ra, ones_row), MatMul(ones_col, Transpose(rb)));
+  return Sub(c, ScalarMul(MatMulBt(a, b), 2.0));
+}
+
+Var WassersteinPenalty(Var rep_treated, Var rep_control,
+                       const SinkhornConfig& config) {
+  autodiff::Tape* tape = rep_treated.tape();
+  if (rep_treated.rows() == 0 || rep_control.rows() == 0) {
+    return tape->Constant(linalg::Matrix(1, 1, 0.0));
+  }
+  Var cost = PairwiseSquaredDistancesVar(rep_treated, rep_control);
+  // The plan is treated as a constant of the optimization (envelope
+  // theorem / CFR practice): solve on detached values.
+  auto solved = SolveSinkhorn(cost.value(), config);
+  CERL_CHECK_MSG(solved.ok(), solved.status().ToString().c_str());
+  Var plan = tape->Constant(solved.value().plan);
+  return autodiff::Sum(autodiff::Mul(plan, cost));
+}
+
+Var LinearMmdPenalty(Var rep_treated, Var rep_control) {
+  using namespace autodiff;  // NOLINT
+  Tape* tape = rep_treated.tape();
+  if (rep_treated.rows() == 0 || rep_control.rows() == 0) {
+    return tape->Constant(linalg::Matrix(1, 1, 0.0));
+  }
+  Var mean_t =
+      ScalarMul(ColSum(rep_treated), 1.0 / rep_treated.rows());
+  Var mean_c =
+      ScalarMul(ColSum(rep_control), 1.0 / rep_control.rows());
+  return Sum(Square(Sub(mean_t, mean_c)));
+}
+
+Var IpmPenalty(IpmKind kind, Var rep_treated, Var rep_control,
+               const SinkhornConfig& config) {
+  switch (kind) {
+    case IpmKind::kWasserstein:
+      return WassersteinPenalty(rep_treated, rep_control, config);
+    case IpmKind::kLinearMmd:
+      return LinearMmdPenalty(rep_treated, rep_control);
+  }
+  CERL_CHECK(false);
+  return Var();
+}
+
+}  // namespace cerl::ot

@@ -1,0 +1,177 @@
+#include "ot/sinkhorn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace cerl::ot {
+namespace {
+
+// Fast path: standard Sinkhorn matrix scaling u = a ./ (K v), v = b ./ (K^T u)
+// with the Gibbs kernel K = exp(-C / reg) computed once. Returns false if the
+// iteration degenerates numerically (under/overflow), in which case the
+// caller falls back to the log-domain solver.
+bool SolveScaling(const linalg::Matrix& cost, double reg, int max_iterations,
+                  double tolerance, SinkhornResult* out) {
+  const int n1 = cost.rows();
+  const int n2 = cost.cols();
+  const double a = 1.0 / n1;
+  const double b = 1.0 / n2;
+
+  linalg::Matrix kernel(n1, n2);
+  for (int i = 0; i < n1; ++i) {
+    const double* crow = cost.row(i);
+    double* krow = kernel.row(i);
+    for (int j = 0; j < n2; ++j) krow[j] = std::exp(-crow[j] / reg);
+  }
+
+  linalg::Vector u(n1, 1.0), v(n2, 1.0), kv(n1), ktu(n2);
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // kv = K v ; u = a / kv
+    for (int i = 0; i < n1; ++i) {
+      const double* krow = kernel.row(i);
+      double s = 0.0;
+      for (int j = 0; j < n2; ++j) s += krow[j] * v[j];
+      if (s <= 1e-300 || !std::isfinite(s)) return false;
+      kv[i] = s;
+      u[i] = a / s;
+    }
+    // ktu = K^T u ; v = b / ktu
+    std::fill(ktu.begin(), ktu.end(), 0.0);
+    for (int i = 0; i < n1; ++i) {
+      const double* krow = kernel.row(i);
+      const double ui = u[i];
+      for (int j = 0; j < n2; ++j) ktu[j] += krow[j] * ui;
+    }
+    for (int j = 0; j < n2; ++j) {
+      if (ktu[j] <= 1e-300 || !std::isfinite(ktu[j])) return false;
+      v[j] = b / ktu[j];
+    }
+    // Convergence check on the row marginals (columns exact after v step).
+    if (iter % 5 == 4 || iter == max_iterations - 1) {
+      double violation = 0.0;
+      for (int i = 0; i < n1; ++i) {
+        const double* krow = kernel.row(i);
+        double s = 0.0;
+        for (int j = 0; j < n2; ++j) s += krow[j] * v[j];
+        violation += std::fabs(u[i] * s - a);
+      }
+      if (violation < tolerance) {
+        ++iter;
+        break;
+      }
+    }
+  }
+
+  out->plan = linalg::Matrix(n1, n2);
+  out->cost = 0.0;
+  for (int i = 0; i < n1; ++i) {
+    const double* krow = kernel.row(i);
+    const double* crow = cost.row(i);
+    double* prow = out->plan.row(i);
+    for (int j = 0; j < n2; ++j) {
+      const double p = u[i] * krow[j] * v[j];
+      if (!std::isfinite(p)) return false;
+      prow[j] = p;
+      out->cost += p * crow[j];
+    }
+  }
+  out->iterations = iter;
+  return std::isfinite(out->cost);
+}
+
+// Log-domain stabilized solver (slower, robust for small regularization).
+SinkhornResult SolveLogDomain(const linalg::Matrix& cost, double reg,
+                              int max_iterations, double tolerance) {
+  const int n1 = cost.rows();
+  const int n2 = cost.cols();
+  const double log_a = -std::log(static_cast<double>(n1));
+  const double log_b = -std::log(static_cast<double>(n2));
+  linalg::Vector f(n1, 0.0), g(n2, 0.0);
+
+  auto logsumexp_row = [&](int i) {
+    double m = -1e300;
+    for (int j = 0; j < n2; ++j) m = std::max(m, (g[j] - cost(i, j)) / reg);
+    double s = 0.0;
+    for (int j = 0; j < n2; ++j) s += std::exp((g[j] - cost(i, j)) / reg - m);
+    return m + std::log(s);
+  };
+  auto logsumexp_col = [&](int j) {
+    double m = -1e300;
+    for (int i = 0; i < n1; ++i) m = std::max(m, (f[i] - cost(i, j)) / reg);
+    double s = 0.0;
+    for (int i = 0; i < n1; ++i) s += std::exp((f[i] - cost(i, j)) / reg - m);
+    return m + std::log(s);
+  };
+
+  SinkhornResult result;
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    for (int i = 0; i < n1; ++i) f[i] = reg * (log_a - logsumexp_row(i));
+    for (int j = 0; j < n2; ++j) g[j] = reg * (log_b - logsumexp_col(j));
+    double violation = 0.0;
+    for (int i = 0; i < n1; ++i) {
+      double row_sum = 0.0;
+      for (int j = 0; j < n2; ++j) {
+        row_sum += std::exp((f[i] + g[j] - cost(i, j)) / reg);
+      }
+      violation += std::fabs(row_sum - 1.0 / n1);
+    }
+    if (violation < tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  result.plan = linalg::Matrix(n1, n2);
+  result.cost = 0.0;
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      const double p = std::exp((f[i] + g[j] - cost(i, j)) / reg);
+      result.plan(i, j) = p;
+      result.cost += p * cost(i, j);
+    }
+  }
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace
+
+Result<SinkhornResult> SolveSinkhorn(const linalg::Matrix& cost,
+                                     const SinkhornConfig& config) {
+  const int n1 = cost.rows();
+  const int n2 = cost.cols();
+  if (n1 == 0 || n2 == 0) {
+    return Status::InvalidArgument("empty cost matrix");
+  }
+  double mean_cost = 0.0;
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) mean_cost += cost(i, j);
+  }
+  mean_cost /= static_cast<double>(n1) * n2;
+  const double reg =
+      std::max(1e-12, config.reg_fraction * std::max(mean_cost, 1e-12));
+
+  SinkhornResult result;
+  if (SolveScaling(cost, reg, config.max_iterations, config.tolerance,
+                   &result)) {
+    return result;
+  }
+  return SolveLogDomain(cost, reg, config.max_iterations, config.tolerance);
+}
+
+Result<double> SinkhornDistance(const linalg::Matrix& a,
+                                const linalg::Matrix& b,
+                                const SinkhornConfig& config) {
+  if (a.rows() == 0 || b.rows() == 0) {
+    return Status::InvalidArgument("empty point set");
+  }
+  auto result = SolveSinkhorn(linalg::PairwiseSquaredDistances(a, b), config);
+  if (!result.ok()) return result.status();
+  return result.value().cost;
+}
+
+}  // namespace cerl::ot

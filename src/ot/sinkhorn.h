@@ -1,0 +1,39 @@
+// Entropic-regularized optimal transport between two empirical distributions
+// with uniform marginals (Cuturi 2013). Produces the transport plan used by
+// the Wasserstein IPM penalty (Eq. 3): the plan is computed on detached
+// values and gradients flow through the cost matrix only — the estimator
+// CFR (Shalit et al. 2017) uses.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace cerl::ot {
+
+/// Sinkhorn solver settings.
+struct SinkhornConfig {
+  /// Entropic regularization as a fraction of the mean cost (scale free).
+  double reg_fraction = 0.1;
+  int max_iterations = 200;
+  double tolerance = 1e-6;  ///< stop when marginal violation is below this
+};
+
+/// Solution: the transport plan and the resulting OT cost <plan, cost>.
+struct SinkhornResult {
+  linalg::Matrix plan;  ///< n1 x n2, rows sum to 1/n1, cols to 1/n2
+  double cost = 0.0;
+  int iterations = 0;
+};
+
+/// Solves OT with uniform marginals for the given cost matrix (entries >= 0,
+/// at least one row and column). Log-domain stabilized.
+Result<SinkhornResult> SolveSinkhorn(const linalg::Matrix& cost,
+                                     const SinkhornConfig& config);
+
+/// Convenience: squared-Euclidean Sinkhorn distance between point sets
+/// (rows of a and b).
+Result<double> SinkhornDistance(const linalg::Matrix& a,
+                                const linalg::Matrix& b,
+                                const SinkhornConfig& config);
+
+}  // namespace cerl::ot

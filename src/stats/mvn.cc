@@ -1,0 +1,33 @@
+#include "stats/mvn.h"
+
+namespace cerl::stats {
+
+Result<MultivariateNormal> MultivariateNormal::Create(
+    linalg::Vector mean, const linalg::Matrix& cov) {
+  if (static_cast<int>(mean.size()) != cov.rows() ||
+      cov.rows() != cov.cols()) {
+    return Status::InvalidArgument("mean/cov dimension mismatch");
+  }
+  auto chol = linalg::Cholesky::Factor(cov);
+  if (!chol.ok()) return chol.status();
+  return MultivariateNormal(std::move(mean), std::move(chol).value());
+}
+
+linalg::Vector MultivariateNormal::Sample(Rng* rng) const {
+  linalg::Vector z(dim());
+  for (double& v : z) v = rng->Normal();
+  linalg::Vector x = chol_.LowerTimes(z);
+  for (int i = 0; i < dim(); ++i) x[i] += mean_[i];
+  return x;
+}
+
+linalg::Matrix MultivariateNormal::SampleMatrix(Rng* rng, int n) const {
+  linalg::Matrix out(n, dim());
+  for (int r = 0; r < n; ++r) {
+    linalg::Vector x = Sample(rng);
+    out.SetRow(r, x);
+  }
+  return out;
+}
+
+}  // namespace cerl::stats

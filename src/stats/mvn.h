@@ -1,0 +1,36 @@
+// Multivariate normal sampling via the Cholesky factor of the covariance.
+// Used by the synthetic data generator (each domain draws covariates from
+// N(mu_d, Sigma_d) with a domain-specific correlation structure).
+#pragma once
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cerl::stats {
+
+/// Sampler for N(mean, cov); factorizes cov once at construction.
+class MultivariateNormal {
+ public:
+  /// Fails with NumericalError if cov is not positive definite.
+  static Result<MultivariateNormal> Create(linalg::Vector mean,
+                                           const linalg::Matrix& cov);
+
+  /// One draw (length = dim).
+  linalg::Vector Sample(Rng* rng) const;
+
+  /// n draws as rows of an n x dim matrix.
+  linalg::Matrix SampleMatrix(Rng* rng, int n) const;
+
+  int dim() const { return static_cast<int>(mean_.size()); }
+
+ private:
+  MultivariateNormal(linalg::Vector mean, linalg::Cholesky chol)
+      : mean_(std::move(mean)), chol_(std::move(chol)) {}
+
+  linalg::Vector mean_;
+  linalg::Cholesky chol_;
+};
+
+}  // namespace cerl::stats

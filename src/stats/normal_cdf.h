@@ -1,0 +1,13 @@
+// Standard normal CDF and quantile. The synthetic generator's propensity
+// score is a probit: e0 = Phi((a - mean(a)) / sd(a)).
+#pragma once
+
+namespace cerl::stats {
+
+/// Phi(x), the standard normal CDF, via erfc for numerical stability.
+double NormalCdf(double x);
+
+/// Inverse CDF (Acklam's rational approximation, |error| < 1.2e-8).
+double NormalQuantile(double p);
+
+}  // namespace cerl::stats

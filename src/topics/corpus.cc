@@ -1,0 +1,23 @@
+#include "topics/corpus.h"
+
+namespace cerl::topics {
+
+int64_t Corpus::num_tokens() const {
+  int64_t n = 0;
+  for (const auto& d : docs) n += d.size();
+  return n;
+}
+
+linalg::Matrix Corpus::ToCountMatrix() const {
+  linalg::Matrix m(num_docs(), vocab_size);
+  for (int d = 0; d < num_docs(); ++d) {
+    double* row = m.row(d);
+    for (int w : docs[d].tokens) {
+      CERL_DCHECK(w >= 0 && w < vocab_size);
+      row[w] += 1.0;
+    }
+  }
+  return m;
+}
+
+}  // namespace cerl::topics

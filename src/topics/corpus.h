@@ -1,0 +1,31 @@
+// Bag-of-words corpus representation shared by the generative LDA (corpus
+// synthesis) and the collapsed-Gibbs LDA trainer. Documents keep their flat
+// token stream (needed for Gibbs) and can be exported as count features.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace cerl::topics {
+
+/// One document: a flat stream of word ids (with repetition).
+struct Document {
+  std::vector<int> tokens;
+  int size() const { return static_cast<int>(tokens.size()); }
+};
+
+/// A collection of documents over a fixed vocabulary.
+struct Corpus {
+  int vocab_size = 0;
+  std::vector<Document> docs;
+
+  int num_docs() const { return static_cast<int>(docs.size()); }
+  int64_t num_tokens() const;
+
+  /// Dense doc x vocab count matrix (the News benchmark's covariates are
+  /// word counts x_i in N^V).
+  linalg::Matrix ToCountMatrix() const;
+};
+
+}  // namespace cerl::topics

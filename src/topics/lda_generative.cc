@@ -1,0 +1,54 @@
+#include "topics/lda_generative.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace cerl::topics {
+
+GeneratedCorpus GenerateLdaCorpus(const GenerativeLdaConfig& config,
+                                  Rng* rng) {
+  CERL_CHECK_GT(config.num_docs, 0);
+  CERL_CHECK_GT(config.vocab_size, 1);
+  CERL_CHECK_GT(config.num_topics, 1);
+
+  GeneratedCorpus out;
+  out.corpus.vocab_size = config.vocab_size;
+  out.corpus.docs.resize(config.num_docs);
+  out.doc_topic = linalg::Matrix(config.num_docs, config.num_topics);
+  out.topic_word = linalg::Matrix(config.num_topics, config.vocab_size);
+  out.dominant_topic.resize(config.num_docs);
+
+  // Topic-word distributions phi_k ~ Dir(beta), with an alias table per
+  // topic for O(1) token draws.
+  std::vector<AliasTable> word_samplers;
+  word_samplers.reserve(config.num_topics);
+  for (int k = 0; k < config.num_topics; ++k) {
+    std::vector<double> phi =
+        SampleDirichletSym(rng, config.beta, config.vocab_size);
+    for (int w = 0; w < config.vocab_size; ++w) out.topic_word(k, w) = phi[w];
+    word_samplers.emplace_back(phi);
+  }
+
+  for (int d = 0; d < config.num_docs; ++d) {
+    std::vector<double> theta =
+        SampleDirichletSym(rng, config.alpha, config.num_topics);
+    for (int k = 0; k < config.num_topics; ++k) out.doc_topic(d, k) = theta[k];
+    out.dominant_topic[d] = static_cast<int>(
+        std::max_element(theta.begin(), theta.end()) - theta.begin());
+
+    const int len = std::max(config.doc_length_min,
+                             SamplePoisson(rng, config.doc_length_mean));
+    AliasTable topic_sampler(theta);
+    Document& doc = out.corpus.docs[d];
+    doc.tokens.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      const int k = topic_sampler.Sample(rng);
+      doc.tokens.push_back(word_samplers[k].Sample(rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace cerl::topics

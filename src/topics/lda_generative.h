@@ -1,0 +1,37 @@
+// Ground-truth LDA corpus synthesis. The paper's News/BlogCatalog benchmarks
+// start from real bag-of-words corpora (NY Times, BlogCatalog) that are not
+// redistributable; we substitute corpora drawn from an LDA generative
+// process with matched shape (documents, vocabulary, topic count). The
+// downstream pipeline (train LDA by Gibbs -> topic mixtures z(x) -> simulate
+// outcome/treatment) is identical to the paper's.
+#pragma once
+
+#include "linalg/matrix.h"
+#include "topics/corpus.h"
+#include "util/rng.h"
+
+namespace cerl::topics {
+
+/// Parameters of the generative LDA corpus.
+struct GenerativeLdaConfig {
+  int num_docs = 1000;
+  int vocab_size = 1000;
+  int num_topics = 50;
+  double doc_length_mean = 80.0;  ///< Poisson mean tokens per document
+  int doc_length_min = 10;
+  double alpha = 0.08;  ///< doc-topic Dirichlet (small => peaked documents)
+  double beta = 0.05;   ///< topic-word Dirichlet (small => distinct topics)
+};
+
+/// A synthesized corpus plus its generative ground truth.
+struct GeneratedCorpus {
+  Corpus corpus;
+  linalg::Matrix doc_topic;   ///< num_docs x num_topics true mixtures
+  linalg::Matrix topic_word;  ///< num_topics x vocab_size true topics
+  std::vector<int> dominant_topic;  ///< argmax of each doc's true mixture
+};
+
+/// Draws topics, document mixtures, and tokens.
+GeneratedCorpus GenerateLdaCorpus(const GenerativeLdaConfig& config, Rng* rng);
+
+}  // namespace cerl::topics

@@ -1,0 +1,151 @@
+#include "topics/lda_gibbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace cerl::topics {
+
+LdaModel::LdaModel(linalg::Matrix doc_topic, linalg::Matrix topic_word)
+    : doc_topic_(std::move(doc_topic)), topic_word_(std::move(topic_word)) {}
+
+linalg::Vector LdaModel::InferDocTopics(const Document& doc, Rng* rng,
+                                        int iterations, double alpha) const {
+  const int k_topics = num_topics();
+  linalg::Vector counts(k_topics, 0.0);
+  if (doc.tokens.empty()) {
+    return linalg::Vector(k_topics, 1.0 / k_topics);
+  }
+  std::vector<int> z(doc.tokens.size());
+  std::vector<double> weights(k_topics);
+  // Initialize assignments from the word-topic likelihood alone.
+  for (size_t i = 0; i < doc.tokens.size(); ++i) {
+    const int w = doc.tokens[i];
+    for (int k = 0; k < k_topics; ++k) weights[k] = topic_word_(k, w);
+    z[i] = SampleCategorical(rng, weights);
+    counts[z[i]] += 1.0;
+  }
+  for (int it = 0; it < iterations; ++it) {
+    for (size_t i = 0; i < doc.tokens.size(); ++i) {
+      const int w = doc.tokens[i];
+      counts[z[i]] -= 1.0;
+      for (int k = 0; k < k_topics; ++k) {
+        weights[k] = (counts[k] + alpha) * topic_word_(k, w);
+      }
+      z[i] = SampleCategorical(rng, weights);
+      counts[z[i]] += 1.0;
+    }
+  }
+  const double denom = static_cast<double>(doc.tokens.size()) +
+                       alpha * static_cast<double>(k_topics);
+  linalg::Vector theta(k_topics);
+  for (int k = 0; k < k_topics; ++k) theta[k] = (counts[k] + alpha) / denom;
+  return theta;
+}
+
+double LdaModel::Perplexity(const Corpus& corpus,
+                            const linalg::Matrix& doc_topic) const {
+  CERL_CHECK_EQ(doc_topic.rows(), corpus.num_docs());
+  CERL_CHECK_EQ(doc_topic.cols(), num_topics());
+  CERL_CHECK_EQ(corpus.vocab_size, vocab_size());
+  double log_likelihood = 0.0;
+  int64_t tokens = 0;
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const double* theta = doc_topic.row(d);
+    for (int w : corpus.docs[d].tokens) {
+      double p = 0.0;
+      for (int k = 0; k < num_topics(); ++k) p += theta[k] * topic_word_(k, w);
+      log_likelihood += std::log(std::max(p, 1e-300));
+      ++tokens;
+    }
+  }
+  CERL_CHECK_GT(tokens, 0);
+  return std::exp(-log_likelihood / static_cast<double>(tokens));
+}
+
+std::vector<int> LdaModel::DominantTopics() const {
+  std::vector<int> out(doc_topic_.rows());
+  for (int d = 0; d < doc_topic_.rows(); ++d) {
+    const double* row = doc_topic_.row(d);
+    out[d] = static_cast<int>(
+        std::max_element(row, row + doc_topic_.cols()) - row);
+  }
+  return out;
+}
+
+LdaModel TrainLdaGibbs(const Corpus& corpus, const LdaGibbsConfig& config,
+                       Rng* rng) {
+  const int num_docs = corpus.num_docs();
+  const int vocab = corpus.vocab_size;
+  const int k_topics = config.num_topics;
+  CERL_CHECK_GT(num_docs, 0);
+  CERL_CHECK_GT(vocab, 0);
+  CERL_CHECK_GT(k_topics, 1);
+
+  // Count tables: n_dk (doc-topic), n_kw (topic-word), n_k (topic totals).
+  std::vector<std::vector<int>> n_dk(num_docs, std::vector<int>(k_topics, 0));
+  std::vector<std::vector<int>> n_kw(k_topics, std::vector<int>(vocab, 0));
+  std::vector<int64_t> n_k(k_topics, 0);
+
+  // Token-level topic assignments, randomly initialized.
+  std::vector<std::vector<int>> z(num_docs);
+  for (int d = 0; d < num_docs; ++d) {
+    const auto& tokens = corpus.docs[d].tokens;
+    z[d].resize(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const int k = static_cast<int>(rng->UniformInt(k_topics));
+      z[d][i] = k;
+      ++n_dk[d][k];
+      ++n_kw[k][tokens[i]];
+      ++n_k[k];
+    }
+  }
+
+  const double vbeta = config.beta * vocab;
+  std::vector<double> weights(k_topics);
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    for (int d = 0; d < num_docs; ++d) {
+      const auto& tokens = corpus.docs[d].tokens;
+      auto& zd = z[d];
+      auto& ndk = n_dk[d];
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        const int w = tokens[i];
+        const int old_k = zd[i];
+        --ndk[old_k];
+        --n_kw[old_k][w];
+        --n_k[old_k];
+        for (int k = 0; k < k_topics; ++k) {
+          weights[k] = (ndk[k] + config.alpha) * (n_kw[k][w] + config.beta) /
+                       (static_cast<double>(n_k[k]) + vbeta);
+        }
+        const int new_k = SampleCategorical(rng, weights);
+        zd[i] = new_k;
+        ++ndk[new_k];
+        ++n_kw[new_k][w];
+        ++n_k[new_k];
+      }
+    }
+  }
+
+  // Smoothed point estimates from the final state.
+  linalg::Matrix doc_topic(num_docs, k_topics);
+  for (int d = 0; d < num_docs; ++d) {
+    const double denom = static_cast<double>(corpus.docs[d].size()) +
+                         config.alpha * k_topics;
+    for (int k = 0; k < k_topics; ++k) {
+      doc_topic(d, k) = (n_dk[d][k] + config.alpha) / denom;
+    }
+  }
+  linalg::Matrix topic_word(k_topics, vocab);
+  for (int k = 0; k < k_topics; ++k) {
+    const double denom = static_cast<double>(n_k[k]) + vbeta;
+    for (int w = 0; w < vocab; ++w) {
+      topic_word(k, w) = (n_kw[k][w] + config.beta) / denom;
+    }
+  }
+  return LdaModel(std::move(doc_topic), std::move(topic_word));
+}
+
+}  // namespace cerl::topics

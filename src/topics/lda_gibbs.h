@@ -1,0 +1,58 @@
+// Collapsed Gibbs sampling for LDA (Griffiths & Steyvers 2004). The paper
+// trains a 50-topic LDA on its corpus and uses the per-document topic
+// distribution z(x) to simulate reader opinions and device-selection bias;
+// this trainer provides exactly that z(x).
+#pragma once
+
+#include "linalg/matrix.h"
+#include "topics/corpus.h"
+#include "util/rng.h"
+
+namespace cerl::topics {
+
+/// Gibbs-training hyperparameters.
+struct LdaGibbsConfig {
+  int num_topics = 50;
+  double alpha = 0.1;   ///< doc-topic smoothing
+  double beta = 0.01;   ///< topic-word smoothing
+  int iterations = 150; ///< full Gibbs sweeps
+};
+
+/// A trained LDA model: smoothed posterior point estimates.
+class LdaModel {
+ public:
+  LdaModel(linalg::Matrix doc_topic, linalg::Matrix topic_word);
+
+  /// num_docs x num_topics; rows sum to 1. This is z(x) for training docs.
+  const linalg::Matrix& doc_topic() const { return doc_topic_; }
+
+  /// num_topics x vocab_size; rows sum to 1.
+  const linalg::Matrix& topic_word() const { return topic_word_; }
+
+  int num_topics() const { return topic_word_.rows(); }
+  int vocab_size() const { return topic_word_.cols(); }
+
+  /// Infers z(x) for an unseen document by folding in: a short Gibbs run
+  /// holding topic_word fixed.
+  linalg::Vector InferDocTopics(const Document& doc, Rng* rng,
+                                int iterations = 30, double alpha = 0.1) const;
+
+  /// Index of each training doc's most probable topic.
+  std::vector<int> DominantTopics() const;
+
+  /// Per-token perplexity of the model on a corpus, using the given
+  /// document-topic mixtures (rows aligned with corpus docs). Lower is
+  /// better; a uniform model scores ~vocab_size.
+  double Perplexity(const Corpus& corpus,
+                    const linalg::Matrix& doc_topic) const;
+
+ private:
+  linalg::Matrix doc_topic_;
+  linalg::Matrix topic_word_;
+};
+
+/// Runs collapsed Gibbs on `corpus` and returns the smoothed estimates.
+LdaModel TrainLdaGibbs(const Corpus& corpus, const LdaGibbsConfig& config,
+                       Rng* rng);
+
+}  // namespace cerl::topics

@@ -1,0 +1,47 @@
+// CHECK macros for programming contracts. Failures indicate bugs in calling
+// code (dimension mismatches, violated invariants) and abort with a message;
+// recoverable conditions use Status instead (see status.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cerl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] ? " — " : "", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cerl::internal
+
+#define CERL_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::cerl::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+  } while (0)
+
+#define CERL_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::cerl::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)
+
+#define CERL_CHECK_EQ(a, b) CERL_CHECK((a) == (b))
+#define CERL_CHECK_NE(a, b) CERL_CHECK((a) != (b))
+#define CERL_CHECK_LT(a, b) CERL_CHECK((a) < (b))
+#define CERL_CHECK_LE(a, b) CERL_CHECK((a) <= (b))
+#define CERL_CHECK_GT(a, b) CERL_CHECK((a) > (b))
+#define CERL_CHECK_GE(a, b) CERL_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define CERL_DCHECK(cond) CERL_CHECK(cond)
+#else
+#define CERL_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif

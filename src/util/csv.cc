@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace cerl {
+namespace {
+
+// Quotes a cell if it contains a comma, quote, or newline.
+std::string Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  CERL_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::Cell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << Escape(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace cerl

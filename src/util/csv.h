@@ -1,0 +1,33 @@
+// Tiny CSV writer used by bench binaries to persist result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cerl {
+
+/// Accumulates rows in memory and writes them to a file on demand.
+class CsvWriter {
+ public:
+  /// Sets the header row (written first).
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must have as many cells as the header.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 4 decimal places.
+  static std::string Cell(double v);
+
+  /// Writes header + rows to `path`, overwriting. Returns IoError on failure.
+  Status WriteFile(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cerl

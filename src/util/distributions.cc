@@ -1,0 +1,150 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cerl {
+
+double SampleGamma(Rng* rng, double shape, double scale) {
+  CERL_CHECK_GT(shape, 0.0);
+  CERL_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+    const double u = rng->Uniform();
+    return SampleGamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng->Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v * scale;
+  }
+}
+
+double SampleBeta(Rng* rng, double a, double b) {
+  const double x = SampleGamma(rng, a, 1.0);
+  const double y = SampleGamma(rng, b, 1.0);
+  return x / (x + y);
+}
+
+int SampleBernoulli(Rng* rng, double p) {
+  CERL_CHECK_GE(p, 0.0);
+  CERL_CHECK_LE(p, 1.0);
+  return rng->Uniform() < p ? 1 : 0;
+}
+
+std::vector<double> SampleDirichlet(Rng* rng,
+                                    const std::vector<double>& alpha) {
+  CERL_CHECK(!alpha.empty());
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = SampleGamma(rng, alpha[i], 1.0);
+    sum += out[i];
+  }
+  CERL_CHECK_GT(sum, 0.0);
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+std::vector<double> SampleDirichletSym(Rng* rng, double alpha, int k) {
+  return SampleDirichlet(rng, std::vector<double>(k, alpha));
+}
+
+int SampleCategorical(Rng* rng, const std::vector<double>& weights) {
+  CERL_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CERL_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CERL_CHECK_GT(total, 0.0);
+  double u = rng->Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const int n = static_cast<int>(weights.size());
+  CERL_CHECK_GT(n, 0);
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  CERL_CHECK_GT(total, 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (int i = 0; i < n; ++i) {
+    CERL_CHECK_GE(weights[i], 0.0);
+    scaled[i] = weights[i] * n / total;
+  }
+  std::vector<int> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const int s = small.back();
+    small.pop_back();
+    const int l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (int i : large) prob_[i] = 1.0;
+  for (int i : small) prob_[i] = 1.0;  // Numerical leftovers.
+}
+
+int AliasTable::Sample(Rng* rng) const {
+  const int i = static_cast<int>(rng->UniformInt(prob_.size()));
+  return rng->Uniform() < prob_[i] ? i : alias_[i];
+}
+
+int SamplePoisson(Rng* rng, double lambda) {
+  CERL_CHECK_GT(lambda, 0.0);
+  if (lambda > 30.0) {
+    const double x = rng->Normal(lambda, std::sqrt(lambda));
+    return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng->Uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::vector<int> SampleWithoutReplacement(Rng* rng, int n, int k) {
+  CERL_CHECK_GE(n, k);
+  CERL_CHECK_GE(k, 0);
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(rng->UniformInt(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace cerl

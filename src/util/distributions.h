@@ -1,0 +1,57 @@
+// Scalar and vector distributions layered on Rng: gamma, beta, Dirichlet,
+// Bernoulli, categorical sampling (linear scan and Walker alias table), and
+// sampling without replacement. All are deterministic given the Rng state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cerl {
+
+/// Gamma(shape, scale) via Marsaglia & Tsang (2000); handles shape < 1 by
+/// boosting. shape > 0, scale > 0.
+double SampleGamma(Rng* rng, double shape, double scale);
+
+/// Beta(a, b) from two gamma draws.
+double SampleBeta(Rng* rng, double a, double b);
+
+/// Bernoulli(p) as 0/1, p in [0, 1].
+int SampleBernoulli(Rng* rng, double p);
+
+/// Dirichlet(alpha) — returns a probability vector of alpha.size().
+std::vector<double> SampleDirichlet(Rng* rng, const std::vector<double>& alpha);
+
+/// Symmetric Dirichlet(alpha, k).
+std::vector<double> SampleDirichletSym(Rng* rng, double alpha, int k);
+
+/// Categorical draw by linear scan over (unnormalized, non-negative) weights.
+int SampleCategorical(Rng* rng, const std::vector<double>& weights);
+
+/// Walker alias table for O(1) categorical sampling after O(k) setup.
+/// Used where the same discrete distribution is sampled many times
+/// (e.g. LDA document generation).
+class AliasTable {
+ public:
+  /// Builds the table from unnormalized non-negative weights (not all zero).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws one index distributed proportionally to the weights.
+  int Sample(Rng* rng) const;
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<int> alias_;
+};
+
+/// Samples k distinct indices from 0..n-1 uniformly (partial Fisher-Yates).
+std::vector<int> SampleWithoutReplacement(Rng* rng, int n, int k);
+
+/// Poisson(lambda) via Knuth's method for small lambda and normal
+/// approximation (rounded, clamped at 0) for lambda > 30.
+int SamplePoisson(Rng* rng, double lambda);
+
+}  // namespace cerl

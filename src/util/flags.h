@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Supports --name=value and --name value; unknown flags are reported.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cerl {
+
+/// Parsed --key=value flags with typed getters and defaults.
+class Flags {
+ public:
+  /// Parses argv; non-flag arguments are ignored. Unknown flags are kept
+  /// (callers validate with Has/keys as needed).
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& name, int default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cerl

@@ -1,0 +1,40 @@
+// Minimal leveled logger writing to stderr. Intended for coarse progress
+// reporting from trainers and benches; hot loops should not log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cerl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cerl
+
+#define CERL_LOG(level)                                              \
+  ::cerl::internal::LogMessage(::cerl::LogLevel::k##level, __FILE__, \
+                               __LINE__)

@@ -1,0 +1,63 @@
+// Deterministic random number generation. We implement xoshiro256++ seeded
+// through SplitMix64 rather than relying on std:: engines/distributions so
+// that every sampled value is bit-reproducible across platforms and standard
+// library versions (std distributions are implementation-defined).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cerl {
+
+/// xoshiro256++ generator (Blackman & Vigna). Cheap, high quality, and
+/// deterministic for a given seed on every platform.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state via SplitMix64 on `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n), n > 0. Uses rejection to avoid modulo bias.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via the Marsaglia polar method (deterministic, no
+  /// platform-dependent std::normal_distribution).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double Normal(double mean, double stddev);
+
+  /// Creates an independent-looking child stream (seeded from this stream).
+  Rng Split();
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Random permutation of 0..n-1.
+  std::vector<int> Permutation(int n);
+
+ private:
+  uint64_t state_[4];
+  // Cached second variate from the polar method.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cerl

@@ -1,0 +1,117 @@
+// Lightweight Status / Result<T> error handling, in the spirit of
+// absl::Status / RocksDB's Status. Library code returns Status (or Result<T>)
+// for operations that can fail for reasons outside the caller's control
+// (I/O, numerically singular inputs); programming contracts use CERL_CHECK.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cerl {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kIoError,
+  kNumericalError,
+};
+
+/// Returns a short human-readable name for a status code.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kNumericalError: return "NUMERICAL_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+/// Value-semantic status: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status NumericalError(std::string m) {
+    return Status(StatusCode::kNumericalError, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Minimal StatusOr analogue.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Requires ok(). Use status() to inspect errors first.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// OK status if this holds a value, the stored error otherwise.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CERL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::cerl::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace cerl

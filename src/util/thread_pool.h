@@ -1,0 +1,56 @@
+// Fixed-size thread pool plus a ParallelFor helper used by the GEMM kernels
+// and data generators. The pool is created once (per process by default) and
+// reused; tasks must not throw.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cerl {
+
+/// A minimal fixed-size thread pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end), split into contiguous chunks across the
+/// global pool. Falls back to serial execution for small ranges or when
+/// `grain` covers the whole range.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body_range,
+                 int64_t grain = 1024);
+
+}  // namespace cerl

@@ -1,0 +1,24 @@
+// Wall-clock timer for coarse progress reporting in trainers and benches.
+#pragma once
+
+#include <chrono>
+
+namespace cerl {
+
+/// Starts timing on construction; ElapsedSeconds() reads without stopping.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cerl

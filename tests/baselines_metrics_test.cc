@@ -1,0 +1,163 @@
+// Tests for the baseline estimators (ridge T-learner, naive ATE) and the
+// policy-value metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/baselines.h"
+#include "causal/metrics.h"
+#include "util/rng.h"
+
+namespace cerl::causal {
+namespace {
+
+using data::CausalDataset;
+using linalg::Matrix;
+using linalg::Vector;
+
+// Linear DGP with confounding: mu0 = 2 x0 - x1, tau = 1 + 3 x2,
+// p(T=1) = sigmoid(x0).
+CausalDataset LinearDgp(Rng* rng, int n, double noise = 0.05) {
+  CausalDataset d;
+  const int p = 4;
+  d.x = Matrix(n, p);
+  d.t.resize(n);
+  d.y.resize(n);
+  d.mu0.resize(n);
+  d.mu1.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < p; ++j) d.x(i, j) = rng->Normal();
+    d.mu0[i] = 2.0 * d.x(i, 0) - d.x(i, 1);
+    d.mu1[i] = d.mu0[i] + 1.0 + 3.0 * d.x(i, 2);
+    const double prop = 1.0 / (1.0 + std::exp(-d.x(i, 0)));
+    d.t[i] = rng->Uniform() < prop ? 1 : 0;
+    d.y[i] = (d.t[i] == 1 ? d.mu1[i] : d.mu0[i]) + rng->Normal(0, noise);
+  }
+  return d;
+}
+
+TEST(RidgeTLearnerTest, RecoversLinearEffectsAlmostExactly) {
+  Rng rng(1);
+  CausalDataset train = LinearDgp(&rng, 2000);
+  CausalDataset test = LinearDgp(&rng, 500);
+  RidgeTLearner learner(1e-4);
+  ASSERT_TRUE(learner.Fit(train).ok());
+  CausalMetrics m = learner.Evaluate(test);
+  // The DGP is exactly linear per arm: near-zero PEHE up to noise.
+  EXPECT_LT(m.pehe, 0.05);
+  EXPECT_LT(m.ate_error, 0.05);
+}
+
+TEST(RidgeTLearnerTest, PredictIteIsHeadDifference) {
+  Rng rng(2);
+  CausalDataset train = LinearDgp(&rng, 500);
+  RidgeTLearner learner;
+  ASSERT_TRUE(learner.Fit(train).ok());
+  Matrix probe(3, 4);
+  for (int64_t i = 0; i < probe.size(); ++i) probe.data()[i] = rng.Normal();
+  Vector ite = learner.PredictIte(probe);
+  Vector y1 = learner.PredictOutcome(probe, 1);
+  Vector y0 = learner.PredictOutcome(probe, 0);
+  for (size_t i = 0; i < ite.size(); ++i) {
+    EXPECT_NEAR(ite[i], y1[i] - y0[i], 1e-12);
+  }
+}
+
+TEST(RidgeTLearnerTest, RejectsSingleArmData) {
+  Rng rng(3);
+  CausalDataset d = LinearDgp(&rng, 100);
+  std::fill(d.t.begin(), d.t.end(), 1);
+  RidgeTLearner learner;
+  EXPECT_EQ(learner.Fit(d).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(learner.fitted());
+}
+
+TEST(RidgeTLearnerTest, RegularizationHandlesCollinearFeatures) {
+  Rng rng(4);
+  CausalDataset d = LinearDgp(&rng, 300);
+  // Make feature 3 an exact copy of feature 0 (singular gram matrix
+  // without the ridge term).
+  for (int i = 0; i < d.num_units(); ++i) d.x(i, 3) = d.x(i, 0);
+  RidgeTLearner learner(1e-3);
+  EXPECT_TRUE(learner.Fit(d).ok());
+}
+
+TEST(NaiveAteTest, BiasedUnderConfounding) {
+  Rng rng(5);
+  CausalDataset d = LinearDgp(&rng, 20000);
+  const double naive = NaiveAteEstimate(d);
+  const double truth = d.TrueAte();
+  // x0 raises both the propensity and the outcome: the naive difference of
+  // means overstates the effect by a clear margin.
+  EXPECT_GT(naive - truth, 0.5);
+}
+
+TEST(NaiveAteTest, UnbiasedUnderRandomization) {
+  Rng rng(6);
+  CausalDataset d = LinearDgp(&rng, 20000);
+  // Re-randomize treatment: the naive estimate becomes consistent.
+  for (int i = 0; i < d.num_units(); ++i) {
+    d.t[i] = rng.Uniform() < 0.5 ? 1 : 0;
+    d.y[i] = (d.t[i] == 1 ? d.mu1[i] : d.mu0[i]) + rng.Normal(0, 0.05);
+  }
+  EXPECT_NEAR(NaiveAteEstimate(d), d.TrueAte(), 0.1);
+}
+
+CausalDataset PolicyFixture() {
+  CausalDataset d;
+  d.x = Matrix(4, 1);
+  d.t = {0, 0, 1, 1};
+  d.mu0 = {1.0, 1.0, 0.0, 0.0};
+  d.mu1 = {2.0, 0.0, 1.0, -1.0};  // ITE: +1, -1, +1, -1
+  d.y = {1.0, 1.0, 1.0, -1.0};
+  return d;
+}
+
+TEST(PolicyMetricsTest, OracleHasZeroRegret) {
+  CausalDataset d = PolicyFixture();
+  EXPECT_DOUBLE_EQ(PolicyRegret(d, d.TrueIte()), 0.0);
+  // Oracle value: treat units 0 and 2 -> (2 + 1 + 1 + 0) / 4.
+  EXPECT_DOUBLE_EQ(PolicyValue(d, d.TrueIte()), 1.0);
+}
+
+TEST(PolicyMetricsTest, WrongSignPredictionsPayRegret) {
+  CausalDataset d = PolicyFixture();
+  Vector flipped = d.TrueIte();
+  for (double& v : flipped) v = -v;  // Treat exactly the wrong units.
+  // Value: units 1,3 treated -> (1 + 0 + 0 - 1) / 4 = 0.
+  EXPECT_DOUBLE_EQ(PolicyValue(d, flipped), 0.0);
+  EXPECT_DOUBLE_EQ(PolicyRegret(d, flipped), 1.0);
+}
+
+TEST(PolicyMetricsTest, RegretNonNegativeProperty) {
+  Rng rng(7);
+  CausalDataset d = LinearDgp(&rng, 500);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector noisy = d.TrueIte();
+    for (double& v : noisy) v += rng.Normal(0, 2.0);
+    EXPECT_GE(PolicyRegret(d, noisy), -1e-12);
+  }
+}
+
+TEST(PolicyMetricsTest, ThresholdShiftsDecisions) {
+  CausalDataset d = PolicyFixture();
+  // With threshold 1.5 nobody is treated under the oracle ITE (max = 1).
+  const double value = PolicyValue(d, d.TrueIte(), 1.5);
+  EXPECT_DOUBLE_EQ(value, (1.0 + 1.0 + 0.0 + 0.0) / 4.0);
+}
+
+TEST(PolicyMetricsTest, BetterIteEstimatesGiveNoWorseRegret) {
+  Rng rng(8);
+  CausalDataset d = LinearDgp(&rng, 2000);
+  Vector small_noise = d.TrueIte();
+  Vector big_noise = d.TrueIte();
+  for (size_t i = 0; i < small_noise.size(); ++i) {
+    const double e = rng.Normal();
+    small_noise[i] += 0.1 * e;
+    big_noise[i] += 4.0 * e;
+  }
+  EXPECT_LE(PolicyRegret(d, small_noise), PolicyRegret(d, big_noise) + 1e-9);
+}
+
+}  // namespace
+}  // namespace cerl::causal

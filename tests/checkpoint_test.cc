@@ -1,0 +1,176 @@
+// Tests for CERL checkpointing: exact round-trip of predictions and memory,
+// resuming continual learning in a fresh trainer, and error handling for
+// corrupt / mismatched checkpoints.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "core/cerl_trainer.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace cerl::core {
+namespace {
+
+using data::DataSplit;
+
+CerlConfig SmallConfig(uint64_t seed = 51) {
+  CerlConfig c;
+  c.net.rep_hidden = {16};
+  c.net.rep_dim = 8;
+  c.net.head_hidden = {8};
+  c.train.epochs = 15;
+  c.train.batch_size = 64;
+  c.train.seed = seed;
+  c.memory_capacity = 100;
+  return c;
+}
+
+std::vector<DataSplit> SmallStream(int domains, uint64_t seed = 50) {
+  data::SyntheticConfig dc;
+  dc.num_domains = domains;
+  dc.units_per_domain = 400;
+  dc.seed = seed;
+  auto stream = data::GenerateSyntheticStream(dc);
+  Rng rng(seed + 1);
+  return data::SplitStream(stream.domains, &rng);
+}
+
+TEST(CheckpointTest, SaveBeforeAnyDomainFails) {
+  CerlTrainer trainer(SmallConfig(), 100);
+  Status s = trainer.SaveCheckpoint(::testing::TempDir() + "/never.ckpt");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RoundTripPreservesPredictionsExactly) {
+  auto splits = SmallStream(2);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  trainer.ObserveDomain(splits[1]);
+  const std::string path = ::testing::TempDir() + "/cerl.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  CerlTrainer restored(SmallConfig(), 100);
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  EXPECT_EQ(restored.stages_seen(), 2);
+  EXPECT_EQ(restored.memory().size(), trainer.memory().size());
+
+  const linalg::Vector a = trainer.PredictIte(splits[0].test.x);
+  const linalg::Vector b = restored.PredictIte(splits[0].test.x);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(CheckpointTest, MemoryContentRoundTrips) {
+  auto splits = SmallStream(1);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_mem.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  CerlTrainer restored(SmallConfig(), 100);
+  ASSERT_TRUE(restored.LoadCheckpoint(path).ok());
+  const MemoryBank& a = trainer.memory();
+  const MemoryBank& b = restored.memory();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.num_treated(), b.num_treated());
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(a.reps(), b.reps()), 0.0);
+  EXPECT_EQ(a.y(), b.y());
+  EXPECT_EQ(a.t(), b.t());
+}
+
+TEST(CheckpointTest, ResumedTrainerContinuesLearning) {
+  auto splits = SmallStream(3);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  trainer.ObserveDomain(splits[1]);
+  const std::string path = ::testing::TempDir() + "/cerl_resume.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  // A "new process" resumes from the checkpoint and absorbs domain 3.
+  CerlTrainer resumed(SmallConfig(), 100);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  resumed.ObserveDomain(splits[2]);
+  EXPECT_EQ(resumed.stages_seen(), 3);
+  const auto metrics = resumed.Evaluate(splits[2].test);
+  EXPECT_TRUE(std::isfinite(metrics.pehe));
+  EXPECT_LT(metrics.pehe, 0.8);  // beats predict-zero on the new domain
+}
+
+TEST(CheckpointTest, LoadIntoUsedTrainerFails) {
+  auto splits = SmallStream(1);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_used.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+  Status s = trainer.LoadCheckpoint(path);  // Same trainer: not fresh.
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, InputDimMismatchRejected) {
+  auto splits = SmallStream(1);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_dim.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  CerlTrainer wrong_dim(SmallConfig(), 64);
+  Status s = wrong_dim.LoadCheckpoint(path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, ArchitectureMismatchRejected) {
+  auto splits = SmallStream(1);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_arch.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  CerlConfig other = SmallConfig();
+  other.net.rep_dim = 12;  // Different representation width.
+  CerlTrainer wrong_arch(other, 100);
+  EXPECT_FALSE(wrong_arch.LoadCheckpoint(path).ok());
+}
+
+TEST(CheckpointTest, CorruptFileRejected) {
+  const std::string path = ::testing::TempDir() + "/corrupt.ckpt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  CerlTrainer trainer(SmallConfig(), 100);
+  Status s = trainer.LoadCheckpoint(path);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, MissingFileRejected) {
+  CerlTrainer trainer(SmallConfig(), 100);
+  EXPECT_EQ(trainer.LoadCheckpoint("/nonexistent/x.ckpt").code(),
+            StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, TruncatedFileRejected) {
+  auto splits = SmallStream(1);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_full.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  // Truncate to the first 100 bytes.
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string cut_path = ::testing::TempDir() + "/cerl_cut.ckpt";
+  {
+    std::ofstream out(cut_path, std::ios::binary);
+    out.write(content.data(), std::min<std::streamsize>(100, content.size()));
+  }
+  CerlTrainer restored(SmallConfig(), 100);
+  EXPECT_FALSE(restored.LoadCheckpoint(cut_path).ok());
+}
+
+}  // namespace
+}  // namespace cerl::core

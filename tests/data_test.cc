@@ -1,0 +1,292 @@
+// Tests for the data layer: dataset containers and splits, the synthetic
+// §IV-C generator (variable roles, propensity behaviour, ITE ground truth,
+// domain shift), and the topic benchmark (domain assignment per shift
+// scenario, outcome/treatment simulation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "data/topic_benchmark.h"
+#include "linalg/ops.h"
+#include "util/rng.h"
+
+namespace cerl::data {
+namespace {
+
+CausalDataset TinyDataset() {
+  CausalDataset d;
+  d.x = linalg::Matrix{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}};
+  d.t = {0, 1, 0, 1, 0, 1};
+  d.y = {0.0, 1.5, 0.2, 1.7, 0.1, 2.0};
+  d.mu0 = {0.0, 0.5, 0.2, 0.7, 0.1, 1.0};
+  d.mu1 = {1.0, 1.5, 1.2, 1.7, 1.1, 2.0};
+  return d;
+}
+
+TEST(DatasetTest, CountsAndIndices) {
+  CausalDataset d = TinyDataset();
+  EXPECT_EQ(d.num_units(), 6);
+  EXPECT_EQ(d.num_treated(), 3);
+  EXPECT_EQ(d.num_control(), 3);
+  EXPECT_EQ(d.TreatedIndices(), (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(d.ControlIndices(), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(DatasetTest, TrueIteAndAte) {
+  CausalDataset d = TinyDataset();
+  linalg::Vector ite = d.TrueIte();
+  for (double v : ite) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(d.TrueAte(), 1.0);
+}
+
+TEST(DatasetTest, SubsetPreservesAlignment) {
+  CausalDataset d = TinyDataset();
+  CausalDataset s = d.Subset({5, 0});
+  EXPECT_EQ(s.num_units(), 2);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 6.0);
+  EXPECT_EQ(s.t[0], 1);
+  EXPECT_DOUBLE_EQ(s.y[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.mu1[0], 2.0);
+}
+
+TEST(DatasetTest, SplitIsDisjointAndExhaustive) {
+  CausalDataset d = TinyDataset();
+  Rng rng(1);
+  DataSplit split = SplitDataset(d, &rng, 0.5, 0.25);
+  EXPECT_EQ(split.train.num_units(), 3);
+  EXPECT_EQ(split.valid.num_units(), 1);
+  EXPECT_EQ(split.test.num_units(), 2);
+  // Disjoint & exhaustive: x values are unique unit ids in this fixture.
+  std::multiset<double> seen;
+  for (const auto* part : {&split.train, &split.valid, &split.test}) {
+    for (int i = 0; i < part->num_units(); ++i) seen.insert(part->x(i, 0));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(std::set<double>(seen.begin(), seen.end()).size(), 6u);
+}
+
+TEST(DatasetTest, ConcatStacksUnits) {
+  CausalDataset d = TinyDataset();
+  CausalDataset c = ConcatDatasets({&d, &d});
+  EXPECT_EQ(c.num_units(), 12);
+  EXPECT_EQ(c.num_features(), 2);
+  EXPECT_DOUBLE_EQ(c.x(6, 0), 1.0);
+  EXPECT_EQ(c.t[7], 1);
+}
+
+SyntheticConfig TestSyntheticConfig(int units = 1500, int domains = 2) {
+  SyntheticConfig c;
+  c.units_per_domain = units;
+  c.num_domains = domains;
+  c.seed = 42;
+  return c;
+}
+
+TEST(SyntheticTest, ShapesAndLayout) {
+  SyntheticConfig config = TestSyntheticConfig(200);
+  EXPECT_EQ(config.num_features(), 100);
+  VariableLayout lay = LayoutOf(config);
+  EXPECT_EQ(lay.confounder_begin, 0);
+  EXPECT_EQ(lay.confounder_end, 35);
+  EXPECT_EQ(lay.instrument_end, 45);
+  EXPECT_EQ(lay.irrelevant_end, 65);
+  EXPECT_EQ(lay.adjuster_end, 100);
+
+  SyntheticStream stream = GenerateSyntheticStream(config);
+  ASSERT_EQ(stream.domains.size(), 2u);
+  for (const auto& d : stream.domains) {
+    EXPECT_EQ(d.num_units(), 200);
+    EXPECT_EQ(d.num_features(), 100);
+  }
+}
+
+TEST(SyntheticTest, TreatmentEffectIsBoundedSinSquared) {
+  SyntheticStream stream = GenerateSyntheticStream(TestSyntheticConfig(800, 1));
+  const CausalDataset& d = stream.domains[0];
+  linalg::Vector ite = d.TrueIte();
+  for (double v : ite) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+  // tau = sin^2 is heterogeneous, not constant.
+  EXPECT_GT(linalg::Variance(ite), 1e-3);
+  // g = cos^2 bounds mu0 as well.
+  for (double v : d.mu0) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+}
+
+TEST(SyntheticTest, BothGroupsPresentAndPropensityMatchesRate) {
+  SyntheticStream stream = GenerateSyntheticStream(TestSyntheticConfig(3000, 1));
+  const CausalDataset& d = stream.domains[0];
+  EXPECT_GT(d.num_treated(), 300);
+  EXPECT_GT(d.num_control(), 300);
+  EXPECT_NEAR(static_cast<double>(d.num_treated()) / d.num_units(),
+              stream.mean_propensity[0], 0.05);
+}
+
+TEST(SyntheticTest, FactualOutcomeUsesAssignedArm) {
+  SyntheticStream stream = GenerateSyntheticStream(TestSyntheticConfig(500, 1));
+  const CausalDataset& d = stream.domains[0];
+  // y = mu_t + noise(std 1): residual variance against the factual arm
+  // should be near 1, and far smaller than against the wrong arm + effect
+  // when effects are large. Check the residual moments only.
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < d.num_units(); ++i) {
+    const double resid = d.y[i] - (d.t[i] == 1 ? d.mu1[i] : d.mu0[i]);
+    sum += resid;
+    sumsq += resid * resid;
+  }
+  const double mean = sum / d.num_units();
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(sumsq / d.num_units() - mean * mean, 1.0, 0.2);
+}
+
+TEST(SyntheticTest, DomainsShiftInMeanVector) {
+  SyntheticStream stream = GenerateSyntheticStream(TestSyntheticConfig(2000, 3));
+  // Mean vectors are drawn independently per domain: the covariate means
+  // must differ noticeably across domains.
+  linalg::Vector m0 = linalg::ColumnMeans(stream.domains[0].x);
+  linalg::Vector m1 = linalg::ColumnMeans(stream.domains[1].x);
+  linalg::Vector m2 = linalg::ColumnMeans(stream.domains[2].x);
+  double d01 = 0.0, d12 = 0.0;
+  for (size_t j = 0; j < m0.size(); ++j) {
+    d01 += (m0[j] - m1[j]) * (m0[j] - m1[j]);
+    d12 += (m1[j] - m2[j]) * (m1[j] - m2[j]);
+  }
+  EXPECT_GT(std::sqrt(d01), 1.0);
+  EXPECT_GT(std::sqrt(d12), 1.0);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticStream a = GenerateSyntheticStream(TestSyntheticConfig(100, 1));
+  SyntheticStream b = GenerateSyntheticStream(TestSyntheticConfig(100, 1));
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(a.domains[0].x, b.domains[0].x), 0.0);
+  EXPECT_EQ(a.domains[0].t, b.domains[0].t);
+}
+
+TEST(SyntheticTest, InstrumentsPredictTreatmentNotOutcome) {
+  // Variable-role check (paper Fig. 2): instruments correlate with T but
+  // (given their construction) not with the noiseless outcome mu0;
+  // adjusters correlate with outcome, not with T. Use coarse aggregate
+  // association |corr| averaged over each block.
+  SyntheticConfig config = TestSyntheticConfig(6000, 1);
+  SyntheticStream stream = GenerateSyntheticStream(config);
+  const CausalDataset& d = stream.domains[0];
+  VariableLayout lay = LayoutOf(config);
+  linalg::Vector t_vec(d.t.begin(), d.t.end());
+
+  auto block_assoc = [&](int begin, int end, const linalg::Vector& target) {
+    double acc = 0.0;
+    for (int j = begin; j < end; ++j) {
+      acc += std::fabs(linalg::PearsonCorrelation(d.x.ColCopy(j), target));
+    }
+    return acc / (end - begin);
+  };
+  const double inst_vs_t =
+      block_assoc(lay.instrument_begin, lay.instrument_end, t_vec);
+  const double irrel_vs_t =
+      block_assoc(lay.irrelevant_begin, lay.irrelevant_end, t_vec);
+  const double adj_vs_y = block_assoc(lay.adjuster_begin, lay.adjuster_end,
+                                      d.mu0);
+  const double irrel_vs_y = block_assoc(lay.irrelevant_begin,
+                                        lay.irrelevant_end, d.mu0);
+  EXPECT_GT(inst_vs_t, irrel_vs_t);
+  EXPECT_GT(adj_vs_y, irrel_vs_y);
+}
+
+TopicBenchmarkConfig TinyTopicConfig(DomainShift shift) {
+  TopicBenchmarkConfig c;
+  c.corpus.num_docs = 400;
+  c.corpus.vocab_size = 150;
+  c.corpus.num_topics = 8;
+  c.corpus.doc_length_mean = 40.0;
+  c.lda.num_topics = 8;
+  c.lda.iterations = 25;
+  c.shift = shift;
+  c.seed = 5;
+  return c;
+}
+
+TEST(TopicBenchmarkTest, ProducesTwoDomainsCoveringAllDocs) {
+  TopicBenchmark bench =
+      GenerateTopicBenchmark(TinyTopicConfig(DomainShift::kSubstantial));
+  ASSERT_EQ(bench.domains.size(), 2u);
+  EXPECT_EQ(bench.domains[0].num_units() + bench.domains[1].num_units(), 400);
+  EXPECT_GT(bench.domains[0].num_units(), 20);
+  EXPECT_GT(bench.domains[1].num_units(), 20);
+  for (const auto& d : bench.domains) {
+    EXPECT_EQ(d.num_features(), 150);
+    d.CheckConsistent();
+  }
+}
+
+TEST(TopicBenchmarkTest, OutcomeFollowsCentroidSimilarity) {
+  TopicBenchmark bench =
+      GenerateTopicBenchmark(TinyTopicConfig(DomainShift::kNone));
+  // ITE = C * z.zc1 >= 0 (dot of non-negative topic vectors), bounded by C.
+  for (const auto& d : bench.domains) {
+    linalg::Vector ite = d.TrueIte();
+    for (double v : ite) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 60.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TopicBenchmarkTest, SelectionBiasFavorsMobileAffineDocs) {
+  TopicBenchmark bench =
+      GenerateTopicBenchmark(TinyTopicConfig(DomainShift::kNone));
+  // Units with larger ITE (closer to the mobile centroid) should be treated
+  // more often: mean ITE among treated > mean ITE among control.
+  const CausalDataset all = ConcatDatasets({&bench.domains[0],
+                                            &bench.domains[1]});
+  linalg::Vector ite = all.TrueIte();
+  double treated_sum = 0.0, control_sum = 0.0;
+  int nt = 0, nc = 0;
+  for (int i = 0; i < all.num_units(); ++i) {
+    if (all.t[i] == 1) {
+      treated_sum += ite[i];
+      ++nt;
+    } else {
+      control_sum += ite[i];
+      ++nc;
+    }
+  }
+  ASSERT_GT(nt, 0);
+  ASSERT_GT(nc, 0);
+  EXPECT_GT(treated_sum / nt, control_sum / nc);
+}
+
+TEST(TopicBenchmarkTest, SubstantialShiftSeparatesFeatureDistributions) {
+  TopicBenchmark sub =
+      GenerateTopicBenchmark(TinyTopicConfig(DomainShift::kSubstantial));
+  TopicBenchmark none =
+      GenerateTopicBenchmark(TinyTopicConfig(DomainShift::kNone));
+  // Measure domain distance as L2 between mean word-count vectors,
+  // normalized by document length; substantial shift must exceed none.
+  auto domain_distance = [](const TopicBenchmark& b) {
+    linalg::Vector m0 = linalg::ColumnMeans(b.domains[0].x);
+    linalg::Vector m1 = linalg::ColumnMeans(b.domains[1].x);
+    double s = 0.0;
+    for (size_t j = 0; j < m0.size(); ++j) {
+      s += (m0[j] - m1[j]) * (m0[j] - m1[j]);
+    }
+    return std::sqrt(s);
+  };
+  EXPECT_GT(domain_distance(sub), 2.0 * domain_distance(none));
+}
+
+TEST(TopicBenchmarkTest, ParseDomainShiftRoundTrips) {
+  EXPECT_EQ(ParseDomainShift("substantial"), DomainShift::kSubstantial);
+  EXPECT_EQ(ParseDomainShift("moderate"), DomainShift::kModerate);
+  EXPECT_EQ(ParseDomainShift("none"), DomainShift::kNone);
+  EXPECT_STREQ(DomainShiftName(DomainShift::kModerate), "moderate");
+}
+
+}  // namespace
+}  // namespace cerl::data

@@ -1,0 +1,55 @@
+// Central-difference gradient checking harness for autodiff tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "autodiff/tape.h"
+
+namespace cerl::autodiff {
+
+/// Builds a scalar loss from leaf Vars bound to the given input values.
+using LossBuilder = std::function<Var(Tape*, const std::vector<Var>&)>;
+
+/// Verifies analytic gradients of `build` against central differences for
+/// every element of every input. rel_tol is relative to max(1, |numeric|).
+inline void CheckGradients(const std::vector<linalg::Matrix>& inputs,
+                           const LossBuilder& build, double rel_tol = 1e-6,
+                           double eps = 1e-5) {
+  // Analytic pass.
+  Tape tape;
+  std::vector<Var> leaves;
+  leaves.reserve(inputs.size());
+  for (const auto& m : inputs) leaves.push_back(tape.Leaf(m));
+  Var loss = build(&tape, leaves);
+  ASSERT_EQ(loss.value().rows(), 1);
+  ASSERT_EQ(loss.value().cols(), 1);
+  tape.Backward(loss);
+
+  auto eval = [&](const std::vector<linalg::Matrix>& values) {
+    Tape t2;
+    std::vector<Var> l2;
+    l2.reserve(values.size());
+    for (const auto& m : values) l2.push_back(t2.Leaf(m));
+    return build(&t2, l2).scalar();
+  };
+
+  for (size_t input = 0; input < inputs.size(); ++input) {
+    const linalg::Matrix& analytic = tape.GradRef(leaves[input].id());
+    for (int64_t e = 0; e < inputs[input].size(); ++e) {
+      std::vector<linalg::Matrix> plus = inputs;
+      std::vector<linalg::Matrix> minus = inputs;
+      plus[input].data()[e] += eps;
+      minus[input].data()[e] -= eps;
+      const double numeric = (eval(plus) - eval(minus)) / (2.0 * eps);
+      const double got = analytic.data()[e];
+      const double scale = std::max(1.0, std::fabs(numeric));
+      ASSERT_NEAR(got, numeric, rel_tol * scale)
+          << "input " << input << " element " << e;
+    }
+  }
+}
+
+}  // namespace cerl::autodiff

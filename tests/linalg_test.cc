@@ -1,0 +1,269 @@
+// Tests for the dense linear-algebra layer: Matrix semantics, GEMM against
+// a reference implementation over random shapes/transposes (property test),
+// Cholesky round-trips, the Jacobi eigensolver, and statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "linalg/ops.h"
+#include "util/rng.h"
+
+namespace cerl::linalg {
+namespace {
+
+Matrix RandomMatrix(Rng* rng, int rows, int cols, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Normal(0, scale);
+  return m;
+}
+
+// Reference O(n^3) multiply for validation.
+Matrix NaiveMatMul(Trans ta, Trans tb, const Matrix& a, const Matrix& b) {
+  const int m = ta == Trans::kNo ? a.rows() : a.cols();
+  const int k = ta == Trans::kNo ? a.cols() : a.rows();
+  const int n = tb == Trans::kNo ? b.cols() : b.rows();
+  Matrix c(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) {
+        const double av = ta == Trans::kNo ? a(i, l) : a(l, i);
+        const double bv = tb == Trans::kNo ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(1);
+  Matrix m = RandomMatrix(&rng, 7, 4);
+  EXPECT_EQ(Matrix::MaxAbsDiff(m, m.Transposed().Transposed()), 0.0);
+}
+
+TEST(MatrixTest, GatherRowsSelectsInOrder) {
+  Matrix m = {{1, 1}, {2, 2}, {3, 3}};
+  Matrix g = m.GatherRows({2, 0});
+  EXPECT_DOUBLE_EQ(g(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 1.0);
+}
+
+TEST(MatrixTest, RowAndColCopy) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.RowCopy(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.ColCopy(2), (Vector{3, 6}));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = {{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+struct GemmCase {
+  int m, n, k;
+  Trans ta, tb;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const GemmCase& c = GetParam();
+  Rng rng(c.m * 1000 + c.n * 10 + c.k);
+  Matrix a = c.ta == Trans::kNo ? RandomMatrix(&rng, c.m, c.k)
+                                : RandomMatrix(&rng, c.k, c.m);
+  Matrix b = c.tb == Trans::kNo ? RandomMatrix(&rng, c.k, c.n)
+                                : RandomMatrix(&rng, c.n, c.k);
+  Matrix expect = NaiveMatMul(c.ta, c.tb, a, b);
+  Matrix got = MatMulT(c.ta, c.tb, a, b);
+  EXPECT_LT(Matrix::MaxAbsDiff(expect, got), 1e-9 * c.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo},
+        GemmCase{3, 5, 2, Trans::kNo, Trans::kNo},
+        GemmCase{16, 16, 16, Trans::kNo, Trans::kNo},
+        GemmCase{65, 130, 257, Trans::kNo, Trans::kNo},
+        GemmCase{40, 70, 90, Trans::kYes, Trans::kNo},
+        GemmCase{40, 70, 90, Trans::kNo, Trans::kYes},
+        GemmCase{33, 65, 129, Trans::kYes, Trans::kYes},
+        GemmCase{128, 64, 300, Trans::kNo, Trans::kYes},
+        GemmCase{200, 3, 500, Trans::kYes, Trans::kNo}));
+
+TEST(GemmTest, AlphaBetaAccumulate) {
+  Rng rng(3);
+  Matrix a = RandomMatrix(&rng, 8, 6);
+  Matrix b = RandomMatrix(&rng, 6, 5);
+  Matrix c0 = RandomMatrix(&rng, 8, 5);
+  Matrix c = c0;
+  Gemm(Trans::kNo, Trans::kNo, 2.0, a, b, 0.5, &c);
+  Matrix expect = NaiveMatMul(Trans::kNo, Trans::kNo, a, b);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(c(i, j), 2.0 * expect(i, j) + 0.5 * c0(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(GemmTest, ZeroDimensionsAreHandled) {
+  Matrix a(0, 4), b(4, 3), c(0, 3);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, &c);
+  EXPECT_EQ(c.rows(), 0);
+  Matrix g = MatMul(Matrix(3, 0), Matrix(0, 2));
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.cols(), 2);
+  EXPECT_DOUBLE_EQ(g.FrobeniusNorm(), 0.0);
+}
+
+TEST(MatVecTest, MatchesManual) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Vector y = MatVec(a, {1, 1});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+Matrix RandomSpd(Rng* rng, int n, double jitter = 0.5) {
+  Matrix a = RandomMatrix(rng, n, n);
+  Matrix spd = MatMulT(Trans::kNo, Trans::kYes, a, a);
+  for (int i = 0; i < n; ++i) spd(i, i) += jitter;
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(4);
+  Matrix a = RandomSpd(&rng, 12);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.value().L();
+  Matrix llt = MatMulT(Trans::kNo, Trans::kYes, l, l);
+  EXPECT_LT(Matrix::MaxAbsDiff(a, llt), 1e-8);
+}
+
+TEST(CholeskyTest, SolveMatchesDirect) {
+  Rng rng(5);
+  Matrix a = RandomSpd(&rng, 10);
+  Vector b(10);
+  for (double& v : b) v = rng.Normal();
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol.value().Solve(b);
+  Vector ax = MatVec(a, x);
+  for (int i = 0; i < 10; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::Factor(a).ok());
+  EXPECT_FALSE(IsPositiveDefinite(a));
+  EXPECT_TRUE(IsPositiveDefinite(Matrix::Identity(3)));
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, LogDetMatchesKnown) {
+  Matrix a = {{4.0, 0.0}, {0.0, 9.0}};
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol.value().LogDet(), std::log(36.0), 1e-12);
+}
+
+TEST(EigenSymTest, DiagonalMatrix) {
+  Matrix a = {{3.0, 0.0}, {0.0, -1.0}};
+  auto e = EigenSymDecompose(a);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().values[0], -1.0, 1e-10);
+  EXPECT_NEAR(e.value().values[1], 3.0, 1e-10);
+}
+
+TEST(EigenSymTest, ReconstructsMatrix) {
+  Rng rng(6);
+  Matrix a = RandomSpd(&rng, 9);
+  auto e = EigenSymDecompose(a);
+  ASSERT_TRUE(e.ok());
+  // A = V diag(w) V^T
+  const Matrix& v = e.value().vectors;
+  Matrix vd = v;
+  for (int i = 0; i < 9; ++i) {
+    for (int j = 0; j < 9; ++j) vd(i, j) *= e.value().values[j];
+  }
+  Matrix rec = MatMulT(Trans::kNo, Trans::kYes, vd, v);
+  EXPECT_LT(Matrix::MaxAbsDiff(a, rec), 1e-8);
+}
+
+TEST(EigenSymTest, MinEigenvalueOfSpdIsPositive) {
+  Rng rng(7);
+  auto min_eig = MinEigenvalue(RandomSpd(&rng, 15));
+  ASSERT_TRUE(min_eig.ok());
+  EXPECT_GT(min_eig.value(), 0.0);
+}
+
+TEST(OpsTest, PairwiseSquaredDistances) {
+  Matrix a = {{0.0, 0.0}, {1.0, 0.0}};
+  Matrix b = {{0.0, 3.0}};
+  Matrix d = PairwiseSquaredDistances(a, b);
+  EXPECT_NEAR(d(0, 0), 9.0, 1e-12);
+  EXPECT_NEAR(d(1, 0), 10.0, 1e-12);
+}
+
+TEST(OpsTest, PairwiseDistancesNonNegativeProperty) {
+  Rng rng(8);
+  Matrix a = RandomMatrix(&rng, 30, 5);
+  Matrix d = PairwiseSquaredDistances(a, a);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_NEAR(d(i, i), 0.0, 1e-9);
+    for (int j = 0; j < 30; ++j) ASSERT_GE(d(i, j), 0.0);
+  }
+}
+
+TEST(OpsTest, ColumnStatsAndStandardize) {
+  Matrix m = {{1.0, 10.0}, {3.0, 30.0}};
+  Vector mean = ColumnMeans(m);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 20.0);
+  Vector std = ColumnStds(m);
+  EXPECT_DOUBLE_EQ(std[0], 1.0);
+  EXPECT_DOUBLE_EQ(std[1], 10.0);
+  Matrix z = Standardize(m, mean, std);
+  EXPECT_DOUBLE_EQ(z(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(z(1, 1), 1.0);
+}
+
+TEST(OpsTest, SampleCovarianceOfKnownData) {
+  // Two variables, perfectly correlated.
+  Matrix m = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  Matrix cov = SampleCovariance(m);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+  Matrix corr = SampleCorrelation(m);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-12);
+}
+
+TEST(OpsTest, PearsonCorrelationSigns) {
+  Vector a = {1, 2, 3, 4};
+  Vector up = {2, 4, 6, 8};
+  Vector down = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, up), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, Vector(4, 5.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace cerl::linalg

@@ -1,0 +1,345 @@
+// Cross-module property tests: randomized sweeps over shapes, seeds, and
+// configurations that complement the per-module unit suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/composite.h"
+#include "autodiff/ops.h"
+#include "causal/herding.h"
+#include "core/cerl_trainer.h"
+#include "corrgen/hub_correlation.h"
+#include "data/synthetic.h"
+#include "data/topic_benchmark.h"
+#include "grad_check.h"
+#include "linalg/cholesky.h"
+#include "linalg/ops.h"
+#include "nn/mlp.h"
+#include "nn/optim.h"
+#include "ot/sinkhorn.h"
+#include "util/rng.h"
+
+namespace cerl {
+namespace {
+
+using autodiff::Tape;
+using autodiff::Var;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix RandomMatrix(Rng* rng, int rows, int cols, double margin = 0.2) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    const double sign = rng->Uniform() < 0.5 ? -1.0 : 1.0;
+    m.data()[i] = sign * rng->Uniform(margin, 1.5);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Autodiff: randomized full-network gradient checks across shapes.
+
+class RandomShapeGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomShapeGradTest, CompositeChainGradientsMatchNumeric) {
+  Rng rng(GetParam());
+  const int batch = 2 + static_cast<int>(rng.UniformInt(4));
+  const int in = 2 + static_cast<int>(rng.UniformInt(4));
+  const int hidden = 2 + static_cast<int>(rng.UniformInt(4));
+  const int out = 1 + static_cast<int>(rng.UniformInt(3));
+  autodiff::CheckGradients(
+      {RandomMatrix(&rng, batch, in), RandomMatrix(&rng, in, hidden),
+       RandomMatrix(&rng, 1, hidden), RandomMatrix(&rng, hidden, out),
+       RandomMatrix(&rng, batch, out)},
+      [](Tape*, const std::vector<Var>& v) {
+        using namespace autodiff;  // NOLINT
+        Var h = Elu(AddRowBroadcast(MatMul(v[0], v[1]), v[2]));
+        Var normalized = RowL2Normalize(h);
+        Var pred = MatMul(normalized, v[3]);
+        Var mse = MseLoss(pred, v[4]);
+        Var reg = ScalarMul(ElasticNetPenalty(v[1]), 1e-2);
+        return Add(mse, reg);
+      },
+      2e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomShapeGradTest,
+                         ::testing::Range(100, 112));
+
+// ---------------------------------------------------------------------------
+// Sinkhorn: marginal feasibility across regularization strengths.
+
+class SinkhornRegTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SinkhornRegTest, MarginalsHoldForAllRegularizations) {
+  Rng rng(42);
+  Matrix a = RandomMatrix(&rng, 9, 4);
+  Matrix b = RandomMatrix(&rng, 13, 4);
+  ot::SinkhornConfig config;
+  config.reg_fraction = GetParam();
+  config.max_iterations = 500;
+  auto result =
+      ot::SolveSinkhorn(linalg::PairwiseSquaredDistances(a, b), config);
+  ASSERT_TRUE(result.ok());
+  const Matrix& plan = result.value().plan;
+  double worst = 0.0;
+  for (int i = 0; i < 9; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 13; ++j) row += plan(i, j);
+    worst = std::max(worst, std::fabs(row - 1.0 / 9));
+  }
+  for (int j = 0; j < 13; ++j) {
+    double col = 0.0;
+    for (int i = 0; i < 9; ++i) col += plan(i, j);
+    worst = std::max(worst, std::fabs(col - 1.0 / 13));
+  }
+  EXPECT_LT(worst, 1e-3);
+  EXPECT_GE(result.value().cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegSweep, SinkhornRegTest,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.3, 1.0));
+
+TEST(SinkhornPropertyTest, CostDecreasesWithRegularization) {
+  // Entropic smoothing biases the plan away from the optimal coupling:
+  // larger regularization should not give a smaller transport cost <P, C>
+  // on non-degenerate inputs (it spreads mass onto costlier cells).
+  Rng rng(43);
+  Matrix a = RandomMatrix(&rng, 12, 3);
+  Matrix b = RandomMatrix(&rng, 12, 3);
+  Matrix cost = linalg::PairwiseSquaredDistances(a, b);
+  double previous = -1.0;
+  for (double reg : {0.02, 0.1, 0.5, 2.0}) {
+    ot::SinkhornConfig config;
+    config.reg_fraction = reg;
+    config.max_iterations = 1000;
+    config.tolerance = 1e-9;
+    auto result = ot::SolveSinkhorn(cost, config);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().cost, previous - 1e-6);
+    previous = result.value().cost;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Herding: ordering property — prefixes of the selection approximate the
+// mean at least as well as random prefixes, across sizes.
+
+class HerdingPrefixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HerdingPrefixTest, PrefixBeatsRandomOnAverage) {
+  Rng rng(GetParam());
+  Matrix rows(60, 5);
+  for (int64_t i = 0; i < rows.size(); ++i) rows.data()[i] = rng.Normal();
+  auto selection = causal::HerdingSelect(rows, 30);
+  double herd_err = 0.0, rand_err = 0.0;
+  for (int k : {5, 10, 20, 30}) {
+    std::vector<int> prefix(selection.begin(), selection.begin() + k);
+    herd_err += causal::MeanApproximationError(rows, prefix);
+    rand_err += causal::MeanApproximationError(
+        rows, causal::RandomSelect(60, k, &rng));
+  }
+  EXPECT_LE(herd_err, rand_err + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HerdingPrefixTest, ::testing::Range(200, 208));
+
+// ---------------------------------------------------------------------------
+// Correlation generator feeding Cholesky: the full corrgen -> covariance ->
+// factorization pipeline stays healthy across random specs.
+
+class CorrPipelineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorrPipelineTest, GeneratedCovarianceAlwaysFactorizes) {
+  Rng rng(GetParam());
+  std::vector<corrgen::HubBlockSpec> specs(3);
+  for (auto& s : specs) {
+    s.size = 5 + static_cast<int>(rng.UniformInt(20));
+    s.rho_max = rng.Uniform(0.4, 0.95);
+    s.rho_min = rng.Uniform(0.0, 0.3);
+    s.gamma = rng.Uniform(0.3, 3.0);
+  }
+  auto corr = corrgen::GenerateCorrelationMatrix(specs, rng.Uniform(0.0, 0.9),
+                                                 30, &rng);
+  ASSERT_TRUE(corr.ok()) << corr.status().ToString();
+  Vector stds(corr.value().rows());
+  for (double& v : stds) v = rng.Uniform(0.2, 3.0);
+  Matrix cov = corrgen::CorrelationToCovariance(corr.value(), stds);
+  EXPECT_TRUE(linalg::Cholesky::Factor(cov).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrPipelineTest, ::testing::Range(300, 310));
+
+// ---------------------------------------------------------------------------
+// Data generators: determinism and split sanity across configurations.
+
+TEST(DataPropertyTest, TopicBenchmarkScenariosAllProduceValidStreams) {
+  for (auto shift : {data::DomainShift::kSubstantial,
+                     data::DomainShift::kModerate, data::DomainShift::kNone}) {
+    data::TopicBenchmarkConfig config;
+    config.corpus.num_docs = 260;
+    config.corpus.vocab_size = 90;
+    config.corpus.num_topics = 6;
+    config.corpus.doc_length_mean = 30.0;
+    config.lda.num_topics = 6;
+    config.lda.iterations = 15;
+    config.shift = shift;
+    config.seed = 31;
+    auto bench = data::GenerateTopicBenchmark(config);
+    ASSERT_EQ(bench.domains.size(), 2u);
+    int total = 0;
+    for (const auto& d : bench.domains) {
+      d.CheckConsistent();
+      total += d.num_units();
+      EXPECT_GT(d.num_treated(), 0);
+      EXPECT_GT(d.num_control(), 0);
+    }
+    EXPECT_EQ(total, 260);
+    EXPECT_GT(bench.mean_propensity, 0.05);
+    EXPECT_LT(bench.mean_propensity, 0.95);
+  }
+}
+
+TEST(DataPropertyTest, SyntheticStreamSeedsAreIndependentPerDomain) {
+  data::SyntheticConfig config;
+  config.units_per_domain = 300;
+  config.num_domains = 3;
+  config.seed = 99;
+  auto stream = data::GenerateSyntheticStream(config);
+  // Different domains must not share covariate draws.
+  EXPECT_GT(Matrix::MaxAbsDiff(stream.domains[0].x, stream.domains[1].x),
+            0.1);
+  EXPECT_GT(Matrix::MaxAbsDiff(stream.domains[1].x, stream.domains[2].x),
+            0.1);
+}
+
+TEST(DataPropertyTest, SplitFractionsRespected) {
+  data::SyntheticConfig config;
+  config.units_per_domain = 1000;
+  config.num_domains = 1;
+  config.seed = 7;
+  auto stream = data::GenerateSyntheticStream(config);
+  Rng rng(8);
+  for (double train_frac : {0.5, 0.6, 0.8}) {
+    auto split =
+        data::SplitDataset(stream.domains[0], &rng, train_frac, 0.1);
+    EXPECT_EQ(split.train.num_units(),
+              static_cast<int>(train_frac * 1000));
+    EXPECT_EQ(split.valid.num_units(), 100);
+    EXPECT_EQ(split.train.num_units() + split.valid.num_units() +
+                  split.test.num_units(),
+              1000);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CERL configuration space: every supported configuration must run a
+// two-domain stream end to end and produce finite estimates.
+
+struct CerlConfigCase {
+  bool use_transform;
+  bool use_herding;
+  bool cosine;
+  bool init_from_previous;
+  ot::IpmKind ipm;
+};
+
+class CerlConfigSpaceTest : public ::testing::TestWithParam<CerlConfigCase> {};
+
+TEST_P(CerlConfigSpaceTest, RunsEndToEnd) {
+  const CerlConfigCase& c = GetParam();
+  data::SyntheticConfig dc;
+  dc.units_per_domain = 300;
+  dc.num_domains = 2;
+  dc.seed = 55;
+  auto stream = data::GenerateSyntheticStream(dc);
+  Rng rng(56);
+  auto splits = data::SplitStream(stream.domains, &rng);
+
+  core::CerlConfig config;
+  config.net.rep_hidden = {12};
+  config.net.rep_dim = 6;
+  config.net.head_hidden = {8};
+  config.net.cosine_normalized_rep = c.cosine;
+  config.train.epochs = 8;
+  config.train.seed = 57;
+  config.train.ipm = c.ipm;
+  config.use_transform = c.use_transform;
+  config.use_herding = c.use_herding;
+  config.init_from_previous = c.init_from_previous;
+  config.memory_capacity = 80;
+
+  core::CerlTrainer trainer(config, dc.num_features());
+  trainer.ObserveDomain(splits[0]);
+  trainer.ObserveDomain(splits[1]);
+  for (int d = 0; d < 2; ++d) {
+    auto m = trainer.Evaluate(splits[d].test);
+    ASSERT_TRUE(std::isfinite(m.pehe));
+    ASSERT_TRUE(std::isfinite(m.ate_error));
+  }
+  if (c.use_transform) {
+    EXPECT_FALSE(trainer.memory().empty());
+    EXPECT_LE(trainer.memory().size(), 80);
+  } else {
+    EXPECT_TRUE(trainer.memory().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CerlConfigSpaceTest,
+    ::testing::Values(
+        CerlConfigCase{true, true, true, true, ot::IpmKind::kWasserstein},
+        CerlConfigCase{false, true, true, true, ot::IpmKind::kWasserstein},
+        CerlConfigCase{true, false, true, true, ot::IpmKind::kWasserstein},
+        CerlConfigCase{true, true, false, true, ot::IpmKind::kWasserstein},
+        CerlConfigCase{true, true, true, false, ot::IpmKind::kWasserstein},
+        CerlConfigCase{true, true, true, true, ot::IpmKind::kLinearMmd},
+        CerlConfigCase{false, false, false, false,
+                       ot::IpmKind::kLinearMmd}));
+
+// ---------------------------------------------------------------------------
+// NN: a cosine-normalized representation MLP has well-behaved gradients.
+
+TEST(NnPropertyTest, CosineOutputMlpGradCheck) {
+  Rng rng(77);
+  autodiff::CheckGradients(
+      {RandomMatrix(&rng, 3, 4), RandomMatrix(&rng, 4, 5),
+       RandomMatrix(&rng, 1, 5), RandomMatrix(&rng, 5, 3)},
+      [](Tape*, const std::vector<Var>& v) {
+        using namespace autodiff;  // NOLINT
+        // Linear -> elu -> cosine layer (normalize rows x cols) -> sum^2.
+        Var h = Elu(AddRowBroadcast(MatMul(v[0], v[1]), v[2]));
+        Var cos = MatMul(RowL2Normalize(h), ColL2Normalize(v[3]));
+        return Sum(Square(Tanh(cos)));
+      },
+      2e-5);
+}
+
+TEST(NnPropertyTest, DeterministicTrainingForFixedSeed) {
+  auto run = []() {
+    Rng rng(88);
+    nn::MlpConfig config;
+    config.dims = {5, 8, 1};
+    nn::Mlp mlp(&rng, config);
+    nn::Adam opt(mlp.Parameters(), 1e-2);
+    Rng data_rng(89);
+    Matrix x(32, 5), y(32, 1);
+    for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = data_rng.Normal();
+    for (int64_t i = 0; i < y.size(); ++i) y.data()[i] = data_rng.Normal();
+    double loss = 0.0;
+    for (int step = 0; step < 20; ++step) {
+      Tape tape;
+      Var out = mlp.Forward(&tape, tape.Constant(x));
+      Var l = autodiff::MseLoss(out, tape.Constant(y));
+      loss = l.scalar();
+      opt.ZeroGrad();
+      tape.Backward(l);
+      opt.Step();
+    }
+    return loss;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cerl

@@ -1,0 +1,226 @@
+// Tests for the statistics substrate (MVN sampling, normal CDF) and the
+// Hardin-Garcia-Golan correlation-matrix generator (Eq. 12 hub sequence,
+// Toeplitz structure, positive definiteness across a parameter sweep,
+// noise that preserves PD and the unit diagonal).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corrgen/hub_correlation.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+#include "stats/mvn.h"
+#include "stats/normal_cdf.h"
+#include "util/rng.h"
+
+namespace cerl {
+namespace {
+
+using corrgen::HubBlockSpec;
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(stats::NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(stats::NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(stats::NormalCdf(-1.959963985), 0.025, 1e-6);
+  EXPECT_GT(stats::NormalCdf(8.0), 1.0 - 1e-12);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.2, 0.5, 0.8, 0.99, 0.999}) {
+    EXPECT_NEAR(stats::NormalCdf(stats::NormalQuantile(p)), p, 1e-6);
+  }
+}
+
+TEST(MvnTest, RejectsBadInputs) {
+  Matrix not_pd = {{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(stats::MultivariateNormal::Create({0.0, 0.0}, not_pd).ok());
+  EXPECT_FALSE(
+      stats::MultivariateNormal::Create({0.0}, Matrix::Identity(2)).ok());
+}
+
+TEST(MvnTest, SampleMomentsMatchTarget) {
+  Matrix cov = {{2.0, 0.6, 0.0}, {0.6, 1.0, -0.3}, {0.0, -0.3, 0.5}};
+  Vector mean = {1.0, -2.0, 0.5};
+  auto mvn = stats::MultivariateNormal::Create(mean, cov);
+  ASSERT_TRUE(mvn.ok());
+  Rng rng(31);
+  Matrix x = mvn.value().SampleMatrix(&rng, 20000);
+  Vector sample_mean = linalg::ColumnMeans(x);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(sample_mean[j], mean[j], 0.05);
+  Matrix sample_cov = linalg::SampleCovariance(x);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(sample_cov(i, j), cov(i, j), 0.08);
+    }
+  }
+}
+
+TEST(HubSequenceTest, MatchesEq12Endpoints) {
+  HubBlockSpec spec;
+  spec.size = 10;
+  spec.rho_max = 0.8;
+  spec.rho_min = 0.2;
+  spec.gamma = 1.0;
+  auto rho = corrgen::HubCorrelationSequence(spec);
+  ASSERT_EQ(rho.size(), 9u);
+  EXPECT_NEAR(rho.front(), 0.8, 1e-12);  // i = 2 -> rho_max
+  EXPECT_NEAR(rho.back(), 0.2, 1e-12);   // i = d -> rho_min
+  // Linear decay for gamma = 1.
+  EXPECT_NEAR(rho[4], 0.8 - (4.0 / 8.0) * 0.6, 1e-12);
+  // Monotone non-increasing.
+  for (size_t i = 1; i < rho.size(); ++i) EXPECT_LE(rho[i], rho[i - 1] + 1e-12);
+}
+
+TEST(HubSequenceTest, GammaControlsDecayRate) {
+  HubBlockSpec fast;
+  fast.size = 10;
+  fast.gamma = 0.5;  // gamma < 1: early drop
+  HubBlockSpec slow = fast;
+  slow.gamma = 2.0;  // gamma > 1: stays high longer
+  auto rho_fast = corrgen::HubCorrelationSequence(fast);
+  auto rho_slow = corrgen::HubCorrelationSequence(slow);
+  for (size_t i = 1; i + 1 < rho_fast.size(); ++i) {
+    EXPECT_LT(rho_fast[i], rho_slow[i]);
+  }
+}
+
+TEST(HubToeplitzTest, StructureAndSymmetry) {
+  HubBlockSpec spec;
+  spec.size = 6;
+  spec.rho_max = 0.7;
+  spec.rho_min = 0.1;
+  Matrix block = corrgen::HubToeplitzBlock(spec);
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(block(i, i), 1.0);
+  // Toeplitz: constant along diagonals.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(block(i, i + 1), block(0, 1));
+    EXPECT_DOUBLE_EQ(block(i + 1, i), block(0, 1));
+  }
+  EXPECT_DOUBLE_EQ(block(0, 5), 0.1);
+}
+
+TEST(BlockDiagonalTest, ZeroAcrossTypes) {
+  std::vector<HubBlockSpec> specs(2);
+  specs[0].size = 3;
+  specs[1].size = 4;
+  Matrix r = corrgen::BlockDiagonalCorrelation(specs);
+  ASSERT_EQ(r.rows(), 7);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 3; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+      EXPECT_DOUBLE_EQ(r(j, i), 0.0);
+    }
+  }
+}
+
+struct CorrCase {
+  double rho_max, rho_min, gamma, noise_fraction;
+};
+
+class CorrGenParamTest : public ::testing::TestWithParam<CorrCase> {};
+
+TEST_P(CorrGenParamTest, GeneratesValidCorrelationMatrix) {
+  const CorrCase& c = GetParam();
+  std::vector<HubBlockSpec> specs(4);
+  const int sizes[] = {35, 10, 20, 35};  // the paper's C/Z/I/A block sizes
+  for (int i = 0; i < 4; ++i) {
+    specs[i].size = sizes[i];
+    specs[i].rho_max = c.rho_max;
+    specs[i].rho_min = c.rho_min;
+    specs[i].gamma = c.gamma;
+  }
+  Rng rng(static_cast<uint64_t>(c.rho_max * 1000 + c.gamma * 10));
+  auto r = corrgen::GenerateCorrelationMatrix(specs, c.noise_fraction, 50,
+                                              &rng);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Matrix& m = r.value();
+  ASSERT_EQ(m.rows(), 100);
+  // Unit diagonal, symmetry, |corr| <= 1, and positive definiteness.
+  for (int i = 0; i < m.rows(); ++i) {
+    EXPECT_NEAR(m(i, i), 1.0, 1e-12);
+    for (int j = 0; j < m.cols(); ++j) {
+      EXPECT_NEAR(m(i, j), m(j, i), 1e-12);
+      ASSERT_LE(std::fabs(m(i, j)), 1.0 + 1e-9);
+    }
+  }
+  EXPECT_TRUE(linalg::IsPositiveDefinite(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorrGenParamTest,
+    ::testing::Values(CorrCase{0.7, 0.1, 1.0, 0.0},
+                      CorrCase{0.7, 0.1, 1.0, 0.5},
+                      CorrCase{0.9, 0.05, 0.5, 0.5},
+                      CorrCase{0.55, 0.25, 2.0, 0.9},
+                      CorrCase{0.85, 0.2, 1.5, 0.25}));
+
+TEST(CrossTypeNoiseTest, AddsNonZeroCrossCorrelation) {
+  std::vector<HubBlockSpec> specs(2);
+  specs[0].size = 5;
+  specs[1].size = 5;
+  Matrix base = corrgen::BlockDiagonalCorrelation(specs);
+  Rng rng(77);
+  auto noised = corrgen::AddCrossTypeNoise(base, 0.5, 20, &rng);
+  ASSERT_TRUE(noised.ok());
+  double max_cross = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 5; j < 10; ++j) {
+      max_cross = std::max(max_cross, std::fabs(noised.value()(i, j)));
+    }
+  }
+  EXPECT_GT(max_cross, 1e-4);
+}
+
+TEST(CrossTypeNoiseTest, NoiseBoundedBySmallestEigenvalue) {
+  std::vector<HubBlockSpec> specs(2);
+  specs[0].size = 8;
+  specs[1].size = 8;
+  Matrix base = corrgen::BlockDiagonalCorrelation(specs);
+  auto base_min = linalg::MinEigenvalue(base);
+  ASSERT_TRUE(base_min.ok());
+  Rng rng(78);
+  auto noised = corrgen::AddCrossTypeNoise(base, 0.9, 4, &rng);
+  ASSERT_TRUE(noised.ok());
+  auto noised_min = linalg::MinEigenvalue(noised.value());
+  ASSERT_TRUE(noised_min.ok());
+  // PD preserved: lambda_min(R + eps(U^T U - I)) >= lambda_min(R) - eps > 0.
+  EXPECT_GT(noised_min.value(), 0.0);
+}
+
+TEST(CrossTypeNoiseTest, RejectsBadFraction) {
+  Matrix eye = Matrix::Identity(4);
+  Rng rng(79);
+  EXPECT_FALSE(corrgen::AddCrossTypeNoise(eye, 1.0, 4, &rng).ok());
+  EXPECT_FALSE(corrgen::AddCrossTypeNoise(eye, -0.1, 4, &rng).ok());
+}
+
+TEST(CorrelationToCovarianceTest, ScalesBySds) {
+  Matrix corr = {{1.0, 0.5}, {0.5, 1.0}};
+  Matrix cov = corrgen::CorrelationToCovariance(corr, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cov(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 9.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 3.0);
+}
+
+TEST(EndToEndTest, SampledDataMatchesGeneratedCorrelation) {
+  // Sample from a generated Sigma and verify the empirical correlation of
+  // the hub pair is close to the specified rho_max.
+  std::vector<HubBlockSpec> specs(1);
+  specs[0].size = 6;
+  specs[0].rho_max = 0.7;
+  specs[0].rho_min = 0.3;
+  Rng rng(80);
+  auto corr = corrgen::GenerateCorrelationMatrix(specs, 0.0, 10, &rng);
+  ASSERT_TRUE(corr.ok());
+  auto mvn = stats::MultivariateNormal::Create(Vector(6, 0.0), corr.value());
+  ASSERT_TRUE(mvn.ok());
+  Matrix x = mvn.value().SampleMatrix(&rng, 20000);
+  Matrix sample_corr = linalg::SampleCorrelation(x);
+  EXPECT_NEAR(sample_corr(0, 1), 0.7, 0.03);
+}
+
+}  // namespace
+}  // namespace cerl

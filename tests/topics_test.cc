@@ -1,0 +1,229 @@
+// Tests for the LDA substrate: corpus containers, the generative process
+// (shape, document peakedness), and the collapsed Gibbs trainer (valid
+// distributions, determinism, topic-structure recovery on a corpus with
+// well-separated ground-truth topics, fold-in inference).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "topics/corpus.h"
+#include "topics/lda_generative.h"
+#include "topics/lda_gibbs.h"
+#include "util/rng.h"
+
+namespace cerl::topics {
+namespace {
+
+TEST(CorpusTest, CountMatrixMatchesTokens) {
+  Corpus corpus;
+  corpus.vocab_size = 4;
+  corpus.docs.push_back({{0, 0, 2}});
+  corpus.docs.push_back({{3}});
+  linalg::Matrix counts = corpus.ToCountMatrix();
+  EXPECT_DOUBLE_EQ(counts(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(counts(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(counts(0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(counts(1, 3), 1.0);
+  EXPECT_EQ(corpus.num_tokens(), 4);
+}
+
+GenerativeLdaConfig SmallConfig() {
+  GenerativeLdaConfig c;
+  c.num_docs = 200;
+  c.vocab_size = 120;
+  c.num_topics = 6;
+  c.doc_length_mean = 50.0;
+  c.alpha = 0.05;  // peaked documents
+  c.beta = 0.02;   // distinct topics
+  return c;
+}
+
+TEST(GenerativeTest, ProducesRequestedShape) {
+  Rng rng(1);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &rng);
+  EXPECT_EQ(gen.corpus.num_docs(), 200);
+  EXPECT_EQ(gen.corpus.vocab_size, 120);
+  EXPECT_EQ(gen.doc_topic.rows(), 200);
+  EXPECT_EQ(gen.doc_topic.cols(), 6);
+  EXPECT_EQ(gen.topic_word.rows(), 6);
+  for (const auto& doc : gen.corpus.docs) {
+    EXPECT_GE(doc.size(), 10);
+    for (int w : doc.tokens) EXPECT_TRUE(w >= 0 && w < 120);
+  }
+}
+
+TEST(GenerativeTest, GroundTruthDistributionsNormalized) {
+  Rng rng(2);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &rng);
+  for (int d = 0; d < gen.doc_topic.rows(); ++d) {
+    double s = 0.0;
+    for (int k = 0; k < gen.doc_topic.cols(); ++k) s += gen.doc_topic(d, k);
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+  for (int k = 0; k < gen.topic_word.rows(); ++k) {
+    double s = 0.0;
+    for (int w = 0; w < gen.topic_word.cols(); ++w) s += gen.topic_word(k, w);
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(GenerativeTest, DominantTopicMatchesArgmax) {
+  Rng rng(3);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &rng);
+  for (int d = 0; d < 50; ++d) {
+    const double* row = gen.doc_topic.row(d);
+    const int argmax = static_cast<int>(
+        std::max_element(row, row + gen.doc_topic.cols()) - row);
+    EXPECT_EQ(gen.dominant_topic[d], argmax);
+  }
+}
+
+TEST(GibbsTest, DistributionsAreValid) {
+  Rng rng(4);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &rng);
+  LdaGibbsConfig config;
+  config.num_topics = 6;
+  config.iterations = 30;
+  LdaModel model = TrainLdaGibbs(gen.corpus, config, &rng);
+  for (int d = 0; d < model.doc_topic().rows(); ++d) {
+    double s = 0.0;
+    for (int k = 0; k < 6; ++k) {
+      const double v = model.doc_topic()(d, k);
+      ASSERT_GE(v, 0.0);
+      s += v;
+    }
+    ASSERT_NEAR(s, 1.0, 1e-9);
+  }
+  for (int k = 0; k < 6; ++k) {
+    double s = 0.0;
+    for (int w = 0; w < model.vocab_size(); ++w) s += model.topic_word()(k, w);
+    ASSERT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST(GibbsTest, DeterministicForSeed) {
+  Rng gen_rng(5);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &gen_rng);
+  LdaGibbsConfig config;
+  config.num_topics = 6;
+  config.iterations = 20;
+  Rng a(99), b(99);
+  LdaModel ma = TrainLdaGibbs(gen.corpus, config, &a);
+  LdaModel mb = TrainLdaGibbs(gen.corpus, config, &b);
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(ma.doc_topic(), mb.doc_topic()), 0.0);
+}
+
+// Builds a corpus with two completely disjoint vocabularies; Gibbs must
+// separate the documents into (at least) two distinct dominant topics.
+TEST(GibbsTest, RecoversDisjointTopicStructure) {
+  Corpus corpus;
+  corpus.vocab_size = 40;
+  Rng rng(6);
+  for (int d = 0; d < 60; ++d) {
+    Document doc;
+    const bool first_half = d < 30;
+    for (int i = 0; i < 40; ++i) {
+      const int w = static_cast<int>(rng.UniformInt(20));
+      doc.tokens.push_back(first_half ? w : 20 + w);
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  LdaGibbsConfig config;
+  config.num_topics = 2;
+  config.iterations = 80;
+  LdaModel model = TrainLdaGibbs(corpus, config, &rng);
+  auto dominant = model.DominantTopics();
+  // All docs in each group share a dominant topic; the groups differ.
+  std::set<int> group_a(dominant.begin(), dominant.begin() + 30);
+  std::set<int> group_b(dominant.begin() + 30, dominant.end());
+  EXPECT_EQ(group_a.size(), 1u);
+  EXPECT_EQ(group_b.size(), 1u);
+  EXPECT_NE(*group_a.begin(), *group_b.begin());
+}
+
+TEST(GibbsTest, InferDocTopicsMatchesTrainingDomain) {
+  Corpus corpus;
+  corpus.vocab_size = 20;
+  Rng rng(7);
+  for (int d = 0; d < 40; ++d) {
+    Document doc;
+    for (int i = 0; i < 30; ++i) {
+      const int w = static_cast<int>(rng.UniformInt(10));
+      doc.tokens.push_back(d < 20 ? w : 10 + w);
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  LdaGibbsConfig config;
+  config.num_topics = 2;
+  config.iterations = 60;
+  LdaModel model = TrainLdaGibbs(corpus, config, &rng);
+
+  // A fresh document drawn from the first vocabulary half should infer the
+  // same dominant topic as the training docs of that half.
+  Document fresh;
+  for (int i = 0; i < 30; ++i) {
+    fresh.tokens.push_back(static_cast<int>(rng.UniformInt(10)));
+  }
+  linalg::Vector theta = model.InferDocTopics(fresh, &rng, 40);
+  double sum = 0.0;
+  for (double v : theta) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  const int inferred = static_cast<int>(
+      std::max_element(theta.begin(), theta.end()) - theta.begin());
+  EXPECT_EQ(inferred, model.DominantTopics()[0]);
+}
+
+TEST(GibbsTest, TrainedModelBeatsUniformPerplexity) {
+  Rng rng(9);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &rng);
+  LdaGibbsConfig config;
+  config.num_topics = 6;
+  config.iterations = 40;
+  LdaModel model = TrainLdaGibbs(gen.corpus, config, &rng);
+  const double perplexity =
+      model.Perplexity(gen.corpus, model.doc_topic());
+  // A uniform model scores ~vocab_size (120); a trained topic model on a
+  // peaked-topic corpus must do much better.
+  EXPECT_LT(perplexity, 80.0);
+  EXPECT_GT(perplexity, 1.0);
+}
+
+TEST(GibbsTest, MoreTrainingDoesNotWorsenPerplexity) {
+  Rng corpus_rng(10);
+  auto gen = GenerateLdaCorpus(SmallConfig(), &corpus_rng);
+  auto run = [&](int iterations) {
+    Rng rng(11);
+    LdaGibbsConfig config;
+    config.num_topics = 6;
+    config.iterations = iterations;
+    LdaModel model = TrainLdaGibbs(gen.corpus, config, &rng);
+    return model.Perplexity(gen.corpus, model.doc_topic());
+  };
+  // Gibbs mixes toward the posterior: 40 sweeps should fit the corpus
+  // clearly better than 2 sweeps.
+  EXPECT_LT(run(40), run(2));
+}
+
+TEST(GibbsTest, EmptyDocumentGetsUniformInference) {
+  Corpus corpus;
+  corpus.vocab_size = 10;
+  Rng rng(8);
+  for (int d = 0; d < 10; ++d) {
+    Document doc;
+    for (int i = 0; i < 20; ++i) {
+      doc.tokens.push_back(static_cast<int>(rng.UniformInt(10)));
+    }
+    corpus.docs.push_back(std::move(doc));
+  }
+  LdaGibbsConfig config;
+  config.num_topics = 3;
+  config.iterations = 10;
+  LdaModel model = TrainLdaGibbs(corpus, config, &rng);
+  linalg::Vector theta = model.InferDocTopics(Document{}, &rng);
+  for (double v : theta) EXPECT_NEAR(v, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cerl::topics

@@ -1,0 +1,256 @@
+// Tests for the util layer: Status/Result, RNG determinism and moments,
+// scalar distributions, alias sampling, thread pool, CSV, flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "util/csv.h"
+#include "util/distributions.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cerl {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bad dims"), std::string::npos);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    CERL_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::Internal("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntUnbiasedCoverage) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(9);
+  auto p = rng.Permutation(100);
+  std::vector<int> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(DistributionsTest, GammaMomentsMatch) {
+  Rng rng(21);
+  const double shape = 3.0, scale = 2.0;
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleGamma(&rng, shape, scale);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.1);        // E = k*theta = 6
+  EXPECT_NEAR(var, shape * scale * scale, 0.5);  // V = k*theta^2 = 12
+}
+
+TEST(DistributionsTest, GammaSmallShape) {
+  Rng rng(22);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += SampleGamma(&rng, 0.3, 1.0);
+  EXPECT_NEAR(sum / n, 0.3, 0.02);
+}
+
+TEST(DistributionsTest, BetaInUnitIntervalWithRightMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleBeta(&rng, 2.0, 3.0);
+    ASSERT_GT(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.4, 0.01);
+}
+
+TEST(DistributionsTest, DirichletSumsToOne) {
+  Rng rng(24);
+  auto v = SampleDirichletSym(&rng, 0.5, 10);
+  EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1.0, 1e-12);
+  for (double x : v) EXPECT_GE(x, 0.0);
+}
+
+TEST(DistributionsTest, DirichletConcentrationControlsPeakedness) {
+  Rng rng(25);
+  double max_small = 0.0, max_large = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    auto a = SampleDirichletSym(&rng, 0.05, 20);
+    auto b = SampleDirichletSym(&rng, 5.0, 20);
+    max_small += *std::max_element(a.begin(), a.end());
+    max_large += *std::max_element(b.begin(), b.end());
+  }
+  EXPECT_GT(max_small / 200, max_large / 200 + 0.2);
+}
+
+TEST(DistributionsTest, BernoulliFrequency) {
+  Rng rng(26);
+  int ones = 0;
+  for (int i = 0; i < 20000; ++i) ones += SampleBernoulli(&rng, 0.3);
+  EXPECT_NEAR(ones / 20000.0, 0.3, 0.02);
+}
+
+TEST(DistributionsTest, CategoricalMatchesWeights) {
+  Rng rng(27);
+  std::vector<double> w = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[SampleCategorical(&rng, w)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.015);
+}
+
+TEST(DistributionsTest, AliasTableMatchesWeights) {
+  Rng rng(28);
+  std::vector<double> w = {0.5, 0.0, 3.5, 1.0};
+  AliasTable table(w);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 50000.0, 0.7, 0.01);
+  EXPECT_NEAR(counts[3] / 50000.0, 0.2, 0.01);
+}
+
+TEST(DistributionsTest, PoissonMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += SamplePoisson(&rng, 12.0);
+  EXPECT_NEAR(sum / 20000, 12.0, 0.15);
+  sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += SamplePoisson(&rng, 60.0);
+  EXPECT_NEAR(sum / 20000, 60.0, 0.5);
+}
+
+TEST(DistributionsTest, SampleWithoutReplacementDistinct) {
+  Rng rng(30);
+  auto idx = SampleWithoutReplacement(&rng, 50, 20);
+  EXPECT_EQ(idx.size(), 20u);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(std::unique(idx.begin(), idx.end()), idx.end());
+  for (int i : idx) EXPECT_TRUE(i >= 0 && i < 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  }, /*grain=*/64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CsvTest, WritesHeaderAndRowsWithEscaping) {
+  CsvWriter csv({"name", "value"});
+  csv.AddRow({"plain", CsvWriter::Cell(1.5)});
+  csv.AddRow({"with,comma", "with\"quote"});
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1.5000");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvWriter csv({"a"});
+  EXPECT_FALSE(csv.WriteFile("/nonexistent-dir/x.csv").ok());
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--name", "news",
+                        "--verbose", "--count=7"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "news");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("count", 0), 7);
+  EXPECT_EQ(flags.GetInt("missing", -1), -1);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+}  // namespace
+}  // namespace cerl
