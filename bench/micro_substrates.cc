@@ -16,6 +16,7 @@
 #include "stats/mvn.h"
 #include "topics/lda_generative.h"
 #include "topics/lda_gibbs.h"
+#include "train/train_loop.h"
 #include "util/rng.h"
 
 namespace cerl {
@@ -61,6 +62,34 @@ void BM_AutodiffTrainingStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_AutodiffTrainingStep)->Arg(64)->Arg(256);
+
+void BM_TrainLoopEpoch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  nn::MlpConfig config;
+  config.dims = {100, 48, 16, 1};
+  nn::Mlp mlp(&rng, config);
+  linalg::Matrix x = RandomMatrix(&rng, n, 100);
+  linalg::Matrix y = RandomMatrix(&rng, n, 1);
+  train::LoopOptions options;
+  options.epochs = 1;
+  options.batch_size = 128;
+  options.patience = 2;
+  for (auto _ : state) {
+    train::TrainLoop loop(options, mlp.Parameters());
+    train::TrainStats stats = loop.Run(
+        n,
+        [&](autodiff::Tape* tape, const std::vector<int>& idx) {
+          autodiff::Var xb = tape->Constant(x.GatherRows(idx));
+          autodiff::Var yb = tape->Constant(y.GatherRows(idx));
+          return autodiff::MseLoss(mlp.Forward(tape, xb), yb);
+        },
+        [] { return 1.0; });
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TrainLoopEpoch)->Arg(1000)->Arg(4000);
 
 void BM_Sinkhorn(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -39,9 +39,11 @@ int main() {
   // 3. Observe domains as they arrive (Algorithm 1).
   core::CerlTrainer cerl(config, data_config.num_features());
   for (int d = 0; d < 2; ++d) {
-    cerl.ObserveDomain(splits[d]);
-    std::printf("after domain %d: memory holds %d representation vectors\n",
-                d + 1, cerl.memory().size());
+    causal::TrainStats stats = cerl.ObserveDomain(splits[d]);
+    std::printf(
+        "after domain %d: memory holds %d representation vectors "
+        "(%d epochs, %.1fs)\n",
+        d + 1, cerl.memory().size(), stats.epochs_run, stats.wall_seconds);
   }
 
   // 4. Estimate treatment effects for units from BOTH domains.

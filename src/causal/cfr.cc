@@ -4,7 +4,6 @@
 
 #include "autodiff/composite.h"
 #include "autodiff/ops.h"
-#include "nn/optim.h"
 #include "util/logging.h"
 
 namespace cerl::causal {
@@ -52,18 +51,30 @@ FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
   return out;
 }
 
-std::vector<linalg::Matrix> SnapshotValues(
-    const std::vector<Parameter*>& params) {
-  std::vector<linalg::Matrix> snapshot;
-  snapshot.reserve(params.size());
-  for (const auto* p : params) snapshot.push_back(p->value);
-  return snapshot;
+Batch GatherBatch(const linalg::Matrix& x, const std::vector<int>& t,
+                  const linalg::Vector& y, const std::vector<int>& idx) {
+  Batch batch;
+  batch.x = x.GatherRows(idx);
+  batch.t.resize(idx.size());
+  batch.y.resize(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    batch.t[i] = t[idx[i]];
+    batch.y[i] = y[idx[i]];
+  }
+  return batch;
 }
 
-void RestoreValues(const std::vector<Parameter*>& params,
-                   const std::vector<linalg::Matrix>& snapshot) {
-  CERL_CHECK_EQ(params.size(), snapshot.size());
-  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+train::LoopOptions MakeLoopOptions(const TrainConfig& config,
+                                   const std::string& log_label) {
+  train::LoopOptions options;
+  options.epochs = config.epochs;
+  options.batch_size = config.batch_size;
+  options.learning_rate = config.learning_rate;
+  options.patience = config.patience;
+  options.seed = config.seed;
+  options.verbose = config.verbose;
+  options.log_label = log_label;
+  return options;
 }
 
 CfrModel::CfrModel(const NetConfig& net_config, const TrainConfig& train_config,
@@ -107,66 +118,31 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
   const linalg::Matrix x_valid = net_.x_scaler().Apply(valid.x);
   const linalg::Vector y_valid = net_.y_scaler().Transform(valid.y);
 
-  auto params = net_.Parameters();
-  nn::Adam optimizer(params, train_config_.learning_rate);
-
-  const int n = train.num_units();
-  const int batch = std::min(train_config_.batch_size, n);
-
-  TrainStats stats;
-  double best_valid = ValidFactualLoss(x_valid, valid.t, y_valid);
-  std::vector<linalg::Matrix> best_snapshot = SnapshotValues(params);
-  int since_best = 0;
-
-  for (int epoch = 0; epoch < train_config_.epochs; ++epoch) {
-    std::vector<int> perm = rng_.Permutation(n);
-    for (int start = 0; start + batch <= n; start += batch) {
-      std::vector<int> idx(perm.begin() + start, perm.begin() + start + batch);
-      linalg::Matrix xb = x_train.GatherRows(idx);
-      std::vector<int> tb(batch);
-      linalg::Vector yb(batch);
-      for (int i = 0; i < batch; ++i) {
-        tb[i] = train.t[idx[i]];
-        yb[i] = y_train[idx[i]];
-      }
-
-      Tape tape;
-      Var x = tape.Constant(std::move(xb));
-      FactualForward fwd = BuildFactualLoss(&net_, &tape, x, tb, yb);
-      Var loss = fwd.loss;
-      if (train_config_.alpha > 0.0 && fwd.n_treated > 0 &&
-          fwd.n_control > 0) {
-        Var ipm = ot::IpmPenalty(train_config_.ipm, fwd.rep_treated,
-                                 fwd.rep_control, train_config_.sinkhorn);
-        loss = Add(loss, ScalarMul(ipm, train_config_.alpha));
-      }
-      if (train_config_.lambda > 0.0) {
-        Var w1 = tape.Param(&net_.FirstLayerWeight());
-        loss = Add(loss, ScalarMul(ElasticNetPenalty(w1),
-                                   train_config_.lambda));
-      }
-      optimizer.ZeroGrad();
-      tape.Backward(loss);
-      optimizer.Step();
+  // Eq. 5 per-batch objective: factual MSE + alpha * IPM + lambda *
+  // elastic net. The loop mechanics live in train::TrainLoop.
+  auto batch_loss = [&](Tape* tape, const std::vector<int>& idx) -> Var {
+    Batch batch = GatherBatch(x_train, train.t, y_train, idx);
+    Var x = tape->Constant(std::move(batch.x));
+    FactualForward fwd = BuildFactualLoss(&net_, tape, x, batch.t, batch.y);
+    Var loss = fwd.loss;
+    if (train_config_.alpha > 0.0 && fwd.n_treated > 0 && fwd.n_control > 0) {
+      Var ipm = ot::IpmPenalty(train_config_.ipm, fwd.rep_treated,
+                               fwd.rep_control, train_config_.sinkhorn);
+      loss = Add(loss, ScalarMul(ipm, train_config_.alpha));
     }
-
-    const double valid_loss = ValidFactualLoss(x_valid, valid.t, y_valid);
-    stats.epochs_run = epoch + 1;
-    if (valid_loss < best_valid - 1e-6) {
-      best_valid = valid_loss;
-      best_snapshot = SnapshotValues(params);
-      since_best = 0;
-    } else if (++since_best >= train_config_.patience) {
-      break;
+    if (train_config_.lambda > 0.0) {
+      Var w1 = tape->Param(&net_.FirstLayerWeight());
+      loss = Add(loss, ScalarMul(ElasticNetPenalty(w1), train_config_.lambda));
     }
-    if (train_config_.verbose && epoch % 10 == 0) {
-      CERL_LOG(Info) << "cfr epoch " << epoch << " valid loss " << valid_loss;
-    }
-  }
+    return loss;
+  };
+  auto valid_loss = [&]() {
+    return ValidFactualLoss(x_valid, valid.t, y_valid);
+  };
 
-  RestoreValues(params, best_snapshot);
-  stats.best_valid_loss = best_valid;
-  return stats;
+  train::TrainLoop loop(MakeLoopOptions(train_config_, "cfr"),
+                        net_.Parameters(), &rng_);
+  return loop.Run(train.num_units(), batch_loss, valid_loss);
 }
 
 linalg::Vector CfrModel::PredictIte(const linalg::Matrix& x_raw) {

@@ -14,6 +14,7 @@
 #include "causal/rep_outcome_net.h"
 #include "data/dataset.h"
 #include "ot/ipm.h"
+#include "train/train_loop.h"
 
 namespace cerl::causal {
 
@@ -31,11 +32,12 @@ struct TrainConfig {
   bool verbose = false;
 };
 
-/// Summary of one training run.
-struct TrainStats {
-  int epochs_run = 0;
-  double best_valid_loss = 0.0;
-};
+/// Summary of one training run (lives with the engine in src/train/).
+using TrainStats = train::TrainStats;
+
+/// Extracts the loop-mechanics subset of a TrainConfig for train::TrainLoop.
+train::LoopOptions MakeLoopOptions(const TrainConfig& config,
+                                   const std::string& log_label);
 
 /// Factual-loss forward pass shared by CFR and CERL stages.
 struct FactualForward {
@@ -52,11 +54,18 @@ FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
                                 const std::vector<int>& t,
                                 const linalg::Vector& y_scaled);
 
-/// Copies current parameter values (early-stopping snapshots).
-std::vector<linalg::Matrix> SnapshotValues(
-    const std::vector<Parameter*>& params);
-void RestoreValues(const std::vector<Parameter*>& params,
-                   const std::vector<linalg::Matrix>& snapshot);
+/// One assembled mini-batch of (covariates, treatments, outcomes).
+struct Batch {
+  linalg::Matrix x;
+  std::vector<int> t;
+  linalg::Vector y;
+};
+
+/// Gathers rows `idx` of (x, t, y) — the batch-assembly step shared by every
+/// TrainLoop loss builder (and the target of the planned parallel-assembly
+/// optimization).
+Batch GatherBatch(const linalg::Matrix& x, const std::vector<int>& t,
+                  const linalg::Vector& y, const std::vector<int>& idx);
 
 /// CFR model: RepOutcomeNet + Eq. 5 training.
 class CfrModel {

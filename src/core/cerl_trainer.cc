@@ -1,10 +1,11 @@
 #include "core/cerl_trainer.h"
 
 #include <algorithm>
+#include <string>
 
 #include "autodiff/composite.h"
 #include "autodiff/ops.h"
-#include "nn/optim.h"
+#include "train/train_loop.h"
 #include "util/logging.h"
 
 namespace cerl::core {
@@ -101,16 +102,11 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
   if (config_.use_transform || config_.delta > 0.0) {
     for (Parameter* p : phi.Parameters()) params.push_back(p);
   }
-  nn::Adam optimizer(params, stage_train.learning_rate);
-
   const bool use_memory = config_.use_transform && !memory_.empty();
-  const int n = train.num_units();
-  const int batch = std::min(stage_train.batch_size, n);
   const int mem_batch =
       use_memory ? std::min(stage_train.batch_size, memory_.size()) : 0;
 
   Rng loop_rng(stage_train.seed ^ 0xB007);
-  TrainStats stats;
   // Retention-aware early stopping: new-domain factual loss plus the
   // replay loss over the whole memory bank. The distillation term must NOT
   // enter the selection criterion: it is exactly zero at the warm-started
@@ -156,131 +152,103 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
     }
     return loss;
   };
-  double best_valid = valid_loss_fn();
-  std::vector<linalg::Matrix> best_snapshot = causal::SnapshotValues(params);
-  int since_best = 0;
+  // Eq. 9 per-batch objective; the epoch/minibatch/early-stopping mechanics
+  // live in train::TrainLoop.
+  auto batch_loss = [&](Tape* tape, const std::vector<int>& idx) -> Var {
+    causal::Batch batch = causal::GatherBatch(x_train, train.t, y_train, idx);
+    Var x = tape->Constant(std::move(batch.x));
+    // L_G new-data term (Eq. 8, second sum) + group representations.
+    causal::FactualForward fwd =
+        causal::BuildFactualLoss(&net, tape, x, batch.t, batch.y);
+    Var loss = fwd.loss;
 
-  for (int epoch = 0; epoch < stage_train.epochs; ++epoch) {
-    std::vector<int> perm = loop_rng.Permutation(n);
-    for (int start = 0; start + batch <= n; start += batch) {
-      std::vector<int> idx(perm.begin() + start, perm.begin() + start + batch);
-      linalg::Matrix xb = x_train.GatherRows(idx);
-      std::vector<int> tb(batch);
-      linalg::Vector yb(batch);
-      for (int i = 0; i < batch; ++i) {
-        tb[i] = train.t[idx[i]];
-        yb[i] = y_train[idx[i]];
-      }
-
-      Tape tape;
-      Var x = tape.Constant(std::move(xb));
-      // L_G new-data term (Eq. 8, second sum) + group representations.
-      causal::FactualForward fwd =
-          causal::BuildFactualLoss(&net, &tape, x, tb, yb);
-      Var loss = fwd.loss;
-
-      // Feature representation distillation, Eq. 6.
-      Var old_rep = tape.Constant(old_reps_train.GatherRows(idx));
-      if (config_.beta > 0.0) {
-        loss = Add(loss, ScalarMul(MeanCosineDistance(fwd.rep, old_rep),
-                                   config_.beta));
-      }
-      // Feature representation transformation, Eq. 7. The new-model
-      // representation enters as a detached target: Eq. 7 trains phi to map
-      // the old space onto the new one, it must not drag g_{w_d} toward
-      // phi's (initially arbitrary) output.
-      if (config_.delta > 0.0) {
-        Var phi_out = phi.Forward(&tape, old_rep);
-        Var rep_target = tape.Constant(fwd.rep.value());
-        loss = Add(loss, ScalarMul(MeanCosineDistance(phi_out, rep_target),
-                                   config_.delta));
-      }
-
-      Var rep_treated_global = fwd.rep_treated;
-      Var rep_control_global = fwd.rep_control;
-      int n_treated = fwd.n_treated;
-      int n_control = fwd.n_control;
-
-      if (use_memory) {
-        // Memory replay: transformed old representations join the global
-        // representation space (Eq. 8 first sum; balanced IPM below).
-        const std::vector<int> mem_idx =
-            memory_.SampleBatch(mem_batch, &loop_rng);
-        Var mem_rep = tape.Constant(memory_.reps().GatherRows(mem_idx));
-        Var mem_transformed = phi.Forward(&tape, mem_rep);
-
-        std::vector<int> mem_treated_idx, mem_control_idx;
-        linalg::Vector y_mem_treated, y_mem_control;
-        for (int i = 0; i < mem_batch; ++i) {
-          const int unit = mem_idx[i];
-          const double y_scaled = net.y_scaler().Transform(memory_.y()[unit]);
-          if (memory_.t()[unit] == 1) {
-            mem_treated_idx.push_back(i);
-            y_mem_treated.push_back(y_scaled);
-          } else {
-            mem_control_idx.push_back(i);
-            y_mem_control.push_back(y_scaled);
-          }
-        }
-        Var mem_sse = tape.Constant(linalg::Matrix(1, 1, 0.0));
-        if (!mem_treated_idx.empty()) {
-          Var rep_t = GatherRows(mem_transformed, mem_treated_idx);
-          Var pred = net.Head(&tape, rep_t, 1);
-          Var target = tape.Constant(linalg::Matrix::ColVector(y_mem_treated));
-          mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
-          // The memory side joins the global IPM as a detached reference
-          // distribution: balancing must shape the new representations (and
-          // heads), not bend phi away from its Eq. 7 alignment target.
-          rep_treated_global =
-              ConcatRows(rep_treated_global, tape.Constant(rep_t.value()));
-          n_treated += static_cast<int>(mem_treated_idx.size());
-        }
-        if (!mem_control_idx.empty()) {
-          Var rep_c = GatherRows(mem_transformed, mem_control_idx);
-          Var pred = net.Head(&tape, rep_c, 0);
-          Var target = tape.Constant(linalg::Matrix::ColVector(y_mem_control));
-          mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
-          rep_control_global =
-              ConcatRows(rep_control_global, tape.Constant(rep_c.value()));
-          n_control += static_cast<int>(mem_control_idx.size());
-        }
-        loss = Add(loss, ScalarMul(mem_sse, 1.0 / std::max(1, mem_batch)));
-      }
-
-      // Balance the global representation space (Eq. 3 over memory ∪ new).
-      if (stage_train.alpha > 0.0 && n_treated > 0 && n_control > 0) {
-        Var ipm = ot::IpmPenalty(stage_train.ipm, rep_treated_global,
-                                 rep_control_global, stage_train.sinkhorn);
-        loss = Add(loss, ScalarMul(ipm, stage_train.alpha));
-      }
-      // Elastic net on the new feature-selection layer (Eq. 1).
-      if (stage_train.lambda > 0.0) {
-        Var w1 = tape.Param(&net.FirstLayerWeight());
-        loss =
-            Add(loss, ScalarMul(ElasticNetPenalty(w1), stage_train.lambda));
-      }
-
-      optimizer.ZeroGrad();
-      tape.Backward(loss);
-      optimizer.Step();
+    // Feature representation distillation, Eq. 6.
+    Var old_rep = tape->Constant(old_reps_train.GatherRows(idx));
+    if (config_.beta > 0.0) {
+      loss = Add(loss, ScalarMul(MeanCosineDistance(fwd.rep, old_rep),
+                                 config_.beta));
+    }
+    // Feature representation transformation, Eq. 7. The new-model
+    // representation enters as a detached target: Eq. 7 trains phi to map
+    // the old space onto the new one, it must not drag g_{w_d} toward
+    // phi's (initially arbitrary) output.
+    if (config_.delta > 0.0) {
+      Var phi_out = phi.Forward(tape, old_rep);
+      Var rep_target = tape->Constant(fwd.rep.value());
+      loss = Add(loss, ScalarMul(MeanCosineDistance(phi_out, rep_target),
+                                 config_.delta));
     }
 
-    const double valid_loss = valid_loss_fn();
-    stats.epochs_run = epoch + 1;
-    if (valid_loss < best_valid - 1e-6) {
-      best_valid = valid_loss;
-      best_snapshot = causal::SnapshotValues(params);
-      since_best = 0;
-    } else if (++since_best >= stage_train.patience) {
-      break;
+    Var rep_treated_global = fwd.rep_treated;
+    Var rep_control_global = fwd.rep_control;
+    int n_treated = fwd.n_treated;
+    int n_control = fwd.n_control;
+
+    if (use_memory) {
+      // Memory replay: transformed old representations join the global
+      // representation space (Eq. 8 first sum; balanced IPM below).
+      const std::vector<int> mem_idx =
+          memory_.SampleBatch(mem_batch, &loop_rng);
+      Var mem_rep = tape->Constant(memory_.reps().GatherRows(mem_idx));
+      Var mem_transformed = phi.Forward(tape, mem_rep);
+
+      std::vector<int> mem_treated_idx, mem_control_idx;
+      linalg::Vector y_mem_treated, y_mem_control;
+      for (int i = 0; i < mem_batch; ++i) {
+        const int unit = mem_idx[i];
+        const double y_scaled = net.y_scaler().Transform(memory_.y()[unit]);
+        if (memory_.t()[unit] == 1) {
+          mem_treated_idx.push_back(i);
+          y_mem_treated.push_back(y_scaled);
+        } else {
+          mem_control_idx.push_back(i);
+          y_mem_control.push_back(y_scaled);
+        }
+      }
+      Var mem_sse = tape->Constant(linalg::Matrix(1, 1, 0.0));
+      if (!mem_treated_idx.empty()) {
+        Var rep_t = GatherRows(mem_transformed, mem_treated_idx);
+        Var pred = net.Head(tape, rep_t, 1);
+        Var target = tape->Constant(linalg::Matrix::ColVector(y_mem_treated));
+        mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
+        // The memory side joins the global IPM as a detached reference
+        // distribution: balancing must shape the new representations (and
+        // heads), not bend phi away from its Eq. 7 alignment target.
+        rep_treated_global =
+            ConcatRows(rep_treated_global, tape->Constant(rep_t.value()));
+        n_treated += static_cast<int>(mem_treated_idx.size());
+      }
+      if (!mem_control_idx.empty()) {
+        Var rep_c = GatherRows(mem_transformed, mem_control_idx);
+        Var pred = net.Head(tape, rep_c, 0);
+        Var target = tape->Constant(linalg::Matrix::ColVector(y_mem_control));
+        mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
+        rep_control_global =
+            ConcatRows(rep_control_global, tape->Constant(rep_c.value()));
+        n_control += static_cast<int>(mem_control_idx.size());
+      }
+      loss = Add(loss, ScalarMul(mem_sse, 1.0 / std::max(1, mem_batch)));
     }
-    if (stage_train.verbose && epoch % 10 == 0) {
-      CERL_LOG(Info) << "cerl stage " << stages_seen_ << " epoch " << epoch
-                     << " valid loss " << valid_loss;
+
+    // Balance the global representation space (Eq. 3 over memory ∪ new).
+    if (stage_train.alpha > 0.0 && n_treated > 0 && n_control > 0) {
+      Var ipm = ot::IpmPenalty(stage_train.ipm, rep_treated_global,
+                               rep_control_global, stage_train.sinkhorn);
+      loss = Add(loss, ScalarMul(ipm, stage_train.alpha));
     }
-  }
-  causal::RestoreValues(params, best_snapshot);
-  stats.best_valid_loss = best_valid;
+    // Elastic net on the new feature-selection layer (Eq. 1).
+    if (stage_train.lambda > 0.0) {
+      Var w1 = tape->Param(&net.FirstLayerWeight());
+      loss = Add(loss, ScalarMul(ElasticNetPenalty(w1), stage_train.lambda));
+    }
+    return loss;
+  };
+
+  train::TrainLoop loop(
+      causal::MakeLoopOptions(stage_train,
+                              "cerl stage " + std::to_string(stages_seen_)),
+      params, &loop_rng);
+  TrainStats stats = loop.Run(train.num_units(), batch_loss, valid_loss_fn);
 
   // Memory migration: M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
   if (config_.use_transform) {

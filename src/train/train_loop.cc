@@ -1,0 +1,87 @@
+#include "train/train_loop.h"
+
+#include <algorithm>
+
+#include "nn/optim.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cerl::train {
+
+std::vector<linalg::Matrix> SnapshotValues(
+    const std::vector<Parameter*>& params) {
+  std::vector<linalg::Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const auto* p : params) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void RestoreValues(const std::vector<Parameter*>& params,
+                   const std::vector<linalg::Matrix>& snapshot) {
+  CERL_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snapshot[i];
+}
+
+TrainLoop::TrainLoop(const LoopOptions& options,
+                     std::vector<Parameter*> params, Rng* rng)
+    : options_(options),
+      params_(std::move(params)),
+      external_rng_(rng),
+      owned_rng_(options.seed) {}
+
+TrainStats TrainLoop::Run(int n, const BatchLossFn& batch_loss,
+                          const ValidLossFn& valid_loss) {
+  CERL_CHECK(n > 0);
+  CERL_CHECK(options_.batch_size > 0);
+  Rng& rng = external_rng_ != nullptr ? *external_rng_ : owned_rng_;
+  nn::Adam optimizer(params_, options_.learning_rate);
+  const int batch = std::min(options_.batch_size, n);
+
+  WallTimer timer;
+  TrainStats stats;
+  double best_valid = valid_loss();
+  std::vector<linalg::Matrix> best_snapshot = SnapshotValues(params_);
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const std::vector<int> perm = rng.Permutation(n);
+    // Every sample is visited once per epoch: the final batch may be
+    // shorter than `batch` but is never dropped.
+    for (int start = 0; start < n; start += batch) {
+      const int end = std::min(start + batch, n);
+      std::vector<int> idx(perm.begin() + start, perm.begin() + end);
+
+      Tape tape;
+      Var loss = batch_loss(&tape, idx);
+      CERL_CHECK(loss.valid());
+      optimizer.ZeroGrad();
+      tape.Backward(loss);
+      optimizer.Step();
+      ++stats.steps;
+      stats.samples_seen += end - start;
+    }
+
+    const double epoch_valid = valid_loss();
+    stats.epochs_run = epoch + 1;
+    if (epoch_valid < best_valid - options_.min_improvement) {
+      best_valid = epoch_valid;
+      best_snapshot = SnapshotValues(params_);
+      since_best = 0;
+    } else if (++since_best >= options_.patience) {
+      break;
+    }
+    if (options_.verbose && options_.log_every > 0 &&
+        epoch % options_.log_every == 0) {
+      CERL_LOG(Info) << options_.log_label << " epoch " << epoch
+                     << " valid loss " << epoch_valid;
+    }
+  }
+
+  RestoreValues(params_, best_snapshot);
+  stats.best_valid_loss = best_valid;
+  stats.wall_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace cerl::train

@@ -1,0 +1,94 @@
+// Shared mini-batch training engine.
+//
+// Every gradient-trained objective in this codebase (CFR's Eq. 5, CERL's
+// continual Eq. 9, and whatever future stages add) shares the same loop
+// mechanics: shuffled mini-batch index assembly (including the final
+// partial batch), one Adam step per batch, patience-based early stopping
+// on a validation criterion, and snapshot/restore of the best parameters.
+// TrainLoop owns those mechanics once; callers supply only
+//   - a per-batch loss builder: (Tape*, batch indices) -> scalar Var, and
+//   - a validation-loss callback: () -> double.
+// Keeping exactly one loop means batching, tape reuse, and parallel batch
+// assembly optimizations land in one place instead of per-model copies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace cerl::train {
+
+using autodiff::Parameter;
+using autodiff::Tape;
+using autodiff::Var;
+
+/// Loop mechanics configuration (the subset of a model's training config
+/// that the engine itself consumes).
+struct LoopOptions {
+  int epochs = 120;
+  int batch_size = 128;
+  double learning_rate = 1e-3;
+  int patience = 15;             ///< early-stopping patience (epochs)
+  double min_improvement = 1e-6; ///< required drop in valid loss to count
+  uint64_t seed = 1234;          ///< shuffle seed when no Rng* is supplied
+  bool verbose = false;
+  int log_every = 10;            ///< epochs between verbose log lines
+  std::string log_label = "train";
+};
+
+/// Summary of one training run.
+struct TrainStats {
+  int epochs_run = 0;
+  double best_valid_loss = 0.0;
+  double wall_seconds = 0.0;     ///< total Run() wall time
+  int64_t steps = 0;             ///< optimizer steps taken
+  int64_t samples_seen = 0;      ///< sum of batch sizes over all steps
+};
+
+/// Copies current parameter values (early-stopping snapshots).
+std::vector<linalg::Matrix> SnapshotValues(
+    const std::vector<Parameter*>& params);
+
+/// Writes a snapshot back into the parameters.
+void RestoreValues(const std::vector<Parameter*>& params,
+                   const std::vector<linalg::Matrix>& snapshot);
+
+/// Builds the scalar training loss for one mini-batch. The tape is fresh
+/// per batch; `batch` holds dataset indices (the tail batch may be smaller
+/// than LoopOptions::batch_size but is never dropped).
+using BatchLossFn = std::function<Var(Tape* tape, const std::vector<int>& batch)>;
+
+/// Full validation criterion used for early stopping / snapshot selection.
+using ValidLossFn = std::function<double()>;
+
+/// Mini-batch gradient-descent driver with early stopping.
+class TrainLoop {
+ public:
+  /// `params` is the joint trainable set (optimized by Adam and covered by
+  /// snapshots). If `rng` is non-null it supplies the shuffles (callers that
+  /// thread one deterministic stream through init + training); otherwise the
+  /// loop seeds its own stream from `options.seed`.
+  TrainLoop(const LoopOptions& options, std::vector<Parameter*> params,
+            Rng* rng = nullptr);
+
+  /// Runs up to `options.epochs` epochs over `n` samples. Each epoch visits
+  /// every index in 0..n-1 exactly once in shuffled order, including the
+  /// final partial batch when n % batch_size != 0. After each epoch
+  /// `valid_loss` decides early stopping; on exit the best-validation
+  /// snapshot is restored into the parameters.
+  TrainStats Run(int n, const BatchLossFn& batch_loss,
+                 const ValidLossFn& valid_loss);
+
+ private:
+  LoopOptions options_;
+  std::vector<Parameter*> params_;
+  Rng* external_rng_;
+  Rng owned_rng_;
+};
+
+}  // namespace cerl::train
