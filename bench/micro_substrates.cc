@@ -51,10 +51,11 @@ void BM_AutodiffTrainingStep(benchmark::State& state) {
   nn::Adam opt(mlp.Parameters(), 1e-3);
   linalg::Matrix x = RandomMatrix(&rng, batch, 100);
   linalg::Matrix y = RandomMatrix(&rng, batch, 1);
+  autodiff::Tape tape;
   for (auto _ : state) {
-    autodiff::Tape tape;
-    autodiff::Var out = mlp.Forward(&tape, tape.Constant(x));
-    autodiff::Var loss = autodiff::MseLoss(out, tape.Constant(y));
+    tape.Reset();
+    autodiff::Var out = mlp.Forward(&tape, tape.ConstantView(&x));
+    autodiff::Var loss = autodiff::MseLoss(out, tape.ConstantView(&y));
     opt.ZeroGrad();
     tape.Backward(loss);
     opt.Step();
@@ -62,6 +63,43 @@ void BM_AutodiffTrainingStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_AutodiffTrainingStep)->Arg(64)->Arg(256);
+
+// Proves the tape-arena reuse sub-win in isolation: the same MLP training
+// step recorded on a fresh Tape each iteration (allocating every node)
+// versus on one persistent Tape via Reset() (steady state allocates
+// nothing; see Tape::arena_allocations).
+void TapeStep(nn::Mlp* mlp, nn::Adam* opt, autodiff::Tape* tape,
+              const linalg::Matrix& x, const linalg::Matrix& y) {
+  autodiff::Var out = mlp->Forward(tape, tape->ConstantView(&x));
+  autodiff::Var loss = autodiff::MseLoss(out, tape->ConstantView(&y));
+  opt->ZeroGrad();
+  tape->Backward(loss);
+  opt->Step();
+}
+
+void BM_TapeReuse(benchmark::State& state) {
+  const bool reuse = state.range(0) != 0;
+  Rng rng(2);
+  nn::MlpConfig config;
+  config.dims = {100, 48, 16, 1};
+  nn::Mlp mlp(&rng, config);
+  nn::Adam opt(mlp.Parameters(), 1e-3);
+  linalg::Matrix x = RandomMatrix(&rng, 128, 100);
+  linalg::Matrix y = RandomMatrix(&rng, 128, 1);
+  autodiff::Tape persistent;
+  for (auto _ : state) {
+    if (reuse) {
+      persistent.Reset();
+      TapeStep(&mlp, &opt, &persistent, x, y);
+    } else {
+      autodiff::Tape fresh;
+      TapeStep(&mlp, &opt, &fresh, x, y);
+    }
+  }
+  state.SetLabel(reuse ? "reset_reuse" : "fresh_tape");
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_TapeReuse)->Arg(0)->Arg(1);
 
 void BM_TrainLoopEpoch(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -78,10 +116,11 @@ void BM_TrainLoopEpoch(benchmark::State& state) {
   for (auto _ : state) {
     train::TrainLoop loop(options, mlp.Parameters());
     train::TrainStats stats = loop.Run(
-        n,
-        [&](autodiff::Tape* tape, const std::vector<int>& idx) {
-          autodiff::Var xb = tape->Constant(x.GatherRows(idx));
-          autodiff::Var yb = tape->Constant(y.GatherRows(idx));
+        n, {&x, &y},
+        [&](autodiff::Tape* tape, train::IndexSpan,
+            const std::vector<linalg::Matrix>& gathered) {
+          autodiff::Var xb = tape->ConstantView(&gathered[0]);
+          autodiff::Var yb = tape->ConstantView(&gathered[1]);
           return autodiff::MseLoss(mlp.Forward(tape, xb), yb);
         },
         [] { return 1.0; });
@@ -90,6 +129,37 @@ void BM_TrainLoopEpoch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_TrainLoopEpoch)->Arg(1000)->Arg(4000);
+
+void BM_GatherRows(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int cols = 100;
+  Rng rng(11);
+  linalg::Matrix x = RandomMatrix(&rng, n, cols);
+  std::vector<int> idx = rng.Permutation(n);
+  idx.resize(n / 2);
+  linalg::Matrix out;
+  for (auto _ : state) {
+    x.GatherRowsInto(idx.data(), static_cast<int>(idx.size()), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(idx.size()) * cols *
+                          static_cast<int64_t>(sizeof(double)));
+}
+BENCHMARK(BM_GatherRows)->Arg(1000)->Arg(20000);
+
+void BM_MatVec(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  linalg::Matrix a = RandomMatrix(&rng, n, n);
+  linalg::Vector x(n, 0.5);
+  for (auto _ : state) {
+    linalg::Vector y = linalg::MatVec(a, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n);
+}
+BENCHMARK(BM_MatVec)->Arg(256)->Arg(1024);
 
 void BM_Sinkhorn(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -1,15 +1,21 @@
+// Op implementations write their forward result directly into the tape's
+// (reused) node buffer via Tape::NewNode — steady-state re-recording of a
+// fixed-topology graph allocates nothing — and register capture-free
+// backward kernels (function pointer + small payload) that accumulate into
+// GradRef in place: Gemm with beta=1 for the matmul family, axpy/loop
+// accumulation everywhere else. No backward materializes a temporary
+// Matrix.
 #include "autodiff/ops.h"
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
-#include <utility>
 
 #include "linalg/gemm.h"
 
 namespace cerl::autodiff {
 namespace {
 
+using Ctx = Tape::BackwardCtx;
 using linalg::Gemm;
 using linalg::Trans;
 
@@ -19,23 +25,231 @@ Tape* SameTape(Var a, Var b) {
   return a.tape();
 }
 
-// Helper that appends a node and rebinds a backward closure that knows the
-// new node's id. All ops below use this pattern.
-Var AddWithBackward(Tape* tape, Matrix value, std::vector<int> deps,
-                    std::function<void(Tape*, int)> backward) {
-  // Two-phase: create the node with a placeholder, then wrap the closure
-  // with the now-known id.
-  struct Slot {
-    std::function<void(Tape*, int)> fn;
-    int id = -1;
-  };
-  auto slot = std::make_shared<Slot>();
-  slot->fn = std::move(backward);
-  Var v = tape->AddNode(
-      std::move(value), std::move(deps),
-      [slot](Tape* t) { slot->fn(t, slot->id); });
-  slot->id = v.id();
-  return v;
+void MatMulBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  if (t->RequiresGrad(ctx.a)) {
+    Gemm(Trans::kNo, Trans::kYes, 1.0, g, t->ValueOf(ctx.b), 1.0,
+         &t->GradRef(ctx.a));
+  }
+  if (t->RequiresGrad(ctx.b)) {
+    Gemm(Trans::kYes, Trans::kNo, 1.0, t->ValueOf(ctx.a), g, 1.0,
+         &t->GradRef(ctx.b));
+  }
+}
+
+void MatMulBtBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  if (t->RequiresGrad(ctx.a)) {
+    Gemm(Trans::kNo, Trans::kNo, 1.0, g, t->ValueOf(ctx.b), 1.0,
+         &t->GradRef(ctx.a));
+  }
+  if (t->RequiresGrad(ctx.b)) {
+    Gemm(Trans::kYes, Trans::kNo, 1.0, g, t->ValueOf(ctx.a), 1.0,
+         &t->GradRef(ctx.b));
+  }
+}
+
+void AddBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  if (t->RequiresGrad(ctx.a)) t->GradRef(ctx.a).Add(g);
+  if (t->RequiresGrad(ctx.b)) t->GradRef(ctx.b).Add(g);
+}
+
+void SubBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  if (t->RequiresGrad(ctx.a)) t->GradRef(ctx.a).Add(g);
+  if (t->RequiresGrad(ctx.b)) t->GradRef(ctx.b).Sub(g);
+}
+
+void MulBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  if (t->RequiresGrad(ctx.a)) {
+    Matrix& ga = t->GradRef(ctx.a);
+    const Matrix& bv = t->ValueOf(ctx.b);
+    for (int64_t i = 0; i < g.size(); ++i) {
+      ga.data()[i] += g.data()[i] * bv.data()[i];
+    }
+  }
+  if (t->RequiresGrad(ctx.b)) {
+    Matrix& gb = t->GradRef(ctx.b);
+    const Matrix& av = t->ValueOf(ctx.a);
+    for (int64_t i = 0; i < g.size(); ++i) {
+      gb.data()[i] += g.data()[i] * av.data()[i];
+    }
+  }
+}
+
+void AddRowBroadcastBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  if (t->RequiresGrad(ctx.a)) t->GradRef(ctx.a).Add(g);
+  if (t->RequiresGrad(ctx.b)) {
+    Matrix& gb = t->GradRef(ctx.b);
+    for (int r = 0; r < g.rows(); ++r) {
+      const double* row = g.row(r);
+      for (int c = 0; c < g.cols(); ++c) gb(0, c) += row[c];
+    }
+  }
+}
+
+void MulColBroadcastBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  const Matrix& av = t->ValueOf(ctx.a);
+  const Matrix& sv = t->ValueOf(ctx.b);
+  if (t->RequiresGrad(ctx.a)) {
+    Matrix& ga = t->GradRef(ctx.a);
+    for (int r = 0; r < g.rows(); ++r) {
+      const double k = sv(r, 0);
+      const double* grow = g.row(r);
+      double* garow = ga.row(r);
+      for (int c = 0; c < g.cols(); ++c) garow[c] += grow[c] * k;
+    }
+  }
+  if (t->RequiresGrad(ctx.b)) {
+    Matrix& gs = t->GradRef(ctx.b);
+    for (int r = 0; r < g.rows(); ++r) {
+      const double* grow = g.row(r);
+      const double* arow = av.row(r);
+      double acc = 0.0;
+      for (int c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
+      gs(r, 0) += acc;
+    }
+  }
+}
+
+void ScalarMulBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  t->GradRef(ctx.a).Axpy(ctx.k, t->GradRef(self));
+}
+
+void ScalarAddBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  t->GradRef(ctx.a).Add(t->GradRef(self));
+}
+
+// Elementwise unary ops are instantiated per (forward, derivative) pair so
+// both functions inline into the loops — a per-element indirect call costs
+// more than the arithmetic for cheap activations like ReLU.
+template <double (*Fwd)(double), double (*Dfdx)(double, double)>
+struct EwOp {
+  static void Backward(Tape* t, int self, const Ctx& ctx) {
+    if (!t->RequiresGrad(ctx.a)) return;
+    const Matrix& g = t->GradRef(self);
+    const Matrix& x = t->ValueOf(ctx.a);
+    const Matrix& y = t->ValueOf(self);
+    Matrix& ga = t->GradRef(ctx.a);
+    for (int64_t i = 0; i < g.size(); ++i) {
+      ga.data()[i] += g.data()[i] * Dfdx(x.data()[i], y.data()[i]);
+    }
+  }
+
+  static Var Apply(Var a) {
+    Tape* tape = a.tape();
+    Ctx ctx;
+    ctx.a = a.id();
+    Matrix* out = nullptr;
+    Var v = tape->NewNode(a.rows(), a.cols(), &Backward, ctx, &out);
+    const Matrix& av = tape->ValueOf(ctx.a);
+    for (int64_t i = 0; i < av.size(); ++i) {
+      out->data()[i] = Fwd(av.data()[i]);
+    }
+    return v;
+  }
+};
+
+void SumBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  const double g = t->GradRef(self)(0, 0);
+  Matrix& ga = t->GradRef(ctx.a);
+  for (int64_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+}
+
+void RowSumBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  const Matrix& g = t->GradRef(self);
+  Matrix& ga = t->GradRef(ctx.a);
+  for (int r = 0; r < ga.rows(); ++r) {
+    const double k = g(r, 0);
+    double* row = ga.row(r);
+    for (int c = 0; c < ga.cols(); ++c) row[c] += k;
+  }
+}
+
+void ColSumBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  const Matrix& g = t->GradRef(self);
+  Matrix& ga = t->GradRef(ctx.a);
+  for (int r = 0; r < ga.rows(); ++r) {
+    double* row = ga.row(r);
+    for (int c = 0; c < ga.cols(); ++c) row[c] += g(0, c);
+  }
+}
+
+void TransposeBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  const Matrix& g = t->GradRef(self);  // cols x rows of a
+  Matrix& ga = t->GradRef(ctx.a);
+  for (int r = 0; r < ga.rows(); ++r) {
+    double* row = ga.row(r);
+    for (int c = 0; c < ga.cols(); ++c) row[c] += g(c, r);
+  }
+}
+
+void ConcatRowsBackward(Tape* t, int self, const Ctx& ctx) {
+  const Matrix& g = t->GradRef(self);
+  const int a_rows = ctx.aux;
+  if (t->RequiresGrad(ctx.a)) {
+    Matrix& ga = t->GradRef(ctx.a);
+    for (int r = 0; r < ga.rows(); ++r) {
+      const double* src = g.row(r);
+      double* dst = ga.row(r);
+      for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
+    }
+  }
+  if (t->RequiresGrad(ctx.b)) {
+    Matrix& gb = t->GradRef(ctx.b);
+    for (int r = 0; r < gb.rows(); ++r) {
+      const double* src = g.row(a_rows + r);
+      double* dst = gb.row(r);
+      for (int c = 0; c < gb.cols(); ++c) dst[c] += src[c];
+    }
+  }
+}
+
+void GatherRowsBackward(Tape* t, int self, const Ctx& ctx) {
+  if (!t->RequiresGrad(ctx.a)) return;
+  const Matrix& g = t->GradRef(self);
+  Matrix& ga = t->GradRef(ctx.a);
+  const int* index = t->Indices(ctx.aux);
+  for (int i = 0; i < ctx.aux2; ++i) {
+    const double* src = g.row(i);
+    double* dst = ga.row(index[i]);
+    for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
+  }
+}
+
+// The (forward, derivative) pairs. Derivatives may be written in terms of
+// the input x and/or the output y.
+double ReciprocalFwd(double x) { return 1.0 / x; }
+double ReciprocalDx(double, double y) { return -y * y; }
+double ReluFwd(double x) { return x > 0.0 ? x : 0.0; }
+double ReluDx(double x, double) { return x > 0.0 ? 1.0 : 0.0; }
+double EluFwd(double x) { return x > 0.0 ? x : std::expm1(x); }
+double EluDx(double x, double y) { return x > 0.0 ? 1.0 : y + 1.0; }
+double TanhFwd(double x) { return std::tanh(x); }
+double TanhDx(double, double y) { return 1.0 - y * y; }
+double SigmoidFwd(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double SigmoidDx(double, double y) { return y * (1.0 - y); }
+double ExpFwd(double x) { return std::exp(x); }
+double ExpDx(double, double y) { return y; }
+double LogFwd(double x) { return std::log(x); }
+double LogDx(double x, double) { return 1.0 / x; }
+double SqrtFwd(double x) { return std::sqrt(x); }
+double SqrtDx(double, double y) { return y > 0.0 ? 0.5 / y : 0.0; }
+double SquareFwd(double x) { return x * x; }
+double SquareDx(double x, double) { return 2.0 * x; }
+double AbsFwd(double x) { return std::fabs(x); }
+double AbsDx(double x, double) {
+  return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
 }
 
 }  // namespace
@@ -43,293 +257,173 @@ Var AddWithBackward(Tape* tape, Matrix value, std::vector<int> deps,
 Var MatMul(Var a, Var b) {
   Tape* tape = SameTape(a, b);
   CERL_CHECK_EQ(a.cols(), b.rows());
-  Matrix out = linalg::MatMul(a.value(), b.value());
-  const int a_id = a.id(), b_id = b.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) {
-          Gemm(Trans::kNo, Trans::kYes, 1.0, g, t->ValueOf(b_id), 1.0,
-               &t->GradRef(a_id));
-        }
-        if (t->RequiresGrad(b_id)) {
-          Gemm(Trans::kYes, Trans::kNo, 1.0, t->ValueOf(a_id), g, 1.0,
-               &t->GradRef(b_id));
-        }
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = b.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), b.cols(), &MatMulBackward, ctx, &out);
+  Gemm(Trans::kNo, Trans::kNo, 1.0, tape->ValueOf(ctx.a),
+       tape->ValueOf(ctx.b), 0.0, out);
+  return v;
 }
 
 Var MatMulBt(Var a, Var b) {
   Tape* tape = SameTape(a, b);
   CERL_CHECK_EQ(a.cols(), b.cols());
-  Matrix out = linalg::MatMulT(Trans::kNo, Trans::kYes, a.value(), b.value());
-  const int a_id = a.id(), b_id = b.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) {
-          Gemm(Trans::kNo, Trans::kNo, 1.0, g, t->ValueOf(b_id), 1.0,
-               &t->GradRef(a_id));
-        }
-        if (t->RequiresGrad(b_id)) {
-          Gemm(Trans::kYes, Trans::kNo, 1.0, g, t->ValueOf(a_id), 1.0,
-               &t->GradRef(b_id));
-        }
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = b.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), b.rows(), &MatMulBtBackward, ctx, &out);
+  Gemm(Trans::kNo, Trans::kYes, 1.0, tape->ValueOf(ctx.a),
+       tape->ValueOf(ctx.b), 0.0, out);
+  return v;
 }
 
 Var Add(Var a, Var b) {
   Tape* tape = SameTape(a, b);
   CERL_CHECK(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  out.Add(b.value());
-  const int a_id = a.id(), b_id = b.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) t->GradRef(a_id).Add(g);
-        if (t->RequiresGrad(b_id)) t->GradRef(b_id).Add(g);
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = b.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &AddBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  const Matrix& bv = tape->ValueOf(ctx.b);
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out->data()[i] = av.data()[i] + bv.data()[i];
+  }
+  return v;
 }
 
 Var Sub(Var a, Var b) {
   Tape* tape = SameTape(a, b);
   CERL_CHECK(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  out.Sub(b.value());
-  const int a_id = a.id(), b_id = b.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) t->GradRef(a_id).Add(g);
-        if (t->RequiresGrad(b_id)) t->GradRef(b_id).Sub(g);
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = b.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &SubBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  const Matrix& bv = tape->ValueOf(ctx.b);
+  for (int64_t i = 0; i < av.size(); ++i) {
+    out->data()[i] = av.data()[i] - bv.data()[i];
+  }
+  return v;
 }
 
 Var Mul(Var a, Var b) {
   Tape* tape = SameTape(a, b);
   CERL_CHECK(a.value().SameShape(b.value()));
-  const Matrix& av = a.value();
-  const Matrix& bv = b.value();
-  Matrix out(av.rows(), av.cols());
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = b.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &MulBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  const Matrix& bv = tape->ValueOf(ctx.b);
   for (int64_t i = 0; i < av.size(); ++i) {
-    out.data()[i] = av.data()[i] * bv.data()[i];
+    out->data()[i] = av.data()[i] * bv.data()[i];
   }
-  const int a_id = a.id(), b_id = b.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) {
-          Matrix& ga = t->GradRef(a_id);
-          const Matrix& bv = t->ValueOf(b_id);
-          for (int64_t i = 0; i < g.size(); ++i) {
-            ga.data()[i] += g.data()[i] * bv.data()[i];
-          }
-        }
-        if (t->RequiresGrad(b_id)) {
-          Matrix& gb = t->GradRef(b_id);
-          const Matrix& av = t->ValueOf(a_id);
-          for (int64_t i = 0; i < g.size(); ++i) {
-            gb.data()[i] += g.data()[i] * av.data()[i];
-          }
-        }
-      });
+  return v;
 }
 
 Var AddRowBroadcast(Var a, Var bias) {
   Tape* tape = SameTape(a, bias);
-  const Matrix& av = a.value();
-  const Matrix& bv = bias.value();
-  CERL_CHECK_EQ(bv.rows(), 1);
-  CERL_CHECK_EQ(bv.cols(), av.cols());
-  Matrix out = av;
-  for (int r = 0; r < out.rows(); ++r) {
-    double* row = out.row(r);
-    for (int c = 0; c < out.cols(); ++c) row[c] += bv(0, c);
+  CERL_CHECK_EQ(bias.rows(), 1);
+  CERL_CHECK_EQ(bias.cols(), a.cols());
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = bias.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &AddRowBroadcastBackward, ctx,
+                        &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  const Matrix& bv = tape->ValueOf(ctx.b);
+  for (int r = 0; r < av.rows(); ++r) {
+    const double* src = av.row(r);
+    double* dst = out->row(r);
+    for (int c = 0; c < av.cols(); ++c) dst[c] = src[c] + bv(0, c);
   }
-  const int a_id = a.id(), b_id = bias.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) t->GradRef(a_id).Add(g);
-        if (t->RequiresGrad(b_id)) {
-          Matrix& gb = t->GradRef(b_id);
-          for (int r = 0; r < g.rows(); ++r) {
-            const double* row = g.row(r);
-            for (int c = 0; c < g.cols(); ++c) gb(0, c) += row[c];
-          }
-        }
-      });
+  return v;
 }
 
 Var MulColBroadcast(Var a, Var s) {
   Tape* tape = SameTape(a, s);
-  const Matrix& av = a.value();
-  const Matrix& sv = s.value();
-  CERL_CHECK_EQ(sv.cols(), 1);
-  CERL_CHECK_EQ(sv.rows(), av.rows());
-  Matrix out = av;
-  for (int r = 0; r < out.rows(); ++r) {
-    double* row = out.row(r);
+  CERL_CHECK_EQ(s.cols(), 1);
+  CERL_CHECK_EQ(s.rows(), a.rows());
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = s.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &MulColBroadcastBackward, ctx,
+                        &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  const Matrix& sv = tape->ValueOf(ctx.b);
+  for (int r = 0; r < av.rows(); ++r) {
     const double k = sv(r, 0);
-    for (int c = 0; c < out.cols(); ++c) row[c] *= k;
+    const double* src = av.row(r);
+    double* dst = out->row(r);
+    for (int c = 0; c < av.cols(); ++c) dst[c] = src[c] * k;
   }
-  const int a_id = a.id(), s_id = s.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, s_id}, [a_id, s_id](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        const Matrix& av = t->ValueOf(a_id);
-        const Matrix& sv = t->ValueOf(s_id);
-        if (t->RequiresGrad(a_id)) {
-          Matrix& ga = t->GradRef(a_id);
-          for (int r = 0; r < g.rows(); ++r) {
-            const double k = sv(r, 0);
-            const double* grow = g.row(r);
-            double* garow = ga.row(r);
-            for (int c = 0; c < g.cols(); ++c) garow[c] += grow[c] * k;
-          }
-        }
-        if (t->RequiresGrad(s_id)) {
-          Matrix& gs = t->GradRef(s_id);
-          for (int r = 0; r < g.rows(); ++r) {
-            const double* grow = g.row(r);
-            const double* arow = av.row(r);
-            double acc = 0.0;
-            for (int c = 0; c < g.cols(); ++c) acc += grow[c] * arow[c];
-            gs(r, 0) += acc;
-          }
-        }
-      });
+  return v;
 }
 
 Var ScalarMul(Var a, double k) {
   Tape* tape = a.tape();
-  Matrix out = a.value();
-  out.Scale(k);
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id, k](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        const Matrix& g = t->GradRef(self);
-        Matrix& ga = t->GradRef(a_id);
-        for (int64_t i = 0; i < g.size(); ++i) {
-          ga.data()[i] += k * g.data()[i];
-        }
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.k = k;
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &ScalarMulBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  for (int64_t i = 0; i < av.size(); ++i) out->data()[i] = k * av.data()[i];
+  return v;
 }
 
 Var ScalarAdd(Var a, double k) {
   Tape* tape = a.tape();
-  Matrix out = a.value();
-  for (int64_t i = 0; i < out.size(); ++i) out.data()[i] += k;
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        t->GradRef(a_id).Add(t->GradRef(self));
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.k = k;
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), a.cols(), &ScalarAddBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  for (int64_t i = 0; i < av.size(); ++i) out->data()[i] = av.data()[i] + k;
+  return v;
 }
 
-namespace {
+Var Reciprocal(Var a) { return EwOp<&ReciprocalFwd, &ReciprocalDx>::Apply(a); }
 
-// Shared implementation for elementwise unary ops whose local derivative can
-// be written in terms of the input x and output y.
-Var ElementwiseUnary(Var a, double (*fwd)(double),
-                     double (*dfdx)(double, double)) {
-  Tape* tape = a.tape();
-  const Matrix& av = a.value();
-  Matrix out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = fwd(av.data()[i]);
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id, dfdx](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        const Matrix& g = t->GradRef(self);
-        const Matrix& x = t->ValueOf(a_id);
-        const Matrix& y = t->ValueOf(self);
-        Matrix& ga = t->GradRef(a_id);
-        for (int64_t i = 0; i < g.size(); ++i) {
-          ga.data()[i] += g.data()[i] * dfdx(x.data()[i], y.data()[i]);
-        }
-      });
-}
+Var Relu(Var a) { return EwOp<&ReluFwd, &ReluDx>::Apply(a); }
 
-}  // namespace
+Var Elu(Var a) { return EwOp<&EluFwd, &EluDx>::Apply(a); }
 
-Var Reciprocal(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return 1.0 / x; },
-      [](double, double y) { return -y * y; });
-}
+Var Tanh(Var a) { return EwOp<&TanhFwd, &TanhDx>::Apply(a); }
 
-Var Relu(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return x > 0.0 ? x : 0.0; },
-      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
-}
+Var Sigmoid(Var a) { return EwOp<&SigmoidFwd, &SigmoidDx>::Apply(a); }
 
-Var Elu(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return x > 0.0 ? x : std::expm1(x); },
-      [](double x, double y) { return x > 0.0 ? 1.0 : y + 1.0; });
-}
+Var Exp(Var a) { return EwOp<&ExpFwd, &ExpDx>::Apply(a); }
 
-Var Tanh(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return std::tanh(x); },
-      [](double, double y) { return 1.0 - y * y; });
-}
+Var Log(Var a) { return EwOp<&LogFwd, &LogDx>::Apply(a); }
 
-Var Sigmoid(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
-      [](double, double y) { return y * (1.0 - y); });
-}
+Var Sqrt(Var a) { return EwOp<&SqrtFwd, &SqrtDx>::Apply(a); }
 
-Var Exp(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return std::exp(x); },
-      [](double, double y) { return y; });
-}
+Var Square(Var a) { return EwOp<&SquareFwd, &SquareDx>::Apply(a); }
 
-Var Log(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return std::log(x); },
-      [](double x, double) { return 1.0 / x; });
-}
-
-Var Sqrt(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return std::sqrt(x); },
-      [](double, double y) { return y > 0.0 ? 0.5 / y : 0.0; });
-}
-
-Var Square(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return x * x; },
-      [](double x, double) { return 2.0 * x; });
-}
-
-Var Abs(Var a) {
-  return ElementwiseUnary(
-      a, [](double x) { return std::fabs(x); },
-      [](double x, double) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
-}
+Var Abs(Var a) { return EwOp<&AbsFwd, &AbsDx>::Apply(a); }
 
 Var Sum(Var a) {
   Tape* tape = a.tape();
-  const Matrix& av = a.value();
+  Ctx ctx;
+  ctx.a = a.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(1, 1, &SumBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
   double s = 0.0;
   for (int64_t i = 0; i < av.size(); ++i) s += av.data()[i];
-  Matrix out(1, 1, s);
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        const double g = t->GradRef(self)(0, 0);
-        Matrix& ga = t->GradRef(a_id);
-        for (int64_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
-      });
+  (*out)(0, 0) = s;
+  return v;
 }
 
 Var Mean(Var a) {
@@ -340,113 +434,84 @@ Var Mean(Var a) {
 
 Var RowSum(Var a) {
   Tape* tape = a.tape();
-  const Matrix& av = a.value();
-  Matrix out(av.rows(), 1);
+  Ctx ctx;
+  ctx.a = a.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows(), 1, &RowSumBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
   for (int r = 0; r < av.rows(); ++r) {
     const double* row = av.row(r);
     double s = 0.0;
     for (int c = 0; c < av.cols(); ++c) s += row[c];
-    out(r, 0) = s;
+    (*out)(r, 0) = s;
   }
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        const Matrix& g = t->GradRef(self);
-        Matrix& ga = t->GradRef(a_id);
-        for (int r = 0; r < ga.rows(); ++r) {
-          const double k = g(r, 0);
-          double* row = ga.row(r);
-          for (int c = 0; c < ga.cols(); ++c) row[c] += k;
-        }
-      });
+  return v;
 }
 
 Var ColSum(Var a) {
   Tape* tape = a.tape();
-  const Matrix& av = a.value();
-  Matrix out(1, av.cols());
+  Ctx ctx;
+  ctx.a = a.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(1, a.cols(), &ColSumBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  out->Fill(0.0);  // reused buffers are not zeroed by the tape
   for (int r = 0; r < av.rows(); ++r) {
     const double* row = av.row(r);
-    for (int c = 0; c < av.cols(); ++c) out(0, c) += row[c];
+    for (int c = 0; c < av.cols(); ++c) (*out)(0, c) += row[c];
   }
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        const Matrix& g = t->GradRef(self);
-        Matrix& ga = t->GradRef(a_id);
-        for (int r = 0; r < ga.rows(); ++r) {
-          double* row = ga.row(r);
-          for (int c = 0; c < ga.cols(); ++c) row[c] += g(0, c);
-        }
-      });
+  return v;
 }
 
 Var Transpose(Var a) {
   Tape* tape = a.tape();
-  Matrix out = a.value().Transposed();
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id}, [a_id](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        t->GradRef(a_id).Add(t->GradRef(self).Transposed());
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.cols(), a.rows(), &TransposeBackward, ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  for (int r = 0; r < av.rows(); ++r) {
+    const double* src = av.row(r);
+    for (int c = 0; c < av.cols(); ++c) (*out)(c, r) = src[c];
+  }
+  return v;
 }
 
 Var ConcatRows(Var a, Var b) {
   Tape* tape = SameTape(a, b);
-  const Matrix& av = a.value();
-  const Matrix& bv = b.value();
-  CERL_CHECK_EQ(av.cols(), bv.cols());
-  Matrix out(av.rows() + bv.rows(), av.cols());
+  CERL_CHECK_EQ(a.cols(), b.cols());
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.b = b.id();
+  ctx.aux = a.rows();
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(a.rows() + b.rows(), a.cols(), &ConcatRowsBackward,
+                        ctx, &out);
+  const Matrix& av = tape->ValueOf(ctx.a);
+  const Matrix& bv = tape->ValueOf(ctx.b);
   for (int r = 0; r < av.rows(); ++r) {
-    std::copy(av.row(r), av.row(r) + av.cols(), out.row(r));
+    std::copy(av.row(r), av.row(r) + av.cols(), out->row(r));
   }
   for (int r = 0; r < bv.rows(); ++r) {
-    std::copy(bv.row(r), bv.row(r) + bv.cols(), out.row(av.rows() + r));
+    std::copy(bv.row(r), bv.row(r) + bv.cols(), out->row(av.rows() + r));
   }
-  const int a_id = a.id(), b_id = b.id();
-  const int a_rows = av.rows();
-  return AddWithBackward(
-      tape, std::move(out), {a_id, b_id},
-      [a_id, b_id, a_rows](Tape* t, int self) {
-        const Matrix& g = t->GradRef(self);
-        if (t->RequiresGrad(a_id)) {
-          Matrix& ga = t->GradRef(a_id);
-          for (int r = 0; r < ga.rows(); ++r) {
-            const double* src = g.row(r);
-            double* dst = ga.row(r);
-            for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
-          }
-        }
-        if (t->RequiresGrad(b_id)) {
-          Matrix& gb = t->GradRef(b_id);
-          for (int r = 0; r < gb.rows(); ++r) {
-            const double* src = g.row(a_rows + r);
-            double* dst = gb.row(r);
-            for (int c = 0; c < gb.cols(); ++c) dst[c] += src[c];
-          }
-        }
-      });
+  return v;
 }
 
-Var GatherRows(Var a, std::vector<int> index) {
+Var GatherRows(Var a, const int* index, int n) {
   Tape* tape = a.tape();
-  Matrix out = a.value().GatherRows(index);
-  const int a_id = a.id();
-  return AddWithBackward(
-      tape, std::move(out), {a_id},
-      [a_id, index = std::move(index)](Tape* t, int self) {
-        if (!t->RequiresGrad(a_id)) return;
-        const Matrix& g = t->GradRef(self);
-        Matrix& ga = t->GradRef(a_id);
-        for (size_t i = 0; i < index.size(); ++i) {
-          const double* src = g.row(static_cast<int>(i));
-          double* dst = ga.row(index[i]);
-          for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
-        }
-      });
+  Ctx ctx;
+  ctx.a = a.id();
+  ctx.aux = tape->StoreIndices(index, n);
+  ctx.aux2 = n;
+  Matrix* out = nullptr;
+  Var v = tape->NewNode(n, a.cols(), &GatherRowsBackward, ctx, &out);
+  tape->ValueOf(ctx.a).GatherRowsInto(tape->Indices(ctx.aux), n, out);
+  return v;
+}
+
+Var GatherRows(Var a, const std::vector<int>& index) {
+  return GatherRows(a, index.data(), static_cast<int>(index.size()));
 }
 
 }  // namespace cerl::autodiff

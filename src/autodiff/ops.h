@@ -50,7 +50,10 @@ Var ColSum(Var a);   ///< 1 x cols
 
 /// Structure ops.
 Var Transpose(Var a);
-Var ConcatRows(Var a, Var b);                   ///< vertical stack
-Var GatherRows(Var a, std::vector<int> index);  ///< rows by index
+Var ConcatRows(Var a, Var b);  ///< vertical stack
+/// Rows by index. The indices are copied into tape-owned storage (reused
+/// across Tape::Reset), so callers may pass transient spans.
+Var GatherRows(Var a, const int* index, int n);
+Var GatherRows(Var a, const std::vector<int>& index);
 
 }  // namespace cerl::autodiff

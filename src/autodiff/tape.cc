@@ -1,5 +1,7 @@
 #include "autodiff/tape.h"
 
+#include <utility>
+
 namespace cerl::autodiff {
 
 const Matrix& Var::value() const {
@@ -18,42 +20,117 @@ double Var::scalar() const {
   return v(0, 0);
 }
 
-Var Tape::Constant(Matrix value) {
-  return AddNode(std::move(value), {}, nullptr, /*force_requires_grad=*/false);
+void Tape::Reset() {
+  size_ = 0;
+  index_size_ = 0;
+  bindings_.clear();  // capacity retained
+  ++gen_;             // logically invalidates every node's gradient
 }
 
-Var Tape::Leaf(Matrix value) {
-  return AddNode(std::move(value), {}, nullptr, /*force_requires_grad=*/true);
+Tape::Node& Tape::ClaimSlot() {
+  if (size_ == static_cast<int>(nodes_.size())) nodes_.emplace_back();
+  Node& node = nodes_[size_++];
+  node.alias = nullptr;
+  node.requires_grad = false;
+  node.kernel = nullptr;
+  node.ctx = BackwardCtx();
+  return node;
+}
+
+template <typename M>
+Var Tape::ConstantImpl(M&& value) {
+  // `value` may reference another node's matrix (detach patterns like
+  // Constant(v.value())): when appending would grow the arena and move the
+  // nodes, the copy must happen before the growth.
+  if (size_ == static_cast<int>(nodes_.size())) {
+    Node node;
+    node.value = std::forward<M>(value);
+    ++arena_allocations_;
+    nodes_.push_back(std::move(node));
+    ++size_;
+  } else {
+    Node& node = ClaimSlot();
+    if (node.value.SameShape(value)) {
+      node.value.CopyFrom(value);  // keep the retained buffer
+    } else {
+      node.value = std::forward<M>(value);
+      ++arena_allocations_;
+    }
+  }
+  return Var(this, size_ - 1);
+}
+
+Var Tape::Constant(const Matrix& value) { return ConstantImpl(value); }
+
+Var Tape::Constant(Matrix&& value) { return ConstantImpl(std::move(value)); }
+
+Var Tape::ConstantView(const Matrix* value) {
+  CERL_CHECK(value != nullptr);
+  Node& node = ClaimSlot();
+  node.alias = value;
+  return Var(this, size_ - 1);
+}
+
+Var Tape::Leaf(const Matrix& value) {
+  Var v = Constant(value);
+  nodes_[v.id()].requires_grad = true;
+  return v;
+}
+
+Var Tape::Leaf(Matrix&& value) {
+  Var v = Constant(std::move(value));
+  nodes_[v.id()].requires_grad = true;
+  return v;
 }
 
 Var Tape::Param(Parameter* p) {
   CERL_CHECK(p != nullptr);
-  Var v = Leaf(p->value);
+  Var v = ConstantView(&p->value);
+  nodes_[v.id()].requires_grad = true;
   bindings_.emplace_back(v.id(), p);
   return v;
 }
 
-Var Tape::AddNode(Matrix value, std::vector<int> deps, BackwardFn backward,
-                  bool force_requires_grad) {
-  Node node;
-  node.value = std::move(value);
-  node.requires_grad = force_requires_grad;
-  for (int d : deps) {
-    CERL_CHECK(d >= 0 && d < size());
-    if (nodes_[d].requires_grad) node.requires_grad = true;
+Var Tape::NewNode(int rows, int cols, BackwardKernel kernel,
+                  const BackwardCtx& ctx, Matrix** out) {
+  CERL_DCHECK(ctx.a < size_ && ctx.b < size_);
+  Node& node = ClaimSlot();
+  node.ctx = ctx;
+  node.requires_grad = (ctx.a >= 0 && nodes_[ctx.a].requires_grad) ||
+                       (ctx.b >= 0 && nodes_[ctx.b].requires_grad);
+  if (node.requires_grad) node.kernel = kernel;
+  if (node.value.rows() != rows || node.value.cols() != cols) {
+    node.value = Matrix(rows, cols);
+    ++arena_allocations_;
   }
-  if (node.requires_grad) node.backward = std::move(backward);
-  nodes_.push_back(std::move(node));
-  return Var(this, size() - 1);
+  *out = &node.value;
+  return Var(this, size_ - 1);
 }
 
 Matrix& Tape::GradRef(int id) {
-  CERL_CHECK(id >= 0 && id < size());
+  CERL_CHECK(id >= 0 && id < size_);
   Node& node = nodes_[id];
-  if (node.grad.empty() || !node.grad.SameShape(node.value)) {
-    node.grad = Matrix(node.value.rows(), node.value.cols());
+  if (node.grad_gen != gen_) {
+    const Matrix& v = ValueOf(id);
+    if (!node.grad.SameShape(v)) {
+      node.grad = Matrix(v.rows(), v.cols());
+      ++arena_allocations_;
+    } else {
+      node.grad.Fill(0.0);
+    }
+    node.grad_gen = gen_;
   }
   return node.grad;
+}
+
+int Tape::StoreIndices(const int* idx, int n) {
+  const int offset = index_size_;
+  if (index_size_ + n > static_cast<int>(index_pool_.size())) {
+    index_pool_.resize(index_size_ + n);
+  }
+  std::copy(idx, idx + n, index_pool_.begin() + offset);
+  index_size_ += n;
+  return offset;
 }
 
 void Tape::Backward(const Var& root) {
@@ -64,12 +141,12 @@ void Tape::Backward(const Var& root) {
   GradRef(root.id())(0, 0) = 1.0;
   for (int id = root.id(); id >= 0; --id) {
     Node& node = nodes_[id];
-    if (!node.requires_grad || !node.backward) continue;
-    if (node.grad.empty()) continue;  // No gradient flowed to this node.
-    node.backward(this);
+    if (!node.requires_grad || node.kernel == nullptr) continue;
+    if (node.grad_gen != gen_) continue;  // No gradient flowed to this node.
+    node.kernel(this, id, node.ctx);
   }
   for (const auto& [id, param] : bindings_) {
-    if (nodes_[id].grad.empty()) continue;
+    if (nodes_[id].grad_gen != gen_) continue;
     if (!param->grad.SameShape(param->value)) param->ZeroGrad();
     param->grad.Add(nodes_[id].grad);
   }

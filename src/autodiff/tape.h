@@ -1,9 +1,24 @@
 // Tape-based reverse-mode automatic differentiation over dense matrices.
 //
-// A Tape owns a growing arena of nodes; each op appends a node whose
-// backward closure scatters the node's gradient into its dependencies.
-// Because dependencies always precede their consumers in the arena,
-// reverse insertion order is a valid reverse-topological order.
+// A Tape owns an arena of nodes; each op appends a node whose backward
+// kernel scatters the node's gradient into its dependencies. Because
+// dependencies always precede their consumers in the arena, reverse
+// insertion order is a valid reverse-topological order.
+//
+// The arena is reusable: Tape::Reset() rewinds the tape to empty while
+// retaining every node's value/grad Matrix buffer, the parameter-binding
+// vector, and the gather-index pool. Re-recording a graph with the same
+// topology and shapes (the steady state of mini-batch training, where the
+// graph is fixed for a fixed batch size) then performs zero heap
+// allocations: each op writes its forward result into the buffer the
+// previous pass left at the same arena position (shape-checked; a mismatch
+// reallocates just that node). Gradient buffers are invalidated logically
+// via a pass generation counter, so Reset() is O(1).
+//
+// Backward functions are not heap-allocated std::function closures: each
+// node stores a plain function pointer plus a small trivially-copyable
+// payload (dependency ids, a scalar, an index-pool slice), so recording a
+// node never touches the allocator.
 //
 // Model parameters live outside the tape as `Parameter` (value + grad).
 // Each training step binds parameters as leaves via Tape::Param; after
@@ -11,10 +26,13 @@
 // Parameter::grad. Binding the same Parameter several times in one tape is
 // supported (the gradients add), which the CERL losses rely on (the same
 // representation network is applied to data, memory, and distillation
-// inputs within a single objective).
+// inputs within a single objective). Param leaves ALIAS the parameter's
+// value matrix instead of copying it; the caller must keep the parameter
+// alive and unmodified until Backward() has run (optimizer steps happen
+// after Backward, so the training loop satisfies this by construction).
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -67,21 +85,41 @@ class Var {
   int id_;
 };
 
-/// The autodiff graph arena for one forward/backward pass.
+/// The autodiff graph arena for one forward/backward pass, reusable across
+/// passes via Reset().
 class Tape {
  public:
   Tape() = default;
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
-  /// Constant input; no gradient is tracked through it.
-  Var Constant(Matrix value);
+  /// Rewinds the tape to empty while retaining node buffers, binding and
+  /// index-pool capacity. Re-recording the same graph afterwards reuses the
+  /// retained Matrix storage allocation-free. Outstanding Vars from the
+  /// previous pass are invalidated.
+  void Reset();
+
+  /// Constant input; no gradient is tracked through it. The value is copied
+  /// into (reused) tape storage.
+  Var Constant(const Matrix& value);
+  /// Overload that moves only when the retained buffer cannot absorb the
+  /// value without reallocating; otherwise copies into the reused buffer.
+  Var Constant(Matrix&& value);
+
+  /// Constant that ALIASES external storage instead of copying. `value`
+  /// must stay alive and unmodified until the pass (Backward) completes,
+  /// and must NOT point into this tape's own nodes (arena growth moves
+  /// them — use Constant(v.value()) to detach a node instead). This is the
+  /// zero-copy path for pre-assembled minibatch data.
+  Var ConstantView(const Matrix* value);
 
   /// Leaf with gradient tracking (not bound to any Parameter).
-  Var Leaf(Matrix value);
+  Var Leaf(const Matrix& value);
+  Var Leaf(Matrix&& value);
 
   /// Leaf bound to a Parameter: after Backward, the leaf gradient is added
-  /// into p->grad. The value is snapshotted at bind time.
+  /// into p->grad. The leaf aliases p->value (no copy); see the class
+  /// comment for the lifetime contract.
   Var Param(Parameter* p);
 
   /// Runs reverse-mode accumulation from scalar `root` (must be 1x1) and
@@ -89,38 +127,81 @@ class Tape {
   void Backward(const Var& root);
 
   /// Number of nodes currently on the tape.
-  int size() const { return static_cast<int>(nodes_.size()); }
+  int size() const { return size_; }
+
+  /// Matrix buffer (re)allocations performed by the arena since
+  /// construction. Flat across steady-state reuse passes; tests use this to
+  /// prove the zero-churn property.
+  int64_t arena_allocations() const { return arena_allocations_; }
 
   // --- Internal API used by op implementations -----------------------------
 
-  using BackwardFn = std::function<void(Tape*)>;
+  /// Small trivially-copyable payload carried by every node instead of a
+  /// heap-allocated closure capture.
+  struct BackwardCtx {
+    int a = -1;      ///< first dependency id (-1: none)
+    int b = -1;      ///< second dependency id (-1: none)
+    int aux = 0;     ///< op-specific (row split, index-pool offset)
+    int aux2 = 0;    ///< op-specific (index-pool length)
+    double k = 0.0;  ///< op-specific scalar
+  };
+  /// Backward kernel: plain function pointer, no captures.
+  using BackwardKernel = void (*)(Tape*, int self, const BackwardCtx&);
 
-  /// Appends a node; requires_grad is inferred from deps unless forced.
-  Var AddNode(Matrix value, std::vector<int> deps, BackwardFn backward,
-              bool force_requires_grad = false);
+  /// Appends a node of the given shape, reusing the retained value buffer at
+  /// this arena position when shapes match. Returns the node handle and sets
+  /// `*out` to the node's value buffer, which the op must FULLY overwrite
+  /// (reused buffers hold the previous pass's values, not zeros).
+  /// requires_grad is inferred from ctx.a / ctx.b.
+  Var NewNode(int rows, int cols, BackwardKernel kernel,
+              const BackwardCtx& ctx, Matrix** out);
 
   const Matrix& ValueOf(int id) const {
-    CERL_DCHECK(id >= 0 && id < size());
-    return nodes_[id].value;
+    CERL_DCHECK(id >= 0 && id < size_);
+    const Node& node = nodes_[id];
+    return node.alias != nullptr ? *node.alias : node.value;
   }
   bool RequiresGrad(int id) const { return nodes_[id].requires_grad; }
 
-  /// Gradient of node `id`, lazily initialized to zeros.
+  /// Gradient of node `id`; zero-initialized on first touch per pass.
   Matrix& GradRef(int id);
 
-  /// True if the node has a non-null gradient buffer already.
-  bool HasGrad(int id) const { return !nodes_[id].grad.empty(); }
+  /// True if gradient has been accumulated into the node this pass.
+  bool HasGrad(int id) const { return nodes_[id].grad_gen == gen_; }
+
+  /// Copies `n` gather indices into the tape-owned pool (capacity is
+  /// retained across Reset) and returns the pool offset.
+  int StoreIndices(const int* idx, int n);
+  const int* Indices(int offset) const { return index_pool_.data() + offset; }
 
  private:
   struct Node {
     Matrix value;
-    Matrix grad;  // empty until first accumulation
+    Matrix grad;
+    const Matrix* alias = nullptr;  ///< external value (Param/ConstantView)
+    uint32_t grad_gen = 0;          ///< grad is live iff == Tape::gen_
     bool requires_grad = false;
-    BackwardFn backward;  // null for leaves/constants
+    BackwardKernel kernel = nullptr;
+    BackwardCtx ctx;
   };
 
+  /// Claims the next arena slot (reusing a retired node after Reset) and
+  /// stamps the common fields. The slot's value/grad buffers are left as the
+  /// previous pass retired them. Growing the arena moves existing nodes, so
+  /// callers must not hold references into `nodes_` across a claim.
+  Node& ClaimSlot();
+  /// Shared body of the Constant overloads (M is `const Matrix&` to copy or
+  /// `Matrix` to move).
+  template <typename M>
+  Var ConstantImpl(M&& value);
+
   std::vector<Node> nodes_;
+  int size_ = 0;       ///< live prefix of nodes_
+  uint32_t gen_ = 1;   ///< pass generation; bumped by Reset()
   std::vector<std::pair<int, Parameter*>> bindings_;
+  std::vector<int> index_pool_;
+  int index_size_ = 0;  ///< live prefix of index_pool_
+  int64_t arena_allocations_ = 0;
 };
 
 }  // namespace cerl::autodiff

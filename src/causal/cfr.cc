@@ -51,17 +51,15 @@ FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
   return out;
 }
 
-Batch GatherBatch(const linalg::Matrix& x, const std::vector<int>& t,
-                  const linalg::Vector& y, const std::vector<int>& idx) {
-  Batch batch;
-  batch.x = x.GatherRows(idx);
-  batch.t.resize(idx.size());
-  batch.y.resize(idx.size());
-  for (size_t i = 0; i < idx.size(); ++i) {
-    batch.t[i] = t[idx[i]];
-    batch.y[i] = y[idx[i]];
+void GatherTreatOutcome(const std::vector<int>& t, const linalg::Vector& y,
+                        train::IndexSpan idx, std::vector<int>* t_out,
+                        linalg::Vector* y_out) {
+  t_out->resize(idx.size());
+  y_out->resize(idx.size());
+  for (int i = 0; i < idx.size(); ++i) {
+    (*t_out)[i] = t[idx[i]];
+    (*y_out)[i] = y[idx[i]];
   }
-  return batch;
 }
 
 train::LoopOptions MakeLoopOptions(const TrainConfig& config,
@@ -119,11 +117,16 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
   const linalg::Vector y_valid = net_.y_scaler().Transform(valid.y);
 
   // Eq. 5 per-batch objective: factual MSE + alpha * IPM + lambda *
-  // elastic net. The loop mechanics live in train::TrainLoop.
-  auto batch_loss = [&](Tape* tape, const std::vector<int>& idx) -> Var {
-    Batch batch = GatherBatch(x_train, train.t, y_train, idx);
-    Var x = tape->Constant(std::move(batch.x));
-    FactualForward fwd = BuildFactualLoss(&net_, tape, x, batch.t, batch.y);
+  // elastic net. The loop mechanics live in train::TrainLoop, which also
+  // assembles (and prefetches) the covariate rows; the loss only gathers
+  // the per-unit treatment/outcome scalars into step-reused buffers.
+  std::vector<int> batch_t;
+  linalg::Vector batch_y;
+  auto batch_loss = [&](Tape* tape, train::IndexSpan idx,
+                        const std::vector<linalg::Matrix>& gathered) -> Var {
+    GatherTreatOutcome(train.t, y_train, idx, &batch_t, &batch_y);
+    Var x = tape->ConstantView(&gathered[0]);
+    FactualForward fwd = BuildFactualLoss(&net_, tape, x, batch_t, batch_y);
     Var loss = fwd.loss;
     if (train_config_.alpha > 0.0 && fwd.n_treated > 0 && fwd.n_control > 0) {
       Var ipm = ot::IpmPenalty(train_config_.ipm, fwd.rep_treated,
@@ -142,7 +145,7 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
 
   train::TrainLoop loop(MakeLoopOptions(train_config_, "cfr"),
                         net_.Parameters(), &rng_);
-  return loop.Run(train.num_units(), batch_loss, valid_loss);
+  return loop.Run(train.num_units(), {&x_train}, batch_loss, valid_loss);
 }
 
 linalg::Vector CfrModel::PredictIte(const linalg::Matrix& x_raw) {

@@ -54,18 +54,13 @@ FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
                                 const std::vector<int>& t,
                                 const linalg::Vector& y_scaled);
 
-/// One assembled mini-batch of (covariates, treatments, outcomes).
-struct Batch {
-  linalg::Matrix x;
-  std::vector<int> t;
-  linalg::Vector y;
-};
-
-/// Gathers rows `idx` of (x, t, y) — the batch-assembly step shared by every
-/// TrainLoop loss builder (and the target of the planned parallel-assembly
-/// optimization).
-Batch GatherBatch(const linalg::Matrix& x, const std::vector<int>& t,
-                  const linalg::Vector& y, const std::vector<int>& idx);
+/// Gathers elements `idx` of (t, y) into caller-owned buffers (resized as
+/// needed, reused across steps). This is the scalar half of batch assembly;
+/// covariate-row gathers are owned — and prefetched — by train::TrainLoop
+/// via its gather-source machinery.
+void GatherTreatOutcome(const std::vector<int>& t, const linalg::Vector& y,
+                        train::IndexSpan idx, std::vector<int>* t_out,
+                        linalg::Vector* y_out);
 
 /// CFR model: RepOutcomeNet + Eq. 5 training.
 class CfrModel {

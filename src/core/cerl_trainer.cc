@@ -153,17 +153,23 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
     return loss;
   };
   // Eq. 9 per-batch objective; the epoch/minibatch/early-stopping mechanics
-  // live in train::TrainLoop.
-  auto batch_loss = [&](Tape* tape, const std::vector<int>& idx) -> Var {
-    causal::Batch batch = causal::GatherBatch(x_train, train.t, y_train, idx);
-    Var x = tape->Constant(std::move(batch.x));
+  // live in train::TrainLoop, which assembles (and prefetches) the row
+  // gathers of x_train and old_reps_train. Scalar/memory gathers land in
+  // step-reused buffers.
+  std::vector<int> batch_t;
+  linalg::Vector batch_y;
+  linalg::Matrix mem_rep_gathered;
+  auto batch_loss = [&](Tape* tape, train::IndexSpan idx,
+                        const std::vector<linalg::Matrix>& gathered) -> Var {
+    causal::GatherTreatOutcome(train.t, y_train, idx, &batch_t, &batch_y);
+    Var x = tape->ConstantView(&gathered[0]);
     // L_G new-data term (Eq. 8, second sum) + group representations.
     causal::FactualForward fwd =
-        causal::BuildFactualLoss(&net, tape, x, batch.t, batch.y);
+        causal::BuildFactualLoss(&net, tape, x, batch_t, batch_y);
     Var loss = fwd.loss;
 
     // Feature representation distillation, Eq. 6.
-    Var old_rep = tape->Constant(old_reps_train.GatherRows(idx));
+    Var old_rep = tape->ConstantView(&gathered[1]);
     if (config_.beta > 0.0) {
       loss = Add(loss, ScalarMul(MeanCosineDistance(fwd.rep, old_rep),
                                  config_.beta));
@@ -189,7 +195,9 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
       // representation space (Eq. 8 first sum; balanced IPM below).
       const std::vector<int> mem_idx =
           memory_.SampleBatch(mem_batch, &loop_rng);
-      Var mem_rep = tape->Constant(memory_.reps().GatherRows(mem_idx));
+      memory_.reps().GatherRowsInto(mem_idx.data(), mem_batch,
+                                    &mem_rep_gathered);
+      Var mem_rep = tape->ConstantView(&mem_rep_gathered);
       Var mem_transformed = phi.Forward(tape, mem_rep);
 
       std::vector<int> mem_treated_idx, mem_control_idx;
@@ -248,7 +256,8 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
       causal::MakeLoopOptions(stage_train,
                               "cerl stage " + std::to_string(stages_seen_)),
       params, &loop_rng);
-  TrainStats stats = loop.Run(train.num_units(), batch_loss, valid_loss_fn);
+  TrainStats stats = loop.Run(train.num_units(), {&x_train, &old_reps_train},
+                              batch_loss, valid_loss_fn);
 
   // Memory migration: M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
   if (config_.use_transform) {

@@ -50,30 +50,93 @@ void PackB(Trans trans_b, const Matrix& b, int k0, int k1, int n0, int n1,
 void GemmRows(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
               const Matrix& b, Matrix* c, int m_begin, int m_end, int n_dim,
               int k_dim) {
-  std::vector<double> pack_a(static_cast<size_t>(kBlockM) * kBlockK);
-  std::vector<double> pack_b(static_cast<size_t>(kBlockK) * kBlockN);
+  // The pack panels are reused across calls (thread-local, so concurrent
+  // row-panel workers keep disjoint buffers). Allocating-and-zeroing them
+  // per call cost more than the arithmetic for the skinny GEMMs that
+  // dominate training steps.
+  static thread_local std::vector<double> pack_a(
+      static_cast<size_t>(kBlockM) * kBlockK);
+  static thread_local std::vector<double> pack_b(
+      static_cast<size_t>(kBlockK) * kBlockN);
   for (int k0 = 0; k0 < k_dim; k0 += kBlockK) {
     const int k1 = std::min(k_dim, k0 + kBlockK);
     const int kw = k1 - k0;
     for (int n0 = 0; n0 < n_dim; n0 += kBlockN) {
       const int n1 = std::min(n_dim, n0 + kBlockN);
       const int nw = n1 - n0;
-      PackB(trans_b, b, k0, k1, n0, n1, pack_b.data());
+      // When an operand is untransposed and the panel spans its full row
+      // width, "packing" would be a verbatim copy — read it in place
+      // instead. The skinny GEMMs of a training step (k, n well under one
+      // block) all take this path, where the copy cost rivals the math.
+      const bool direct_b = trans_b == Trans::kNo && nw == b.cols();
+      const double* bpanel;
+      if (direct_b) {
+        bpanel = b.row(k0);
+      } else {
+        PackB(trans_b, b, k0, k1, n0, n1, pack_b.data());
+        bpanel = pack_b.data();
+      }
+      const bool direct_a = trans_a == Trans::kNo && kw == a.cols();
       for (int m0 = m_begin; m0 < m_end; m0 += kBlockM) {
         const int m1 = std::min(m_end, m0 + kBlockM);
-        PackA(trans_a, a, m0, m1, k0, k1, pack_a.data());
-        for (int i = m0; i < m1; ++i) {
-          const double* arow = pack_a.data() + static_cast<size_t>(i - m0) * kw;
+        const double* apanel;
+        if (direct_a) {
+          apanel = a.row(m0);
+        } else {
+          PackA(trans_a, a, m0, m1, k0, k1, pack_a.data());
+          apanel = pack_a.data();
+        }
+        // Register-blocked microkernel: two C rows share each pack_b load
+        // and k is unrolled by 4, so the inner loop performs 16 flops per
+        // 8 memory operations (vs 8 per 6 for a single-row kernel) — the
+        // kernel was load-bound, not flop-bound. Everything stays
+        // contiguous in pack_b and crow, so it vectorizes.
+        int i = m0;
+        for (; i + 2 <= m1; i += 2) {
+          const double* arow0 =
+              apanel + static_cast<size_t>(i - m0) * kw;
+          const double* arow1 = arow0 + kw;
+          double* crow0 = c->row(i) + n0;
+          double* crow1 = c->row(i + 1) + n0;
+          int k = 0;
+          for (; k + 4 <= kw; k += 4) {
+            const double a00 = alpha * arow0[k];
+            const double a01 = alpha * arow0[k + 1];
+            const double a02 = alpha * arow0[k + 2];
+            const double a03 = alpha * arow0[k + 3];
+            const double a10 = alpha * arow1[k];
+            const double a11 = alpha * arow1[k + 1];
+            const double a12 = alpha * arow1[k + 2];
+            const double a13 = alpha * arow1[k + 3];
+            const double* b0 = bpanel + static_cast<size_t>(k) * nw;
+            const double* b1 = b0 + nw;
+            const double* b2 = b1 + nw;
+            const double* b3 = b2 + nw;
+            for (int n = 0; n < nw; ++n) {
+              crow0[n] += a00 * b0[n] + a01 * b1[n] + a02 * b2[n] + a03 * b3[n];
+              crow1[n] += a10 * b0[n] + a11 * b1[n] + a12 * b2[n] + a13 * b3[n];
+            }
+          }
+          for (; k < kw; ++k) {
+            const double a0k = alpha * arow0[k];
+            const double a1k = alpha * arow1[k];
+            const double* brow = bpanel + static_cast<size_t>(k) * nw;
+            for (int n = 0; n < nw; ++n) {
+              crow0[n] += a0k * brow[n];
+              crow1[n] += a1k * brow[n];
+            }
+          }
+        }
+        for (; i < m1; ++i) {
+          const double* arow = apanel + static_cast<size_t>(i - m0) * kw;
           double* crow = c->row(i) + n0;
-          // Unrolled over k by 4 to expose ILP; the inner loop over n is
-          // contiguous in both pack_b and crow so it vectorizes.
           int k = 0;
           for (; k + 4 <= kw; k += 4) {
             const double a0 = alpha * arow[k];
             const double a1 = alpha * arow[k + 1];
             const double a2 = alpha * arow[k + 2];
             const double a3 = alpha * arow[k + 3];
-            const double* b0 = pack_b.data() + static_cast<size_t>(k) * nw;
+            const double* b0 = bpanel + static_cast<size_t>(k) * nw;
             const double* b1 = b0 + nw;
             const double* b2 = b1 + nw;
             const double* b3 = b2 + nw;
@@ -83,7 +146,7 @@ void GemmRows(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
           }
           for (; k < kw; ++k) {
             const double ak = alpha * arow[k];
-            const double* brow = pack_b.data() + static_cast<size_t>(k) * nw;
+            const double* brow = bpanel + static_cast<size_t>(k) * nw;
             for (int n = 0; n < nw; ++n) crow[n] += ak * brow[n];
           }
         }
@@ -142,12 +205,29 @@ Matrix MatMulT(Trans trans_a, Trans trans_b, const Matrix& a,
 Vector MatVec(const Matrix& a, const Vector& x) {
   CERL_CHECK_EQ(a.cols(), static_cast<int>(x.size()));
   Vector y(a.rows(), 0.0);
-  for (int r = 0; r < a.rows(); ++r) {
-    const double* row = a.row(r);
-    double s = 0.0;
-    for (int c = 0; c < a.cols(); ++c) s += row[c] * x[c];
-    y[r] = s;
-  }
+  const int cols = a.cols();
+  const double* xd = x.data();
+  // Row panels are independent, so the parallel split is deterministic; the
+  // four running sums per row expose ILP the single-accumulator loop lacked.
+  const int64_t grain = std::max<int64_t>(8, (1 << 16) / (cols + 1));
+  ParallelFor(
+      0, a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          const double* row = a.row(static_cast<int>(r));
+          double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+          int c = 0;
+          for (; c + 4 <= cols; c += 4) {
+            s0 += row[c] * xd[c];
+            s1 += row[c + 1] * xd[c + 1];
+            s2 += row[c + 2] * xd[c + 2];
+            s3 += row[c + 3] * xd[c + 3];
+          }
+          for (; c < cols; ++c) s0 += row[c] * xd[c];
+          y[r] = (s0 + s1) + (s2 + s3);
+        }
+      },
+      grain);
   return y;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/thread_pool.h"
+
 namespace cerl::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -68,13 +70,32 @@ Matrix Matrix::Transposed() const {
 }
 
 Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
-  Matrix out(static_cast<int>(indices.size()), cols_);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int r = indices[i];
-    CERL_CHECK(r >= 0 && r < rows_);
-    std::copy(row(r), row(r) + cols_, out.row(static_cast<int>(i)));
-  }
+  return GatherRows(indices.data(), static_cast<int>(indices.size()));
+}
+
+Matrix Matrix::GatherRows(const int* indices, int n) const {
+  Matrix out;
+  GatherRowsInto(indices, n, &out);
   return out;
+}
+
+void Matrix::GatherRowsInto(const int* indices, int n, Matrix* out) const {
+  CERL_CHECK_GE(n, 0);
+  if (out->rows() != n || out->cols() != cols_) *out = Matrix(n, cols_);
+  // Split across rows only when each chunk moves enough bytes to beat the
+  // fork/join cost; gathers are pure copies, so the split is deterministic.
+  const int64_t grain =
+      std::max<int64_t>(1, static_cast<int64_t>(32 * 1024) / (cols_ + 1));
+  ParallelFor(
+      0, n,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int r = indices[i];
+          CERL_CHECK(r >= 0 && r < rows_);
+          std::copy(row(r), row(r) + cols_, out->row(static_cast<int>(i)));
+        }
+      },
+      grain);
 }
 
 void Matrix::Scale(double s) {
@@ -89,6 +110,16 @@ void Matrix::Add(const Matrix& other) {
 void Matrix::Sub(const Matrix& other) {
   CERL_CHECK(SameShape(other));
   for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Axpy(double alpha, const Matrix& x) {
+  CERL_CHECK(SameShape(x));
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * x.data_[i];
+}
+
+void Matrix::CopyFrom(const Matrix& other) {
+  CERL_CHECK(SameShape(other));
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
 }
 
 double Matrix::FrobeniusNorm() const {

@@ -81,12 +81,25 @@ class Matrix {
 
   /// Returns the sub-matrix of the given rows (by index, in order).
   Matrix GatherRows(const std::vector<int>& indices) const;
+  Matrix GatherRows(const int* indices, int n) const;
+
+  /// Gathers rows into `out`, reusing its storage when the shape already
+  /// matches (the zero-allocation path for minibatch assembly). Row copies
+  /// are parallelized across the global thread pool for large gathers.
+  void GatherRowsInto(const int* indices, int n, Matrix* out) const;
 
   /// Elementwise in-place operations.
   void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
   void Scale(double s);
   void Add(const Matrix& other);
   void Sub(const Matrix& other);
+
+  /// this += alpha * x (elementwise; shapes must match).
+  void Axpy(double alpha, const Matrix& x);
+
+  /// Copies `other`'s elements into this matrix without reallocating;
+  /// shapes must already match.
+  void CopyFrom(const Matrix& other);
 
   /// Frobenius norm.
   double FrobeniusNorm() const;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace cerl::nn {
 
 void Optimizer::ZeroGrad() {
@@ -55,22 +57,33 @@ void Adam::Step() {
     }
   }
   ++t_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const double inv_bc1 =
+      1.0 / (1.0 - std::pow(beta1_, static_cast<double>(t_)));
+  const double inv_bc2 =
+      1.0 / (1.0 - std::pow(beta2_, static_cast<double>(t_)));
+  // The update is elementwise, so splitting a parameter across the pool is
+  // deterministic. Small tensors (biases) stay serial to skip fork/join.
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     linalg::Matrix& m = m_[i];
     linalg::Matrix& v = v_[i];
-    for (int64_t j = 0; j < p->value.size(); ++j) {
-      const double g = p->grad.data()[j];
-      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * g;
-      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * g * g;
-      const double mhat = m.data()[j] / bc1;
-      const double vhat = v.data()[j] / bc2;
-      double update = mhat / (std::sqrt(vhat) + eps_);
-      if (weight_decay_ != 0.0) update += weight_decay_ * p->value.data()[j];
-      p->value.data()[j] -= lr_ * update;
-    }
+    ParallelFor(
+        0, p->value.size(),
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t j = lo; j < hi; ++j) {
+            const double g = p->grad.data()[j];
+            m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * g;
+            v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * g * g;
+            const double mhat = m.data()[j] * inv_bc1;
+            const double vhat = v.data()[j] * inv_bc2;
+            double update = mhat / (std::sqrt(vhat) + eps_);
+            if (weight_decay_ != 0.0) {
+              update += weight_decay_ * p->value.data()[j];
+            }
+            p->value.data()[j] -= lr_ * update;
+          }
+        },
+        /*grain=*/4096);
   }
 }
 

@@ -1,10 +1,13 @@
 #include "train/train_loop.h"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 
 #include "nn/optim.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cerl::train {
@@ -32,11 +35,60 @@ TrainLoop::TrainLoop(const LoopOptions& options,
 
 TrainStats TrainLoop::Run(int n, const BatchLossFn& batch_loss,
                           const ValidLossFn& valid_loss) {
+  return Run(
+      n, /*gather_sources=*/{},
+      [&batch_loss](Tape* tape, IndexSpan batch,
+                    const std::vector<linalg::Matrix>&) {
+        return batch_loss(tape, batch);
+      },
+      valid_loss);
+}
+
+TrainStats TrainLoop::Run(
+    int n, const std::vector<const linalg::Matrix*>& gather_sources,
+    const GatheredBatchLossFn& batch_loss, const ValidLossFn& valid_loss) {
   CERL_CHECK(n > 0);
   CERL_CHECK(options_.batch_size > 0);
+  for (const linalg::Matrix* src : gather_sources) {
+    CERL_CHECK(src != nullptr);
+    CERL_CHECK_EQ(src->rows(), n);
+  }
   Rng& rng = external_rng_ != nullptr ? *external_rng_ : owned_rng_;
   nn::Adam optimizer(params_, options_.learning_rate);
   const int batch = std::min(options_.batch_size, n);
+  const int steps_per_epoch = (n + batch - 1) / batch;
+
+  // One persistent tape per distinct batch shape: the graph topology is
+  // fixed for a fixed batch size, so Reset() + re-record reuses every node
+  // buffer and the steady-state step allocates nothing. The tail batch
+  // (n % batch) gets its own tape so it does not thrash the full-batch
+  // arena once per epoch.
+  Tape full_tape;
+  Tape tail_tape;
+
+  // Double-buffered gathered minibatches: batch k reads buffers[k % 2]
+  // while the assembler worker fills buffers[(k + 1) % 2]. A buffer is
+  // stable for the whole step, so losses may alias it via ConstantView.
+  std::array<std::vector<linalg::Matrix>, 2> buffers;
+  for (auto& b : buffers) b.resize(gather_sources.size());
+  auto gather_into = [&gather_sources](std::vector<linalg::Matrix>* dst,
+                                       const int* idx, int count) {
+    for (size_t s = 0; s < gather_sources.size(); ++s) {
+      gather_sources[s]->GatherRowsInto(idx, count, &(*dst)[s]);
+    }
+  };
+  // The assembler is a dedicated single-thread pool: tasks submitted to the
+  // global pool must not ParallelFor/Wait (a worker waiting on its own pool
+  // deadlocks), while a dedicated worker may — its gathers fan out to the
+  // global pool concurrently with the backward pass's GEMMs. `perm` is
+  // declared before `assembler` so that if an exception unwinds this frame
+  // with a prefetch in flight, the pool joins (destructor) while the
+  // permutation the task reads is still alive.
+  const bool pipelined = options_.pipeline_assembly &&
+                         !gather_sources.empty() && steps_per_epoch > 1;
+  std::vector<int> perm;
+  std::unique_ptr<ThreadPool> assembler;
+  if (pipelined) assembler = std::make_unique<ThreadPool>(1);
 
   WallTimer timer;
   TrainStats stats;
@@ -45,22 +97,46 @@ TrainStats TrainLoop::Run(int n, const BatchLossFn& batch_loss,
   int since_best = 0;
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    const std::vector<int> perm = rng.Permutation(n);
+    perm = rng.Permutation(n);
+    if (!gather_sources.empty()) {
+      // Prime the first batch synchronously; later batches are either
+      // prefetched (pipelined) or gathered on demand.
+      gather_into(&buffers[0], perm.data(), std::min(batch, n));
+    }
     // Every sample is visited once per epoch: the final batch may be
     // shorter than `batch` but is never dropped.
-    for (int start = 0; start < n; start += batch) {
+    for (int step = 0, start = 0; start < n; ++step, start += batch) {
       const int end = std::min(start + batch, n);
-      std::vector<int> idx(perm.begin() + start, perm.begin() + end);
+      const int count = end - start;
+      std::vector<linalg::Matrix>& gathered = buffers[step & 1];
+      if (step > 0 && !gather_sources.empty()) {
+        if (pipelined) {
+          assembler->Wait();  // the prefetch of this batch
+        } else {
+          gather_into(&gathered, perm.data() + start, count);
+        }
+      }
+      if (pipelined && end < n) {
+        const int next_count = std::min(start + 2 * batch, n) - end;
+        std::vector<linalg::Matrix>* next = &buffers[(step + 1) & 1];
+        const int* next_idx = perm.data() + end;
+        assembler->Submit([&gather_into, next, next_idx, next_count] {
+          gather_into(next, next_idx, next_count);
+        });
+      }
 
-      Tape tape;
-      Var loss = batch_loss(&tape, idx);
+      Tape& tape = count == batch ? full_tape : tail_tape;
+      tape.Reset();
+      Var loss =
+          batch_loss(&tape, IndexSpan(perm.data() + start, count), gathered);
       CERL_CHECK(loss.valid());
       optimizer.ZeroGrad();
       tape.Backward(loss);
       optimizer.Step();
       ++stats.steps;
-      stats.samples_seen += end - start;
+      stats.samples_seen += count;
     }
+    if (pipelined) assembler->Wait();  // no gather may outlive `perm`
 
     const double epoch_valid = valid_loss();
     stats.epochs_run = epoch + 1;

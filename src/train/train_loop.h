@@ -6,10 +6,20 @@
 // partial batch), one Adam step per batch, patience-based early stopping
 // on a validation criterion, and snapshot/restore of the best parameters.
 // TrainLoop owns those mechanics once; callers supply only
-//   - a per-batch loss builder: (Tape*, batch indices) -> scalar Var, and
+//   - a per-batch loss builder: (Tape*, batch index span[, pre-gathered
+//     minibatch matrices]) -> scalar Var, and
 //   - a validation-loss callback: () -> double.
-// Keeping exactly one loop means batching, tape reuse, and parallel batch
-// assembly optimizations land in one place instead of per-model copies.
+//
+// The loop is zero-churn in steady state: two persistent tapes (one for
+// full batches, one for the tail batch) are Reset() and re-recorded each
+// step, so after the first epoch no tape-node Matrix is allocated. Batch
+// indices are passed as a span of the epoch permutation (no per-step index
+// vector). When the caller registers gather sources, the loop assembles
+// each batch's row-gathers itself and — by default — prefetches batch k+1
+// on a dedicated util::ThreadPool worker while batch k runs its
+// forward/backward, double-buffering the gathered matrices. Gathers are
+// pure row copies, so the pipelined path is bit-identical to the serial
+// one.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +37,27 @@ using autodiff::Parameter;
 using autodiff::Tape;
 using autodiff::Var;
 
+/// Non-owning view of a contiguous run of batch indices (a slice of the
+/// epoch permutation). Valid only for the duration of the batch callback.
+class IndexSpan {
+ public:
+  IndexSpan() = default;
+  IndexSpan(const int* data, int size) : data_(data), size_(size) {}
+  IndexSpan(const std::vector<int>& v)  // NOLINT: implicit for call sites
+      : data_(v.data()), size_(static_cast<int>(v.size())) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const int* data() const { return data_; }
+  const int* begin() const { return data_; }
+  const int* end() const { return data_ + size_; }
+  int operator[](int i) const { return data_[i]; }
+
+ private:
+  const int* data_ = nullptr;
+  int size_ = 0;
+};
+
 /// Loop mechanics configuration (the subset of a model's training config
 /// that the engine itself consumes).
 struct LoopOptions {
@@ -36,6 +67,7 @@ struct LoopOptions {
   int patience = 15;             ///< early-stopping patience (epochs)
   double min_improvement = 1e-6; ///< required drop in valid loss to count
   uint64_t seed = 1234;          ///< shuffle seed when no Rng* is supplied
+  bool pipeline_assembly = true; ///< overlap batch k+1 gathers with batch k
   bool verbose = false;
   int log_every = 10;            ///< epochs between verbose log lines
   std::string log_label = "train";
@@ -58,10 +90,19 @@ std::vector<linalg::Matrix> SnapshotValues(
 void RestoreValues(const std::vector<Parameter*>& params,
                    const std::vector<linalg::Matrix>& snapshot);
 
-/// Builds the scalar training loss for one mini-batch. The tape is fresh
-/// per batch; `batch` holds dataset indices (the tail batch may be smaller
+/// Builds the scalar training loss for one mini-batch. The tape arrives
+/// Reset() but retains buffers from the previous step with the same batch
+/// size; `batch` spans the epoch permutation (the tail batch may be smaller
 /// than LoopOptions::batch_size but is never dropped).
-using BatchLossFn = std::function<Var(Tape* tape, const std::vector<int>& batch)>;
+using BatchLossFn = std::function<Var(Tape* tape, IndexSpan batch)>;
+
+/// Loss builder for the assembled-minibatch path: `gathered[s]` holds the
+/// batch's rows of the s-th registered gather source, assembled (and
+/// possibly prefetched) by the loop. The matrices are stable for the whole
+/// step, so Tape::ConstantView may alias them.
+using GatheredBatchLossFn = std::function<Var(
+    Tape* tape, IndexSpan batch,
+    const std::vector<linalg::Matrix>& gathered)>;
 
 /// Full validation criterion used for early stopping / snapshot selection.
 using ValidLossFn = std::function<double()>;
@@ -82,6 +123,15 @@ class TrainLoop {
   /// `valid_loss` decides early stopping; on exit the best-validation
   /// snapshot is restored into the parameters.
   TrainStats Run(int n, const BatchLossFn& batch_loss,
+                 const ValidLossFn& valid_loss);
+
+  /// Assembled-minibatch variant: for each batch the loop gathers the
+  /// batch's rows of every matrix in `gather_sources` (all must have `n`
+  /// rows) and hands them to `batch_loss`. With pipeline_assembly the next
+  /// batch's gathers overlap the current batch's backward pass.
+  TrainStats Run(int n,
+                 const std::vector<const linalg::Matrix*>& gather_sources,
+                 const GatheredBatchLossFn& batch_loss,
                  const ValidLossFn& valid_loss);
 
  private:

@@ -75,13 +75,29 @@ void ParallelFor(int64_t begin, int64_t end,
   }
   const int64_t chunks = std::min<int64_t>(workers, (n + grain - 1) / grain);
   const int64_t step = (n + chunks - 1) / chunks;
+  // Per-call completion latch rather than ThreadPool::Wait(): the global
+  // pool serves concurrent callers (e.g. the training thread's GEMMs and
+  // the minibatch assembler's gathers), and a pool-global wait would block
+  // each caller on the other's tasks.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int64_t remaining = 0;
   for (int64_t c = 0; c < chunks; ++c) {
+    if (begin + c * step >= end) break;
+    ++remaining;
+  }
+  const int64_t submitted = remaining;
+  for (int64_t c = 0; c < submitted; ++c) {
     const int64_t lo = begin + c * step;
     const int64_t hi = std::min(end, lo + step);
-    if (lo >= hi) break;
-    pool.Submit([lo, hi, &body_range] { body_range(lo, hi); });
+    pool.Submit([lo, hi, &body_range, &done_mutex, &done_cv, &remaining] {
+      body_range(lo, hi);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_one();
+    });
   }
-  pool.Wait();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
 }
 
 }  // namespace cerl
