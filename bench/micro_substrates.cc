@@ -9,6 +9,7 @@
 #include "causal/herding.h"
 #include "corrgen/hub_correlation.h"
 #include "linalg/gemm.h"
+#include "linalg/ops.h"
 #include "nn/mlp.h"
 #include "nn/optim.h"
 #include "ot/ipm.h"
@@ -161,18 +162,59 @@ void BM_MatVec(benchmark::State& state) {
 }
 BENCHMARK(BM_MatVec)->Arg(256)->Arg(1024);
 
+// Cold-start Sinkhorn solves. Arg(1): the workspace solver (arena buffers,
+// parallel kernels, vectorized exp; warm start disabled so every solve runs
+// the full iteration). Arg(0): the allocate-per-call reference solver.
 void BM_Sinkhorn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool workspace = state.range(1) != 0;
+  Rng rng(3);
+  linalg::Matrix a = RandomMatrix(&rng, n, 16);
+  linalg::Matrix b = RandomMatrix(&rng, n, 16);
+  linalg::Matrix cost = linalg::PairwiseSquaredDistances(a, b);
+  ot::SinkhornConfig config;
+  config.warm_start = false;
+  ot::SinkhornWorkspace ws;
+  for (auto _ : state) {
+    if (workspace) {
+      auto info = ot::SolveSinkhorn(cost, config, &ws);
+      benchmark::DoNotOptimize(info);
+    } else {
+      auto result = ot::SolveSinkhorn(cost, config);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetLabel(workspace ? "workspace_cold" : "reference");
+}
+BENCHMARK(BM_Sinkhorn)
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+// Warm-started steady state: the cost drifts slightly each iteration (as
+// representations do between SGD steps) and the duals carry over.
+void BM_SinkhornWarm(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(3);
   linalg::Matrix a = RandomMatrix(&rng, n, 16);
   linalg::Matrix b = RandomMatrix(&rng, n, 16);
   ot::SinkhornConfig config;
+  ot::SinkhornWorkspace ws;
   for (auto _ : state) {
-    auto d = ot::SinkhornDistance(a, b, config);
-    benchmark::DoNotOptimize(d);
+    state.PauseTiming();
+    for (int64_t i = 0; i < a.size(); ++i) {
+      a.data()[i] += rng.Normal(0.0, 1e-3);
+    }
+    linalg::Matrix cost = linalg::PairwiseSquaredDistances(a, b);
+    state.ResumeTiming();
+    auto info = ot::SolveSinkhorn(cost, config, &ws);
+    benchmark::DoNotOptimize(info);
   }
 }
-BENCHMARK(BM_Sinkhorn)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_SinkhornWarm)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_HerdingSelect(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -232,6 +274,31 @@ void BM_CorrelationMatrixGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CorrelationMatrixGeneration);
+
+// One full balancing-penalty training step as the CFR/CERL loss builders
+// run it: persistent tape + Sinkhorn workspace, forward, backward, and a
+// small SGD drift of the representations between steps (which is what the
+// warm-started duals exploit).
+void BM_WassersteinPenaltyStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  autodiff::Parameter reps(RandomMatrix(&rng, n, 16), "reps");
+  linalg::Matrix fixed = RandomMatrix(&rng, n, 16);
+  ot::SinkhornConfig config;
+  autodiff::Tape tape;
+  ot::SinkhornWorkspace ws;
+  for (auto _ : state) {
+    tape.Reset();
+    autodiff::Var pen = ot::WassersteinPenalty(
+        tape.Param(&reps), tape.ConstantView(&fixed), config, &ws);
+    reps.ZeroGrad();
+    tape.Backward(pen);
+    for (int64_t i = 0; i < reps.value.size(); ++i) {
+      reps.value.data()[i] -= 1e-3 * reps.grad.data()[i];
+    }
+  }
+}
+BENCHMARK(BM_WassersteinPenaltyStep)->Arg(64)->Arg(128);
 
 void BM_WassersteinPenaltyBackward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

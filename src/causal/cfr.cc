@@ -10,7 +10,8 @@ namespace cerl::causal {
 
 FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
                                 const std::vector<int>& t,
-                                const linalg::Vector& y_scaled) {
+                                const linalg::Vector& y_scaled,
+                                FactualScratch* scratch) {
   using namespace autodiff;  // NOLINT
   const int n = x_scaled.rows();
   CERL_CHECK_EQ(static_cast<int>(t.size()), n);
@@ -19,32 +20,47 @@ FactualForward BuildFactualLoss(RepOutcomeNet* net, Tape* tape, Var x_scaled,
   FactualForward out;
   out.rep = net->Rep(tape, x_scaled);
 
-  std::vector<int> treated_idx, control_idx;
-  linalg::Vector y_treated, y_control;
+  // Owned scratch: per-call locals, targets copied onto the tape (the
+  // caller gave us nothing that outlives the pass to alias).
+  FactualScratch local;
+  const bool owned = scratch == nullptr;
+  if (owned) scratch = &local;
+  std::vector<int>& treated_idx = scratch->treated_idx;
+  std::vector<int>& control_idx = scratch->control_idx;
+  treated_idx.clear();
+  control_idx.clear();
   for (int i = 0; i < n; ++i) {
     if (t[i] == 1) {
       treated_idx.push_back(i);
-      y_treated.push_back(y_scaled[i]);
     } else {
       control_idx.push_back(i);
-      y_control.push_back(y_scaled[i]);
     }
   }
   out.n_treated = static_cast<int>(treated_idx.size());
   out.n_control = static_cast<int>(control_idx.size());
   out.rep_treated = GatherRows(out.rep, treated_idx);
   out.rep_control = GatherRows(out.rep, control_idx);
+  scratch->y_treated.Resize(out.n_treated, 1);
+  for (int i = 0; i < out.n_treated; ++i) {
+    scratch->y_treated(i, 0) = y_scaled[treated_idx[i]];
+  }
+  scratch->y_control.Resize(out.n_control, 1);
+  for (int i = 0; i < out.n_control; ++i) {
+    scratch->y_control(i, 0) = y_scaled[control_idx[i]];
+  }
 
   // Sum of squared factual errors over both arms, averaged over the batch.
   Var sse = tape->Constant(linalg::Matrix(1, 1, 0.0));
   if (out.n_treated > 0) {
     Var pred = net->Head(tape, out.rep_treated, 1);
-    Var target = tape->Constant(linalg::Matrix::ColVector(y_treated));
+    Var target = owned ? tape->Constant(scratch->y_treated)
+                       : tape->ConstantView(&scratch->y_treated);
     sse = Add(sse, Sum(Square(Sub(pred, target))));
   }
   if (out.n_control > 0) {
     Var pred = net->Head(tape, out.rep_control, 0);
-    Var target = tape->Constant(linalg::Matrix::ColVector(y_control));
+    Var target = owned ? tape->Constant(scratch->y_control)
+                       : tape->ConstantView(&scratch->y_control);
     sse = Add(sse, Sum(Square(Sub(pred, target))));
   }
   out.loss = ScalarMul(sse, 1.0 / std::max(1, n));
@@ -119,18 +135,25 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
   // Eq. 5 per-batch objective: factual MSE + alpha * IPM + lambda *
   // elastic net. The loop mechanics live in train::TrainLoop, which also
   // assembles (and prefetches) the covariate rows; the loss only gathers
-  // the per-unit treatment/outcome scalars into step-reused buffers.
+  // the per-unit treatment/outcome scalars into step-reused buffers. The
+  // factual-split scratch and the Sinkhorn workspace live here, next to the
+  // loop's persistent tapes, so steady-state steps allocate nothing in the
+  // loss builder and the OT duals warm-start from the previous step.
   std::vector<int> batch_t;
   linalg::Vector batch_y;
+  FactualScratch factual_scratch;
+  ot::SinkhornWorkspace sinkhorn_ws;
   auto batch_loss = [&](Tape* tape, train::IndexSpan idx,
                         const std::vector<linalg::Matrix>& gathered) -> Var {
     GatherTreatOutcome(train.t, y_train, idx, &batch_t, &batch_y);
     Var x = tape->ConstantView(&gathered[0]);
-    FactualForward fwd = BuildFactualLoss(&net_, tape, x, batch_t, batch_y);
+    FactualForward fwd =
+        BuildFactualLoss(&net_, tape, x, batch_t, batch_y, &factual_scratch);
     Var loss = fwd.loss;
     if (train_config_.alpha > 0.0 && fwd.n_treated > 0 && fwd.n_control > 0) {
-      Var ipm = ot::IpmPenalty(train_config_.ipm, fwd.rep_treated,
-                               fwd.rep_control, train_config_.sinkhorn);
+      Var ipm =
+          ot::IpmPenalty(train_config_.ipm, fwd.rep_treated, fwd.rep_control,
+                         train_config_.sinkhorn, &sinkhorn_ws);
       loss = Add(loss, ScalarMul(ipm, train_config_.alpha));
     }
     if (train_config_.lambda > 0.0) {

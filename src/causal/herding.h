@@ -13,8 +13,17 @@
 namespace cerl::causal {
 
 /// Returns the indices (into `rows`) of `count` exemplars chosen by greedy
-/// mean matching, in selection order. count <= rows.rows().
+/// mean matching, in selection order. count <= rows.rows(). Implemented via
+/// the expanded-norm decomposition (precomputed candidate norms/mean dots,
+/// one MatVec against the running sum per pick, deterministic ParallelFor
+/// argmin) — algebraically equal to the direct scan up to floating-point
+/// rounding of well-separated scores.
 std::vector<int> HerdingSelect(const linalg::Matrix& rows, int count);
+
+/// Direct-form reference implementation (the original O(count·n·d) scalar
+/// scan); kept as the oracle HerdingSelect is tested against.
+std::vector<int> HerdingSelectReference(const linalg::Matrix& rows,
+                                        int count);
 
 /// Random-subsample alternative (the "w/o herding" ablation).
 std::vector<int> RandomSelect(int n, int count, Rng* rng);

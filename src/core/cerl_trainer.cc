@@ -154,18 +154,26 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
   };
   // Eq. 9 per-batch objective; the epoch/minibatch/early-stopping mechanics
   // live in train::TrainLoop, which assembles (and prefetches) the row
-  // gathers of x_train and old_reps_train. Scalar/memory gathers land in
-  // step-reused buffers.
+  // gathers of x_train and old_reps_train. Scalar/memory gathers and the
+  // factual/memory split land in step-reused scratch, and the Sinkhorn
+  // workspace (owned here, next to the loop's persistent tapes) warm-starts
+  // the balancing duals from the previous step.
   std::vector<int> batch_t;
   linalg::Vector batch_y;
   linalg::Matrix mem_rep_gathered;
+  causal::FactualScratch factual_scratch;
+  ot::SinkhornWorkspace sinkhorn_ws;
+  // Second scratch for the memory-batch split: same fields, same
+  // tape-aliasing lifetime contract (see FactualScratch), filled here
+  // because the memory targets route through mem_idx and the y scaler.
+  causal::FactualScratch mem_scratch;
   auto batch_loss = [&](Tape* tape, train::IndexSpan idx,
                         const std::vector<linalg::Matrix>& gathered) -> Var {
     causal::GatherTreatOutcome(train.t, y_train, idx, &batch_t, &batch_y);
     Var x = tape->ConstantView(&gathered[0]);
     // L_G new-data term (Eq. 8, second sum) + group representations.
-    causal::FactualForward fwd =
-        causal::BuildFactualLoss(&net, tape, x, batch_t, batch_y);
+    causal::FactualForward fwd = causal::BuildFactualLoss(
+        &net, tape, x, batch_t, batch_y, &factual_scratch);
     Var loss = fwd.loss;
 
     // Feature representation distillation, Eq. 6.
@@ -200,24 +208,34 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
       Var mem_rep = tape->ConstantView(&mem_rep_gathered);
       Var mem_transformed = phi.Forward(tape, mem_rep);
 
-      std::vector<int> mem_treated_idx, mem_control_idx;
-      linalg::Vector y_mem_treated, y_mem_control;
+      std::vector<int>& mem_treated_idx = mem_scratch.treated_idx;
+      std::vector<int>& mem_control_idx = mem_scratch.control_idx;
+      mem_treated_idx.clear();
+      mem_control_idx.clear();
       for (int i = 0; i < mem_batch; ++i) {
-        const int unit = mem_idx[i];
-        const double y_scaled = net.y_scaler().Transform(memory_.y()[unit]);
-        if (memory_.t()[unit] == 1) {
+        if (memory_.t()[mem_idx[i]] == 1) {
           mem_treated_idx.push_back(i);
-          y_mem_treated.push_back(y_scaled);
         } else {
           mem_control_idx.push_back(i);
-          y_mem_control.push_back(y_scaled);
         }
+      }
+      mem_scratch.y_treated.Resize(static_cast<int>(mem_treated_idx.size()),
+                                   1);
+      for (size_t i = 0; i < mem_treated_idx.size(); ++i) {
+        mem_scratch.y_treated(static_cast<int>(i), 0) =
+            net.y_scaler().Transform(memory_.y()[mem_idx[mem_treated_idx[i]]]);
+      }
+      mem_scratch.y_control.Resize(static_cast<int>(mem_control_idx.size()),
+                                   1);
+      for (size_t i = 0; i < mem_control_idx.size(); ++i) {
+        mem_scratch.y_control(static_cast<int>(i), 0) =
+            net.y_scaler().Transform(memory_.y()[mem_idx[mem_control_idx[i]]]);
       }
       Var mem_sse = tape->Constant(linalg::Matrix(1, 1, 0.0));
       if (!mem_treated_idx.empty()) {
         Var rep_t = GatherRows(mem_transformed, mem_treated_idx);
         Var pred = net.Head(tape, rep_t, 1);
-        Var target = tape->Constant(linalg::Matrix::ColVector(y_mem_treated));
+        Var target = tape->ConstantView(&mem_scratch.y_treated);
         mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
         // The memory side joins the global IPM as a detached reference
         // distribution: balancing must shape the new representations (and
@@ -229,7 +247,7 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
       if (!mem_control_idx.empty()) {
         Var rep_c = GatherRows(mem_transformed, mem_control_idx);
         Var pred = net.Head(tape, rep_c, 0);
-        Var target = tape->Constant(linalg::Matrix::ColVector(y_mem_control));
+        Var target = tape->ConstantView(&mem_scratch.y_control);
         mem_sse = Add(mem_sse, Sum(Square(Sub(pred, target))));
         rep_control_global =
             ConcatRows(rep_control_global, tape->Constant(rep_c.value()));
@@ -240,8 +258,10 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
 
     // Balance the global representation space (Eq. 3 over memory ∪ new).
     if (stage_train.alpha > 0.0 && n_treated > 0 && n_control > 0) {
-      Var ipm = ot::IpmPenalty(stage_train.ipm, rep_treated_global,
-                               rep_control_global, stage_train.sinkhorn);
+      Var ipm =
+          ot::IpmPenalty(stage_train.ipm, rep_treated_global,
+                         rep_control_global, stage_train.sinkhorn,
+                         &sinkhorn_ws);
       loss = Add(loss, ScalarMul(ipm, stage_train.alpha));
     }
     // Elastic net on the new feature-selection layer (Eq. 1).

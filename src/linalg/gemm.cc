@@ -203,13 +203,20 @@ Matrix MatMulT(Trans trans_a, Trans trans_b, const Matrix& a,
 }
 
 Vector MatVec(const Matrix& a, const Vector& x) {
+  Vector y;
+  MatVecInto(a, x, &y);
+  return y;
+}
+
+void MatVecInto(const Matrix& a, const Vector& x, Vector* y, int64_t grain) {
   CERL_CHECK_EQ(a.cols(), static_cast<int>(x.size()));
-  Vector y(a.rows(), 0.0);
+  y->resize(a.rows());
   const int cols = a.cols();
+  double* yd = y->data();
   const double* xd = x.data();
   // Row panels are independent, so the parallel split is deterministic; the
   // four running sums per row expose ILP the single-accumulator loop lacked.
-  const int64_t grain = std::max<int64_t>(8, (1 << 16) / (cols + 1));
+  if (grain < 0) grain = std::max<int64_t>(8, (1 << 16) / (cols + 1));
   ParallelFor(
       0, a.rows(),
       [&](int64_t lo, int64_t hi) {
@@ -224,11 +231,10 @@ Vector MatVec(const Matrix& a, const Vector& x) {
             s3 += row[c + 3] * xd[c + 3];
           }
           for (; c < cols; ++c) s0 += row[c] * xd[c];
-          y[r] = (s0 + s1) + (s2 + s3);
+          yd[r] = (s0 + s1) + (s2 + s3);
         }
       },
       grain);
-  return y;
 }
 
 }  // namespace cerl::linalg

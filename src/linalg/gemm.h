@@ -26,4 +26,12 @@ Matrix MatMulT(Trans trans_a, Trans trans_b, const Matrix& a, const Matrix& b);
 /// y = A * x (matrix-vector product).
 Vector MatVec(const Matrix& a, const Vector& x);
 
+/// y = A * x written into caller-owned storage (resized to a.rows(); no
+/// allocation once capacity is established). The per-row reduction order is
+/// fixed, so results are identical for any thread-pool split. `grain`
+/// overrides the parallel split granularity (rows per chunk): -1 picks a
+/// cache-based default, INT64_MAX forces the serial path.
+void MatVecInto(const Matrix& a, const Vector& x, Vector* y,
+                int64_t grain = -1);
+
 }  // namespace cerl::linalg

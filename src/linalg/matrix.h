@@ -88,6 +88,20 @@ class Matrix {
   /// are parallelized across the global thread pool for large gathers.
   void GatherRowsInto(const int* indices, int n, Matrix* out) const;
 
+  /// Reshapes to rows x cols in place. The heap buffer is reused whenever
+  /// the new element count fits the capacity already acquired
+  /// (std::vector::resize allocates only on growth), which is what the
+  /// arena-style consumers (SinkhornWorkspace, loss-builder scratch) rely on
+  /// for zero-churn steady states. Element contents are unspecified after a
+  /// shape-changing resize; overwrite fully before reading.
+  void Resize(int rows, int cols) {
+    CERL_CHECK_GE(rows, 0);
+    CERL_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
   /// Elementwise in-place operations.
   void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
   void Scale(double s);

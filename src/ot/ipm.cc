@@ -23,7 +23,8 @@ Var PairwiseSquaredDistancesVar(Var a, Var b) {
 }
 
 Var WassersteinPenalty(Var rep_treated, Var rep_control,
-                       const SinkhornConfig& config) {
+                       const SinkhornConfig& config,
+                       SinkhornWorkspace* workspace) {
   autodiff::Tape* tape = rep_treated.tape();
   if (rep_treated.rows() == 0 || rep_control.rows() == 0) {
     return tape->Constant(linalg::Matrix(1, 1, 0.0));
@@ -31,9 +32,17 @@ Var WassersteinPenalty(Var rep_treated, Var rep_control,
   Var cost = PairwiseSquaredDistancesVar(rep_treated, rep_control);
   // The plan is treated as a constant of the optimization (envelope
   // theorem / CFR practice): solve on detached values.
+  if (workspace != nullptr) {
+    auto solved = SolveSinkhorn(cost.value(), config, workspace);
+    CERL_CHECK_MSG(solved.ok(), solved.status().ToString().c_str());
+    // The plan stays in the workspace until the next solve, so the tape
+    // aliases it instead of copying (see the header's lifetime contract).
+    Var plan = tape->ConstantView(&workspace->plan());
+    return autodiff::Sum(autodiff::Mul(plan, cost));
+  }
   auto solved = SolveSinkhorn(cost.value(), config);
   CERL_CHECK_MSG(solved.ok(), solved.status().ToString().c_str());
-  Var plan = tape->Constant(solved.value().plan);
+  Var plan = tape->Constant(std::move(solved.value().plan));
   return autodiff::Sum(autodiff::Mul(plan, cost));
 }
 
@@ -51,10 +60,10 @@ Var LinearMmdPenalty(Var rep_treated, Var rep_control) {
 }
 
 Var IpmPenalty(IpmKind kind, Var rep_treated, Var rep_control,
-               const SinkhornConfig& config) {
+               const SinkhornConfig& config, SinkhornWorkspace* workspace) {
   switch (kind) {
     case IpmKind::kWasserstein:
-      return WassersteinPenalty(rep_treated, rep_control, config);
+      return WassersteinPenalty(rep_treated, rep_control, config, workspace);
     case IpmKind::kLinearMmd:
       return LinearMmdPenalty(rep_treated, rep_control);
   }

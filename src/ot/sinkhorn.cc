@@ -2,16 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "linalg/gemm.h"
 #include "linalg/ops.h"
+#include "util/thread_pool.h"
 
 namespace cerl::ot {
 namespace {
 
+using linalg::Matrix;
+using linalg::Vector;
+
+// Scaling variables at or below this are treated as numerical underflow and
+// trigger the log-domain fallback (matches the historic scalar solver).
+constexpr double kUnderflow = 1e-300;
+
 // Fast path: standard Sinkhorn matrix scaling u = a ./ (K v), v = b ./ (K^T u)
 // with the Gibbs kernel K = exp(-C / reg) computed once. Returns false if the
 // iteration degenerates numerically (under/overflow), in which case the
-// caller falls back to the log-domain solver.
+// caller falls back to the log-domain solver. This is the reference
+// implementation: it allocates per call, runs scalar/serial, and always
+// starts cold — the workspace solver below is tested against it.
 bool SolveScaling(const linalg::Matrix& cost, double reg, int max_iterations,
                   double tolerance, SinkhornResult* out) {
   const int n1 = cost.rows();
@@ -28,16 +40,27 @@ bool SolveScaling(const linalg::Matrix& cost, double reg, int max_iterations,
 
   linalg::Vector u(n1, 1.0), v(n2, 1.0), kv(n1), ktu(n2);
   int iter = 0;
+  bool have_u = false;
   for (; iter < max_iterations; ++iter) {
-    // kv = K v ; u = a / kv
+    // kv = K v — the one K·v pass per iteration. It serves both the
+    // convergence check (against the previous iteration's u, whose row
+    // marginal is u ⊙ K v with the current v) and the u update below;
+    // the check used to re-compute K·v from scratch in a third full pass
+    // over the kernel, which also limited it to every fifth iteration.
     for (int i = 0; i < n1; ++i) {
       const double* krow = kernel.row(i);
       double s = 0.0;
       for (int j = 0; j < n2; ++j) s += krow[j] * v[j];
-      if (s <= 1e-300 || !std::isfinite(s)) return false;
+      if (s <= kUnderflow || !std::isfinite(s)) return false;
       kv[i] = s;
-      u[i] = a / s;
     }
+    if (have_u) {
+      double violation = 0.0;
+      for (int i = 0; i < n1; ++i) violation += std::fabs(u[i] * kv[i] - a);
+      if (violation < tolerance) break;
+    }
+    for (int i = 0; i < n1; ++i) u[i] = a / kv[i];
+    have_u = true;
     // ktu = K^T u ; v = b / ktu
     std::fill(ktu.begin(), ktu.end(), 0.0);
     for (int i = 0; i < n1; ++i) {
@@ -46,22 +69,8 @@ bool SolveScaling(const linalg::Matrix& cost, double reg, int max_iterations,
       for (int j = 0; j < n2; ++j) ktu[j] += krow[j] * ui;
     }
     for (int j = 0; j < n2; ++j) {
-      if (ktu[j] <= 1e-300 || !std::isfinite(ktu[j])) return false;
+      if (ktu[j] <= kUnderflow || !std::isfinite(ktu[j])) return false;
       v[j] = b / ktu[j];
-    }
-    // Convergence check on the row marginals (columns exact after v step).
-    if (iter % 5 == 4 || iter == max_iterations - 1) {
-      double violation = 0.0;
-      for (int i = 0; i < n1; ++i) {
-        const double* krow = kernel.row(i);
-        double s = 0.0;
-        for (int j = 0; j < n2; ++j) s += krow[j] * v[j];
-        violation += std::fabs(u[i] * s - a);
-      }
-      if (violation < tolerance) {
-        ++iter;
-        break;
-      }
     }
   }
 
@@ -138,7 +147,309 @@ SinkhornResult SolveLogDomain(const linalg::Matrix& cost, double reg,
   return result;
 }
 
+// --- Workspace (hot-path) solver -------------------------------------------
+
+// Chunk grain for splitting `outer` loop iterations whose bodies each touch
+// `inner` elements; `parallel = false` forces the serial path of ParallelFor
+// without changing any arithmetic.
+int64_t Grain(bool parallel, int inner) {
+  if (!parallel) return std::numeric_limits<int64_t>::max();
+  return std::max<int64_t>(4, (1 << 15) / (inner + 1));
+}
+
+bool AllUsable(const Vector& x, int n) {
+  for (int i = 0; i < n; ++i) {
+    if (x[i] <= kUnderflow || !std::isfinite(x[i])) return false;
+  }
+  return true;
+}
+
+// kv = K v: linalg::MatVecInto already has the row-blocked, fixed-order
+// four-accumulator kernel, so the result is independent of the split; only
+// the grain (and thus the serial toggle) is Sinkhorn-specific.
+void KernelTimesVec(const Matrix& kernel, const Vector& v, Vector* kv,
+                    bool parallel) {
+  linalg::MatVecInto(kernel, v, kv, Grain(parallel, kernel.cols()));
+}
+
+// ktu = K^T u, split over column blocks: each worker walks all rows but
+// accumulates only its own contiguous column slice, so the inner loop stays
+// unit-stride and every ktu[j] is summed in row order regardless of the
+// split (no transpose, no atomics).
+void KernelTransposeTimesVec(const Matrix& kernel, const Vector& u,
+                             Vector* ktu, bool parallel) {
+  const int n1 = kernel.rows();
+  const double* ud = u.data();
+  double* out = ktu->data();
+  ParallelFor(
+      0, kernel.cols(),
+      [&](int64_t lo, int64_t hi) {
+        const int j0 = static_cast<int>(lo);
+        const int j1 = static_cast<int>(hi);
+        std::fill(out + j0, out + j1, 0.0);
+        for (int i = 0; i < n1; ++i) {
+          const double* krow = kernel.row(i);
+          const double ui = ud[i];
+          for (int j = j0; j < j1; ++j) out[j] += krow[j] * ui;
+        }
+      },
+      Grain(parallel, n1));
+}
+
+enum class ScalingOutcome { kConverged, kNotConverged, kDegenerate };
+
+// Row-marginal violation of the (u, v) pair given kv = K v.
+double RowViolation(const Vector& u, const Vector& kv, int n1, double a) {
+  double violation = 0.0;
+  for (int i = 0; i < n1; ++i) violation += std::fabs(u[i] * kv[i] - a);
+  return violation;
+}
+
+// Column-marginal violation given ktu = K^T u.
+double ColViolation(const Vector& v, const Vector& ktu, int n2, double b) {
+  double violation = 0.0;
+  for (int j = 0; j < n2; ++j) violation += std::fabs(v[j] * ktu[j] - b);
+  return violation;
+}
+
+// Runs the u/v scaling iteration in the workspace buffers. `have_u` marks a
+// warm start where u already pairs with v (enabling the convergence check —
+// and thus a zero-iteration exit — before the first update). On
+// kNotConverged the final pair's violation is left in *final_violation so
+// the caller can decide whether the result is usable.
+ScalingOutcome RunScaling(const Matrix& kernel, const SinkhornConfig& config,
+                          double a, double b, bool have_u, Vector* u,
+                          Vector* v, Vector* kv, Vector* ktu, int* iterations,
+                          double* final_violation) {
+  const int n1 = kernel.rows();
+  const int n2 = kernel.cols();
+  int iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    KernelTimesVec(kernel, *v, kv, config.parallel);
+    if (!AllUsable(*kv, n1)) {
+      *iterations = iter;
+      return ScalingOutcome::kDegenerate;
+    }
+    if (have_u) {
+      // u was computed against the previous kv, v against that u, and kv
+      // above is K v — the same quantity the reference solver checks, at
+      // O(n) extra cost (the kernel pass is shared with the u update).
+      if (RowViolation(*u, *kv, n1, a) < config.tolerance) {
+        // At iter > 0 the columns are exact by construction (v was just
+        // computed from this u and this kernel). At iter == 0 the pair is
+        // a warm start whose columns were exact for the PREVIOUS kernel
+        // only — cost drift could in principle move column mass while
+        // leaving every row sum intact, so a zero-iteration accept must
+        // also verify the column marginals (one extra K^T u pass, paid
+        // only on the accept candidate).
+        if (iter > 0) {
+          *iterations = iter;
+          return ScalingOutcome::kConverged;
+        }
+        KernelTransposeTimesVec(kernel, *u, ktu, config.parallel);
+        if (AllUsable(*ktu, n2) &&
+            ColViolation(*v, *ktu, n2, b) < config.tolerance) {
+          *iterations = iter;
+          return ScalingOutcome::kConverged;
+        }
+      }
+    }
+    for (int i = 0; i < n1; ++i) (*u)[i] = a / (*kv)[i];
+    have_u = true;
+    KernelTransposeTimesVec(kernel, *u, ktu, config.parallel);
+    if (!AllUsable(*ktu, n2)) {
+      *iterations = iter;
+      return ScalingOutcome::kDegenerate;
+    }
+    for (int j = 0; j < n2; ++j) (*v)[j] = b / (*ktu)[j];
+  }
+  *iterations = iter;
+  // The pair from the final iteration was never checked; measure it so the
+  // caller can tell "slow but essentially converged" from "stuck".
+  KernelTimesVec(kernel, *v, kv, config.parallel);
+  if (!AllUsable(*kv, n1)) return ScalingOutcome::kDegenerate;
+  *final_violation = RowViolation(*u, *kv, n1, a);
+  if (*final_violation < config.tolerance) return ScalingOutcome::kConverged;
+  return ScalingOutcome::kNotConverged;
+}
+
+// plan = diag(u) K diag(v); returns <plan, cost> (NaN propagates to the
+// caller's finiteness check). Row partial costs land in `row_scratch` and
+// are summed serially in row order, so the total is split-independent.
+double AssemblePlanCost(const Matrix& cost, const Matrix& kernel,
+                        const Vector& u, const Vector& v, bool parallel,
+                        Matrix* plan, Vector* row_scratch) {
+  const int n1 = cost.rows();
+  const int n2 = cost.cols();
+  const double* vd = v.data();
+  double* scratch = row_scratch->data();
+  ParallelFor(
+      0, n1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const int row = static_cast<int>(i);
+          const double ui = u[row];
+          const double* krow = kernel.row(row);
+          const double* crow = cost.row(row);
+          double* prow = plan->row(row);
+          double s0 = 0.0, s1 = 0.0;
+          int j = 0;
+          for (; j + 2 <= n2; j += 2) {
+            const double p0 = ui * krow[j] * vd[j];
+            const double p1 = ui * krow[j + 1] * vd[j + 1];
+            prow[j] = p0;
+            prow[j + 1] = p1;
+            s0 += p0 * crow[j];
+            s1 += p1 * crow[j + 1];
+          }
+          for (; j < n2; ++j) {
+            const double p = ui * krow[j] * vd[j];
+            prow[j] = p;
+            s0 += p * crow[j];
+          }
+          scratch[i] = s0 + s1;
+        }
+      },
+      Grain(parallel, n2));
+  double total = 0.0;
+  for (int i = 0; i < n1; ++i) total += scratch[i];
+  return total;
+}
+
 }  // namespace
+
+void SinkhornWorkspace::Reserve(int n1, int n2) {
+  const int64_t elems = static_cast<int64_t>(n1) * n2;
+  if (elems > mat_high_water_) {
+    allocations_ += 2;  // kernel_ + plan_
+    mat_high_water_ = elems;
+  }
+  kernel_.Resize(n1, n2);
+  plan_.Resize(n1, n2);
+  if (n1 > row_high_water_) {
+    allocations_ += 3;  // u_ + kv_ + row_scratch_
+    row_high_water_ = n1;
+  }
+  u_.resize(n1);
+  kv_.resize(n1);
+  row_scratch_.resize(n1);
+  if (n2 > col_high_water_) {
+    allocations_ += 2;  // v_ + ktu_
+    col_high_water_ = n2;
+  }
+  v_.resize(n2);
+  ktu_.resize(n2);
+}
+
+Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
+                                        const SinkhornConfig& config,
+                                        SinkhornWorkspace* workspace) {
+  CERL_CHECK(workspace != nullptr);
+  const int n1 = cost.rows();
+  const int n2 = cost.cols();
+  if (n1 == 0 || n2 == 0) {
+    return Status::InvalidArgument("empty cost matrix");
+  }
+  SinkhornWorkspace& ws = *workspace;
+  ws.Reserve(n1, n2);
+
+  // Scale-free regularization from the mean cost. Row sums are computed in
+  // fixed order (possibly in parallel) and combined serially, so reg does
+  // not depend on the split.
+  {
+    double* scratch = ws.row_scratch_.data();
+    ParallelFor(
+        0, n1,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            const double* crow = cost.row(static_cast<int>(i));
+            double s = 0.0;
+            for (int j = 0; j < n2; ++j) s += crow[j];
+            scratch[i] = s;
+          }
+        },
+        Grain(config.parallel, n2));
+  }
+  double mean_cost = 0.0;
+  for (int i = 0; i < n1; ++i) mean_cost += ws.row_scratch_[i];
+  mean_cost /= static_cast<double>(n1) * n2;
+  const double reg =
+      std::max(1e-12, config.reg_fraction * std::max(mean_cost, 1e-12));
+  const double neg_inv_reg = -1.0 / reg;
+
+  // Gibbs kernel K = exp(-C / reg), row-blocked with the vectorized batch
+  // exp (the biggest single cost of a cold solve).
+  ParallelFor(
+      0, n1,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const double* crow = cost.row(static_cast<int>(i));
+          double* krow = ws.kernel_.row(static_cast<int>(i));
+          for (int j = 0; j < n2; ++j) krow[j] = crow[j] * neg_inv_reg;
+          linalg::VecExp(krow, krow, n2);
+        }
+      },
+      Grain(config.parallel, n2));
+
+  const double a = 1.0 / n1;
+  const double b = 1.0 / n2;
+  const bool can_warm = config.warm_start && ws.has_warm_start(n1, n2);
+  SinkhornSolveInfo info;
+  // First attempt warm (when retained duals fit), then cold; a degenerate
+  // warm start must not poison the solve, it just costs one retry.
+  const int attempts = can_warm ? 2 : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const bool warm = can_warm && attempt == 0;
+    if (!warm) {
+      std::fill(ws.u_.begin(), ws.u_.end(), 1.0);
+      std::fill(ws.v_.begin(), ws.v_.end(), 1.0);
+    }
+    int iterations = 0;
+    double final_violation = 0.0;
+    const ScalingOutcome outcome =
+        RunScaling(ws.kernel_, config, a, b, /*have_u=*/warm, &ws.u_, &ws.v_,
+                   &ws.kv_, &ws.ktu_, &iterations, &final_violation);
+    if (outcome == ScalingOutcome::kDegenerate) continue;
+    // Exhausting max_iterations far from the tolerance means the scaling
+    // iteration is numerically stuck (tiny regularization): the plan would
+    // be visibly infeasible, so route to the log-domain solver instead of
+    // returning it. A near-miss (within 100x tolerance) is kept — that
+    // matches the reference solver's accept-at-max-iterations behaviour
+    // for merely slow convergence.
+    if (outcome == ScalingOutcome::kNotConverged &&
+        final_violation > 100.0 * config.tolerance) {
+      continue;
+    }
+    const double total =
+        AssemblePlanCost(cost, ws.kernel_, ws.u_, ws.v_, config.parallel,
+                         &ws.plan_, &ws.row_scratch_);
+    if (std::isfinite(total)) {
+      info.cost = total;
+      info.iterations = iterations;
+      info.warm_started = warm;
+      ws.warm_rows_ = n1;
+      ws.warm_cols_ = n2;
+      return info;
+    }
+  }
+
+  // Scaling under/overflowed even from a cold start: log-domain fallback
+  // (the rare small-regularization regime; allocates outside the workspace
+  // — correctness over churn here). The duals are not representable in the
+  // scaling form, so the warm start is dropped.
+  SinkhornResult log_result =
+      SolveLogDomain(cost, reg, config.max_iterations, config.tolerance);
+  ws.plan_.CopyFrom(log_result.plan);
+  ws.DropWarmStart();
+  info.cost = log_result.cost;
+  info.iterations = log_result.iterations;
+  info.warm_started = false;
+  info.used_log_domain = true;
+  if (!std::isfinite(info.cost)) {
+    return Status::NumericalError("sinkhorn: non-finite transport cost");
+  }
+  return info;
+}
 
 Result<SinkhornResult> SolveSinkhorn(const linalg::Matrix& cost,
                                      const SinkhornConfig& config) {

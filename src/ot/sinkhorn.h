@@ -3,7 +3,21 @@
 // the Wasserstein IPM penalty (Eq. 3): the plan is computed on detached
 // values and gradients flow through the cost matrix only — the estimator
 // CFR (Shalit et al. 2017) uses.
+//
+// Two solver entry points share the same math:
+//  - SolveSinkhorn(cost, config): the original allocate-per-call scalar
+//    solver, kept as the reference implementation (and the owner of the
+//    log-domain fallback for small regularization);
+//  - SolveSinkhorn(cost, config, workspace): the training hot path. All
+//    kernel/plan/dual/scratch buffers live in a caller-owned
+//    SinkhornWorkspace (the same arena pattern autodiff::Tape uses), so
+//    steady-state solves allocate nothing, the duals are warm-started from
+//    the previous solve of the same shape, and the K·v / Kᵀ·u products and
+//    Gibbs-kernel exp are blocked and split across the global thread pool
+//    with a deterministic reduction order.
 #pragma once
+
+#include <cstdint>
 
 #include "linalg/matrix.h"
 #include "util/status.h"
@@ -16,6 +30,16 @@ struct SinkhornConfig {
   double reg_fraction = 0.1;
   int max_iterations = 200;
   double tolerance = 1e-6;  ///< stop when marginal violation is below this
+  /// Workspace solves only: start the duals from the previous solve when the
+  /// problem shape matches. Representations drift slowly between SGD steps,
+  /// so warm starts typically converge in a handful of iterations (often
+  /// zero — the retained duals may already satisfy the tolerance).
+  bool warm_start = true;
+  /// Workspace solves only: split the kernel build, K·v / Kᵀ·u products and
+  /// plan assembly across the global thread pool. Each output element is
+  /// reduced in a fixed order regardless of the split, so results are
+  /// bit-identical to `parallel = false` (asserted by tests).
+  bool parallel = true;
 };
 
 /// Solution: the transport plan and the resulting OT cost <plan, cost>.
@@ -25,8 +49,81 @@ struct SinkhornResult {
   int iterations = 0;
 };
 
+/// Outcome of a workspace solve. The plan itself stays in the workspace
+/// (SinkhornWorkspace::plan()) so the steady state copies nothing.
+struct SinkhornSolveInfo {
+  double cost = 0.0;      ///< <plan, cost>
+  int iterations = 0;     ///< dual updates performed (0: warm start already
+                          ///< satisfied the tolerance)
+  bool warm_started = false;    ///< duals were seeded from the previous solve
+  bool used_log_domain = false; ///< scaling degenerated; log-domain fallback
+};
+
+class SinkhornWorkspace;
+
+/// Workspace overload: solves into the workspace's buffers. Steady-state
+/// solves with non-growing shapes perform zero heap allocations (asserted
+/// via SinkhornWorkspace::allocations()). Warm-starts the duals from the
+/// previous solve when config.warm_start and the shape matches; falls back
+/// to a cold start (and ultimately the log-domain solver) on numerical
+/// degeneration.
+Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
+                                        const SinkhornConfig& config,
+                                        SinkhornWorkspace* workspace);
+
+/// Reusable arena for SolveSinkhorn: the Gibbs kernel, the transport plan,
+/// the scaling duals u/v and the iteration scratch. Buffers grow to the
+/// high-water shape and are then reused; the retained duals double as the
+/// warm start for the next solve of the same shape. Not thread-safe: one
+/// workspace per concurrent solver (the trainers own one next to their
+/// persistent tapes).
+class SinkhornWorkspace {
+ public:
+  SinkhornWorkspace() = default;
+  SinkhornWorkspace(const SinkhornWorkspace&) = delete;
+  SinkhornWorkspace& operator=(const SinkhornWorkspace&) = delete;
+
+  /// Transport plan of the last successful solve (n1 x n2). Stable storage:
+  /// overwritten only by the next solve, so tape constants may alias it for
+  /// the duration of a training step.
+  const linalg::Matrix& plan() const { return plan_; }
+
+  /// Buffer (re)allocations performed since construction. Flat across
+  /// steady-state solves of non-growing shapes; tests assert this the same
+  /// way Tape::arena_allocations() proves the tape arena is zero-churn.
+  int64_t allocations() const { return allocations_; }
+
+  /// Drops the retained duals so the next solve starts cold (used after the
+  /// problem changes discontinuously, e.g. a new stage's representations).
+  void DropWarmStart() { warm_rows_ = warm_cols_ = -1; }
+
+  /// True if a solve of this shape would warm-start from retained duals.
+  bool has_warm_start(int rows, int cols) const {
+    return warm_rows_ == rows && warm_cols_ == cols;
+  }
+
+ private:
+  friend Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix&,
+                                                 const SinkhornConfig&,
+                                                 SinkhornWorkspace*);
+
+  /// Sizes every buffer for an n1 x n2 problem, counting the buffers that
+  /// actually had to grow beyond their high-water capacity.
+  void Reserve(int n1, int n2);
+
+  linalg::Matrix kernel_;  ///< exp(-C / reg)
+  linalg::Matrix plan_;    ///< diag(u) K diag(v)
+  linalg::Vector u_, v_;   ///< scaling duals (retained => warm start)
+  linalg::Vector kv_, ktu_, row_scratch_;
+  int warm_rows_ = -1, warm_cols_ = -1;
+  int64_t allocations_ = 0;
+  int64_t mat_high_water_ = 0;
+  int row_high_water_ = 0, col_high_water_ = 0;
+};
+
 /// Solves OT with uniform marginals for the given cost matrix (entries >= 0,
-/// at least one row and column). Log-domain stabilized.
+/// at least one row and column). Log-domain stabilized. Reference
+/// implementation: allocates its outputs per call and always starts cold.
 Result<SinkhornResult> SolveSinkhorn(const linalg::Matrix& cost,
                                      const SinkhornConfig& config);
 

@@ -98,6 +98,58 @@ TEST(HerdingTest, BeatsRandomSubsamplingOnMeanApproximation) {
   EXPECT_GE(herding_wins, 18);  // Herding should essentially always win.
 }
 
+// Direct-form greedy score of candidate c given the selected prefix.
+double HerdingScore(const Matrix& rows, const std::vector<int>& prefix,
+                    int c) {
+  const linalg::Vector mean = linalg::ColumnMeans(rows);
+  linalg::Vector sum(rows.cols(), 0.0);
+  for (int s : prefix) {
+    for (int j = 0; j < rows.cols(); ++j) sum[j] += rows(s, j);
+  }
+  const double inv = 1.0 / static_cast<double>(prefix.size() + 1);
+  double dist = 0.0;
+  for (int j = 0; j < rows.cols(); ++j) {
+    const double v = mean[j] - (sum[j] + rows(c, j)) * inv;
+    dist += v * v;
+  }
+  return dist;
+}
+
+// The expanded-norm fast path must pick the same exemplars, in the same
+// order, as the direct-form reference scan — except where the two
+// candidates' scores tie within floating-point rounding (the expanded form
+// rounds differently, and FP contraction makes the exact bits
+// platform-dependent), in which case either pick is a correct greedy step.
+TEST(HerdingTest, MatchesReferenceImplementation) {
+  for (uint64_t seed = 11; seed < 16; ++seed) {
+    Rng rng(seed);
+    const int n = 120 + static_cast<int>(seed) * 7;
+    const int d = 3 + static_cast<int>(seed % 4);
+    Matrix rows(n, d);
+    for (int64_t i = 0; i < rows.size(); ++i) {
+      rows.data()[i] = rng.Normal(rng.Uniform(-1, 1), 1.0);
+    }
+    const int count = n / 3;
+    const std::vector<int> fast = HerdingSelect(rows, count);
+    const std::vector<int> reference = HerdingSelectReference(rows, count);
+    ASSERT_EQ(fast.size(), reference.size());
+    std::vector<int> prefix;
+    for (int k = 0; k < count; ++k) {
+      if (fast[k] != reference[k]) {
+        // Both picks must be greedy-optimal within FP noise; after a tie
+        // the two runs legitimately diverge, so stop comparing.
+        const double fast_score = HerdingScore(rows, prefix, fast[k]);
+        const double ref_score = HerdingScore(rows, prefix, reference[k]);
+        EXPECT_NEAR(fast_score, ref_score,
+                    1e-9 * (1.0 + std::fabs(ref_score)))
+            << "seed " << seed << " pick " << k;
+        break;
+      }
+      prefix.push_back(fast[k]);
+    }
+  }
+}
+
 TEST(HerdingTest, SelectingAllPerfectlyMatchesMean) {
   Rng rng(3);
   Matrix rows(15, 3);
@@ -254,6 +306,43 @@ TEST(BuildFactualLossTest, SingleGroupBatchIsHandled) {
   EXPECT_EQ(fwd.rep_control.rows(), 0);
   EXPECT_TRUE(std::isfinite(fwd.loss.scalar()));
   tape.Backward(fwd.loss);  // Must not crash with an empty group.
+}
+
+// The scratch overload (tape-aliased targets, reused split buffers) must
+// produce the same loss and gradients as the per-call-local path, and must
+// keep the tape arena allocation-free across steady-state re-recordings.
+TEST(BuildFactualLossTest, ScratchPathMatchesLocalAndIsZeroChurn) {
+  Rng rng(11);
+  RepOutcomeNet net(&rng, SmallNet(), 6);
+  CausalDataset d = ToyDgp(&rng, 24);
+  net.x_scaler().Fit(d.x);
+  net.y_scaler().Fit(d.y);
+  const Matrix x_scaled = net.x_scaler().Apply(d.x);
+  const Vector y_scaled = net.y_scaler().Transform(d.y);
+
+  double local_loss = 0.0;
+  {
+    autodiff::Tape tape;
+    FactualForward fwd = BuildFactualLoss(
+        &net, &tape, tape.Constant(x_scaled), d.t, y_scaled);
+    local_loss = fwd.loss.scalar();
+  }
+
+  autodiff::Tape tape;
+  FactualScratch scratch;
+  int64_t allocs = -1;
+  for (int step = 0; step < 4; ++step) {
+    tape.Reset();
+    FactualForward fwd = BuildFactualLoss(
+        &net, &tape, tape.Constant(x_scaled), d.t, y_scaled, &scratch);
+    EXPECT_DOUBLE_EQ(fwd.loss.scalar(), local_loss);
+    tape.Backward(fwd.loss);
+    if (step == 0) {
+      allocs = tape.arena_allocations();
+    } else {
+      EXPECT_EQ(tape.arena_allocations(), allocs) << "step " << step;
+    }
+  }
 }
 
 }  // namespace

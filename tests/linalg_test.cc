@@ -265,5 +265,54 @@ TEST(OpsTest, PearsonCorrelationSigns) {
   EXPECT_DOUBLE_EQ(PearsonCorrelation(a, Vector(4, 5.0)), 0.0);
 }
 
+TEST(VecExpTest, MatchesStdExpAcrossRange) {
+  Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) xs.push_back(rng.Uniform(-700.0, 700.0));
+  for (double x : {0.0, -0.0, 1.0, -1.0, 1e-12, -1e-12, 707.9, -707.9}) {
+    xs.push_back(x);
+  }
+  std::vector<double> ys(xs.size());
+  VecExp(xs.data(), ys.data(), static_cast<int>(xs.size()));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double ref = std::exp(xs[i]);
+    EXPECT_NEAR(ys[i], ref, 1e-13 * ref) << "x = " << xs[i];
+  }
+  // In-place aliasing and the saturation clamp.
+  double inplace[3] = {2.5, -900.0, 900.0};
+  VecExp(inplace, inplace, 3);
+  EXPECT_NEAR(inplace[0], std::exp(2.5), 1e-13 * std::exp(2.5));
+  EXPECT_NEAR(inplace[1], std::exp(-708.0), 1e-320);
+  EXPECT_NEAR(inplace[2], std::exp(708.0), 1e-13 * std::exp(708.0));
+}
+
+TEST(MatVecIntoTest, MatchesMatVecAndReusesStorage) {
+  Rng rng(22);
+  Matrix a = RandomMatrix(&rng, 37, 19);
+  Vector x(19);
+  for (double& v : x) v = rng.Normal();
+  Vector expect = MatVec(a, x);
+  Vector y;
+  MatVecInto(a, x, &y);
+  ASSERT_EQ(y.size(), expect.size());
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(y[i], expect[i]);
+  const double* storage = y.data();
+  MatVecInto(a, x, &y);  // Same shape: storage must be reused.
+  EXPECT_EQ(y.data(), storage);
+}
+
+TEST(MatrixResizeTest, ReusesCapacityAcrossShapes) {
+  Matrix m(10, 20);
+  const double* storage = m.data();
+  m.Resize(20, 10);  // Same element count: no reallocation.
+  EXPECT_EQ(m.data(), storage);
+  EXPECT_EQ(m.rows(), 20);
+  EXPECT_EQ(m.cols(), 10);
+  m.Resize(5, 8);  // Smaller: vector keeps its capacity.
+  EXPECT_EQ(m.data(), storage);
+  m.Resize(10, 20);  // Back up to the high water: still within capacity.
+  EXPECT_EQ(m.data(), storage);
+}
+
 }  // namespace
 }  // namespace cerl::linalg
