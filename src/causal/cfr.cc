@@ -1,9 +1,11 @@
 #include "causal/cfr.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "autodiff/composite.h"
 #include "autodiff/ops.h"
+#include "ot/workspace_pool.h"
 #include "util/logging.h"
 
 namespace cerl::causal {
@@ -78,6 +80,26 @@ void GatherTreatOutcome(const std::vector<int>& t, const linalg::Vector& y,
   }
 }
 
+uint64_t TreatedSplitShapeKey(const std::vector<int>& t,
+                              train::IndexSpan idx) {
+  uint64_t treated = 0;
+  for (int i : idx) treated += t[i] == 1 ? 1 : 0;
+  return (static_cast<uint64_t>(idx.size()) << 32) | treated;
+}
+
+std::unique_ptr<RepOutcomeNet> MakeValidationClone(const NetConfig& config,
+                                                   RepOutcomeNet& net,
+                                                   uint64_t seed) {
+  // The clone's init values are irrelevant (every score restores a
+  // snapshot first); the derived seed only keeps construction
+  // deterministic.
+  Rng clone_rng(seed ^ 0xA51DC0DE);
+  auto clone =
+      std::make_unique<RepOutcomeNet>(&clone_rng, config, net.input_dim());
+  clone->CopyParametersFrom(net);  // copies scalers too
+  return clone;
+}
+
 train::LoopOptions MakeLoopOptions(const TrainConfig& config,
                                    const std::string& log_label) {
   train::LoopOptions options;
@@ -108,12 +130,13 @@ TrainStats CfrModel::FineTune(const data::CausalDataset& train,
   return RunTraining(train, valid, /*refit_scalers=*/false);
 }
 
-double CfrModel::ValidFactualLoss(const linalg::Matrix& x_scaled,
+double CfrModel::ValidFactualLoss(RepOutcomeNet* net,
+                                  const linalg::Matrix& x_scaled,
                                   const std::vector<int>& t,
                                   const linalg::Vector& y_scaled) {
   Tape tape;
   Var x = tape.Constant(x_scaled);
-  FactualForward fwd = BuildFactualLoss(&net_, &tape, x, t, y_scaled);
+  FactualForward fwd = BuildFactualLoss(net, &tape, x, t, y_scaled);
   return fwd.loss.scalar();
 }
 
@@ -136,13 +159,15 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
   // elastic net. The loop mechanics live in train::TrainLoop, which also
   // assembles (and prefetches) the covariate rows; the loss only gathers
   // the per-unit treatment/outcome scalars into step-reused buffers. The
-  // factual-split scratch and the Sinkhorn workspace live here, next to the
-  // loop's persistent tapes, so steady-state steps allocate nothing in the
-  // loss builder and the OT duals warm-start from the previous step.
+  // factual-split scratch and the Sinkhorn workspaces live here, next to
+  // the loop's persistent tapes, so steady-state steps allocate nothing in
+  // the loss builder; the workspaces are pooled by the (n_treated,
+  // n_control) split so the OT duals warm-start from the previous batch
+  // with the same split even when splits interleave.
   std::vector<int> batch_t;
   linalg::Vector batch_y;
   FactualScratch factual_scratch;
-  ot::SinkhornWorkspace sinkhorn_ws;
+  ot::SinkhornWorkspacePool sinkhorn_pool;
   auto batch_loss = [&](Tape* tape, train::IndexSpan idx,
                         const std::vector<linalg::Matrix>& gathered) -> Var {
     GatherTreatOutcome(train.t, y_train, idx, &batch_t, &batch_y);
@@ -153,7 +178,8 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
     if (train_config_.alpha > 0.0 && fwd.n_treated > 0 && fwd.n_control > 0) {
       Var ipm =
           ot::IpmPenalty(train_config_.ipm, fwd.rep_treated, fwd.rep_control,
-                         train_config_.sinkhorn, &sinkhorn_ws);
+                         train_config_.sinkhorn,
+                         sinkhorn_pool.Acquire(fwd.n_treated, fwd.n_control));
       loss = Add(loss, ScalarMul(ipm, train_config_.alpha));
     }
     if (train_config_.lambda > 0.0) {
@@ -163,11 +189,29 @@ TrainStats CfrModel::RunTraining(const data::CausalDataset& train,
     return loss;
   };
   auto valid_loss = [&]() {
-    return ValidFactualLoss(x_valid, valid.t, y_valid);
+    return ValidFactualLoss(&net_, x_valid, valid.t, y_valid);
   };
 
   train::TrainLoop loop(MakeLoopOptions(train_config_, "cfr"),
                         net_.Parameters(), &rng_);
+  // The loss graph's topology depends on the treated/control split, not
+  // just the batch size; keying the persistent tapes by both keeps every
+  // split shape on a warmed arena (same pooling rationale as above).
+  loop.SetBatchShapeKey([&train](train::IndexSpan idx) {
+    return TreatedSplitShapeKey(train.t, idx);
+  });
+  // Async validation scores parameter snapshots against a dedicated clone
+  // so the live net can keep training while the criterion is computed.
+  std::unique_ptr<RepOutcomeNet> valid_net;
+  if (train_config_.async_validation) {
+    valid_net = MakeValidationClone(net_config_, net_, train_config_.seed);
+    loop.EnableAsyncValidation(
+        [this, vn = valid_net.get(), &x_valid, &valid,
+         &y_valid](const std::vector<linalg::Matrix>& snapshot) {
+          train::RestoreValues(vn->Parameters(), snapshot);
+          return ValidFactualLoss(vn, x_valid, valid.t, y_valid);
+        });
+  }
   return loop.Run(train.num_units(), {&x_train}, batch_loss, valid_loss);
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "causal/metrics.h"
@@ -30,6 +31,13 @@ struct TrainConfig {
   ot::SinkhornConfig sinkhorn;
   uint64_t seed = 1234;
   bool verbose = false;
+  /// Score the early-stopping validation criterion asynchronously: the loop
+  /// snapshots the parameters after each epoch's last batch and a dedicated
+  /// worker scores the snapshot (against a validation clone of the model)
+  /// while the next epoch trains. Restored best parameters are bit-identical
+  /// to the synchronous path; the early-stop decision lands at most one
+  /// epoch late (see train::TrainLoop::EnableAsyncValidation).
+  bool async_validation = false;
 };
 
 /// Summary of one training run (lives with the engine in src/train/).
@@ -77,6 +85,21 @@ void GatherTreatOutcome(const std::vector<int>& t, const linalg::Vector& y,
                         train::IndexSpan idx, std::vector<int>* t_out,
                         linalg::Vector* y_out);
 
+/// Tape-pool shape key for factual losses (train::BatchShapeKeyFn): the
+/// loss-graph topology depends on the batch size AND its treated/control
+/// split, so batches sharing (size, n_treated) share a persistent tape.
+/// Shared by CfrModel and the CERL continual stage.
+uint64_t TreatedSplitShapeKey(const std::vector<int>& t,
+                              train::IndexSpan idx);
+
+/// Same-architecture clone of `net` (weights and scalers copied) for
+/// asynchronous validation: parameter snapshots are RestoreValues'd into
+/// the clone and scored on a worker while the live net keeps training.
+/// Shared by CfrModel and the CERL continual stage.
+std::unique_ptr<RepOutcomeNet> MakeValidationClone(const NetConfig& config,
+                                                   RepOutcomeNet& net,
+                                                   uint64_t seed);
+
 /// CFR model: RepOutcomeNet + Eq. 5 training.
 class CfrModel {
  public:
@@ -106,9 +129,10 @@ class CfrModel {
   TrainStats RunTraining(const data::CausalDataset& train,
                          const data::CausalDataset& valid,
                          bool refit_scalers);
-  double ValidFactualLoss(const linalg::Matrix& x_scaled,
-                          const std::vector<int>& t,
-                          const linalg::Vector& y_scaled);
+  static double ValidFactualLoss(RepOutcomeNet* net,
+                                 const linalg::Matrix& x_scaled,
+                                 const std::vector<int>& t,
+                                 const linalg::Vector& y_scaled);
 
   NetConfig net_config_;
   TrainConfig train_config_;

@@ -1,10 +1,12 @@
 #include "core/cerl_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "autodiff/composite.h"
 #include "autodiff/ops.h"
+#include "ot/workspace_pool.h"
 #include "train/train_loop.h"
 #include "util/logging.h"
 
@@ -12,6 +14,57 @@ namespace cerl::core {
 
 using autodiff::Var;
 using causal::TrainStats;
+
+namespace {
+
+// Non-aborting shape/finiteness checks for one dataset of a split. With
+// `require_ground_truth` the mu0/mu1 columns must align with the units
+// (CheckConsistent's contract, enforced on the training split); otherwise
+// they may be absent (both empty) — evaluation is then skipped downstream.
+Status CheckDataset(const data::CausalDataset& d, int input_dim,
+                    const char* which, bool require_ground_truth) {
+  const int n = d.x.rows();
+  if (n == 0) {
+    return Status::InvalidArgument(std::string(which) + ": empty dataset");
+  }
+  if (d.x.cols() != input_dim) {
+    return Status::InvalidArgument(std::string(which) +
+                                   ": feature dimension mismatch");
+  }
+  if (static_cast<int>(d.t.size()) != n ||
+      static_cast<int>(d.y.size()) != n) {
+    return Status::InvalidArgument(std::string(which) +
+                                   ": misaligned t/y lengths");
+  }
+  const bool mu_aligned = static_cast<int>(d.mu0.size()) == n &&
+                          static_cast<int>(d.mu1.size()) == n;
+  const bool mu_absent = d.mu0.empty() && d.mu1.empty();
+  if (require_ground_truth ? !mu_aligned : !(mu_aligned || mu_absent)) {
+    return Status::InvalidArgument(std::string(which) +
+                                   ": misaligned mu0/mu1 lengths");
+  }
+  for (int t : d.t) {
+    if (t != 0 && t != 1) {
+      return Status::InvalidArgument(std::string(which) +
+                                     ": non-binary treatment");
+    }
+  }
+  for (int64_t i = 0; i < d.x.size(); ++i) {
+    if (!std::isfinite(d.x.data()[i])) {
+      return Status::InvalidArgument(std::string(which) +
+                                     ": non-finite covariate");
+    }
+  }
+  for (double y : d.y) {
+    if (!std::isfinite(y)) {
+      return Status::InvalidArgument(std::string(which) +
+                                     ": non-finite outcome");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 CerlTrainer::CerlTrainer(const CerlConfig& config, int input_dim)
     : config_(config), input_dim_(input_dim), rng_(config.train.seed ^ 0xCE51) {}
@@ -21,10 +74,29 @@ causal::RepOutcomeNet* CerlTrainer::current_net() {
   return &model_->net();
 }
 
+Status CerlTrainer::ValidateDomain(const data::DataSplit& split,
+                                   int input_dim) {
+  // BeginStage runs CheckConsistent on the training split (which requires
+  // aligned ground truth); mirror that here so a bad domain is rejected by
+  // pre-flight validation instead of aborting mid-pipeline.
+  CERL_RETURN_IF_ERROR(CheckDataset(split.train, input_dim, "train",
+                                    /*require_ground_truth=*/true));
+  CERL_RETURN_IF_ERROR(CheckDataset(split.valid, input_dim, "valid",
+                                    /*require_ground_truth=*/false));
+  // The test split is evaluation-only; mu-less test data is allowed (the
+  // engine then skips PEHE/ATE scoring for the domain).
+  if (split.test.num_units() > 0) {
+    CERL_RETURN_IF_ERROR(CheckDataset(split.test, input_dim, "test",
+                                      /*require_ground_truth=*/false));
+  }
+  return Status::Ok();
+}
+
 TrainStats CerlTrainer::ObserveDomain(const data::DataSplit& split) {
-  ++stages_seen_;
-  if (stages_seen_ == 1) return TrainBaseline(split);
-  return TrainContinual(split);
+  std::unique_ptr<StageContext> ctx = BeginStage(split);
+  TrainStats stats = TrainStage(ctx.get());
+  MigrateStage(ctx.get());
+  return stats;
 }
 
 linalg::Vector CerlTrainer::PredictIte(const linalg::Matrix& x_raw) {
@@ -43,19 +115,24 @@ void CerlTrainer::SeedMemoryFromCurrent(const data::CausalDataset& train) {
   memory_.Reduce(config_.memory_capacity, config_.use_herding, &rng_);
 }
 
-TrainStats CerlTrainer::TrainBaseline(const data::DataSplit& split) {
-  causal::TrainConfig train_config = config_.train;
-  model_ = std::make_unique<causal::CfrModel>(config_.net, train_config,
-                                              input_dim_);
-  TrainStats stats = model_->Train(split.train, split.valid);
-  SeedMemoryFromCurrent(split.train);
-  CERL_LOG(Debug) << "CERL baseline stage done: memory " << memory_.size()
-                  << " units, best valid loss " << stats.best_valid_loss;
-  return stats;
-}
+std::unique_ptr<CerlTrainer::StageContext> CerlTrainer::BeginStage(
+    const data::DataSplit& split) {
+  auto ctx = std::make_unique<StageContext>();
+  ctx->split = &split;
+  ++stages_seen_;
+  ctx->stage = stages_seen_;
 
-TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
-  using namespace autodiff;  // NOLINT
+  if (stages_seen_ == 1) {
+    // Baseline stage (Eq. 5): plain CFR; standardization happens inside
+    // CfrModel::Train (scalers fitted on the first domain anchor the
+    // representation space for every later stage).
+    ctx->baseline = true;
+    ctx->stage_train = config_.train;
+    model_ = std::make_unique<causal::CfrModel>(config_.net, ctx->stage_train,
+                                                input_dim_);
+    return ctx;
+  }
+
   const data::CausalDataset& train = split.train;
   const data::CausalDataset& valid = split.valid;
   train.CheckConsistent();
@@ -86,90 +163,138 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
     net.y_scaler().Fit(y_all);
   }
 
-  const linalg::Matrix x_train = net.x_scaler().Apply(train.x);
-  const linalg::Vector y_train = net.y_scaler().Transform(train.y);
-  const linalg::Matrix x_valid = net.x_scaler().Apply(valid.x);
-  const linalg::Vector y_valid = net.y_scaler().Transform(valid.y);
+  // Standardize once per stage; these live in the context so the stream
+  // engine can hand the prepared stage between workers.
+  ctx->stage_train = stage_train;
+  ctx->x_train = net.x_scaler().Apply(train.x);
+  ctx->y_train = net.y_scaler().Transform(train.y);
+  ctx->x_valid = net.x_scaler().Apply(valid.x);
+  ctx->y_valid = net.y_scaler().Transform(valid.y);
 
   // Old-model representations of the new data, computed once (frozen).
-  const linalg::Matrix old_reps_train = old_net.Representations(train.x);
+  ctx->old_reps_train = old_net.Representations(train.x);
 
   // phi and the joint parameter set (Algorithm 1: OPTIMIZE over w_d,
   // theta_d, phi).
   Rng phi_rng(stage_train.seed ^ 0xF17A);
-  TransformNet phi(&phi_rng, net.rep_dim(), config_.transform_hidden);
-  std::vector<Parameter*> params = net.Parameters();
+  ctx->phi = std::make_unique<TransformNet>(&phi_rng, net.rep_dim(),
+                                            config_.transform_hidden);
+  ctx->params = net.Parameters();
   if (config_.use_transform || config_.delta > 0.0) {
-    for (Parameter* p : phi.Parameters()) params.push_back(p);
+    for (autodiff::Parameter* p : ctx->phi->Parameters()) {
+      ctx->params.push_back(p);
+    }
   }
-  const bool use_memory = config_.use_transform && !memory_.empty();
-  const int mem_batch =
-      use_memory ? std::min(stage_train.batch_size, memory_.size()) : 0;
+  ctx->use_memory = config_.use_transform && !memory_.empty();
+  ctx->mem_batch =
+      ctx->use_memory ? std::min(stage_train.batch_size, memory_.size()) : 0;
+  ctx->loop_rng = Rng(stage_train.seed ^ 0xB007);
 
-  Rng loop_rng(stage_train.seed ^ 0xB007);
+  if (stage_train.async_validation) {
+    // Clones for off-thread validation scoring: snapshots are restored into
+    // these while the live net/phi keep training. Architecture (and copied
+    // scalers) match the live models; values are overwritten per score.
+    ctx->valid_net =
+        causal::MakeValidationClone(config_.net, net, stage_train.seed);
+    Rng phi_clone_rng(stage_train.seed ^ 0xF1C10);
+    ctx->valid_phi = std::make_unique<TransformNet>(
+        &phi_clone_rng, net.rep_dim(), config_.transform_hidden);
+  }
+  return ctx;
+}
+
+double CerlTrainer::StageValidLoss(causal::RepOutcomeNet* net,
+                                   TransformNet* phi,
+                                   const StageContext& ctx) {
+  using namespace autodiff;  // NOLINT
   // Retention-aware early stopping: new-domain factual loss plus the
   // replay loss over the whole memory bank. The distillation term must NOT
   // enter the selection criterion: it is exactly zero at the warm-started
   // initialization, which would make the un-adapted old model an
   // unbeatable snapshot and block adaptation entirely.
-  auto valid_loss_fn = [&]() {
-    Tape tape;
-    Var x = tape.Constant(x_valid);
-    causal::FactualForward vfwd =
-        causal::BuildFactualLoss(&net, &tape, x, valid.t, y_valid);
-    double loss = vfwd.loss.scalar();
-    if (use_memory) {
-      Var mem_rep = tape.Constant(memory_.reps());
-      Var mem_mapped = phi.Forward(&tape, mem_rep);
-      std::vector<int> idx_t, idx_c;
-      linalg::Vector y_t, y_c;
-      for (int i = 0; i < memory_.size(); ++i) {
-        const double ys = net.y_scaler().Transform(memory_.y()[i]);
-        if (memory_.t()[i] == 1) {
-          idx_t.push_back(i);
-          y_t.push_back(ys);
-        } else {
-          idx_c.push_back(i);
-          y_c.push_back(ys);
-        }
+  Tape tape;
+  Var x = tape.Constant(ctx.x_valid);
+  causal::FactualForward vfwd = causal::BuildFactualLoss(
+      net, &tape, x, ctx.split->valid.t, ctx.y_valid);
+  double loss = vfwd.loss.scalar();
+  if (ctx.use_memory) {
+    Var mem_rep = tape.Constant(memory_.reps());
+    Var mem_mapped = phi->Forward(&tape, mem_rep);
+    std::vector<int> idx_t, idx_c;
+    linalg::Vector y_t, y_c;
+    for (int i = 0; i < memory_.size(); ++i) {
+      const double ys = net->y_scaler().Transform(memory_.y()[i]);
+      if (memory_.t()[i] == 1) {
+        idx_t.push_back(i);
+        y_t.push_back(ys);
+      } else {
+        idx_c.push_back(i);
+        y_c.push_back(ys);
       }
-      double sse = 0.0;
-      if (!idx_t.empty()) {
-        Var pred = net.Head(&tape, GatherRows(mem_mapped, idx_t), 1);
-        for (size_t i = 0; i < idx_t.size(); ++i) {
-          const double d = pred.value()(static_cast<int>(i), 0) - y_t[i];
-          sse += d * d;
-        }
-      }
-      if (!idx_c.empty()) {
-        Var pred = net.Head(&tape, GatherRows(mem_mapped, idx_c), 0);
-        for (size_t i = 0; i < idx_c.size(); ++i) {
-          const double d = pred.value()(static_cast<int>(i), 0) - y_c[i];
-          sse += d * d;
-        }
-      }
-      loss += sse / memory_.size();
     }
-    return loss;
+    double sse = 0.0;
+    if (!idx_t.empty()) {
+      Var pred = net->Head(&tape, GatherRows(mem_mapped, idx_t), 1);
+      for (size_t i = 0; i < idx_t.size(); ++i) {
+        const double d = pred.value()(static_cast<int>(i), 0) - y_t[i];
+        sse += d * d;
+      }
+    }
+    if (!idx_c.empty()) {
+      Var pred = net->Head(&tape, GatherRows(mem_mapped, idx_c), 0);
+      for (size_t i = 0; i < idx_c.size(); ++i) {
+        const double d = pred.value()(static_cast<int>(i), 0) - y_c[i];
+        sse += d * d;
+      }
+    }
+    loss += sse / memory_.size();
+  }
+  return loss;
+}
+
+TrainStats CerlTrainer::TrainStage(StageContext* ctx) {
+  CERL_CHECK(ctx != nullptr);
+  if (ctx->baseline) {
+    ctx->stats = model_->Train(ctx->split->train, ctx->split->valid);
+    return ctx->stats;
+  }
+  ctx->stats = TrainContinualStage(ctx);
+  return ctx->stats;
+}
+
+TrainStats CerlTrainer::TrainContinualStage(StageContext* ctx) {
+  using namespace autodiff;  // NOLINT
+  const data::CausalDataset& train = ctx->split->train;
+  const causal::TrainConfig& stage_train = ctx->stage_train;
+  causal::RepOutcomeNet& net = model_->net();
+  TransformNet& phi = *ctx->phi;
+  const bool use_memory = ctx->use_memory;
+  const int mem_batch = ctx->mem_batch;
+  Rng& loop_rng = ctx->loop_rng;
+
+  auto valid_loss_fn = [this, ctx, &net, &phi]() {
+    return StageValidLoss(&net, &phi, *ctx);
   };
   // Eq. 9 per-batch objective; the epoch/minibatch/early-stopping mechanics
   // live in train::TrainLoop, which assembles (and prefetches) the row
   // gathers of x_train and old_reps_train. Scalar/memory gathers and the
   // factual/memory split land in step-reused scratch, and the Sinkhorn
-  // workspace (owned here, next to the loop's persistent tapes) warm-starts
-  // the balancing duals from the previous step.
+  // workspaces (owned here, next to the loop's persistent tapes, pooled by
+  // the global treated/control split) warm-start the balancing duals from
+  // the previous step with the same split.
   std::vector<int> batch_t;
   linalg::Vector batch_y;
   linalg::Matrix mem_rep_gathered;
   causal::FactualScratch factual_scratch;
-  ot::SinkhornWorkspace sinkhorn_ws;
+  ot::SinkhornWorkspacePool sinkhorn_pool;
   // Second scratch for the memory-batch split: same fields, same
   // tape-aliasing lifetime contract (see FactualScratch), filled here
   // because the memory targets route through mem_idx and the y scaler.
   causal::FactualScratch mem_scratch;
   auto batch_loss = [&](Tape* tape, train::IndexSpan idx,
                         const std::vector<linalg::Matrix>& gathered) -> Var {
-    causal::GatherTreatOutcome(train.t, y_train, idx, &batch_t, &batch_y);
+    causal::GatherTreatOutcome(train.t, ctx->y_train, idx, &batch_t,
+                               &batch_y);
     Var x = tape->ConstantView(&gathered[0]);
     // L_G new-data term (Eq. 8, second sum) + group representations.
     causal::FactualForward fwd = causal::BuildFactualLoss(
@@ -261,7 +386,7 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
       Var ipm =
           ot::IpmPenalty(stage_train.ipm, rep_treated_global,
                          rep_control_global, stage_train.sinkhorn,
-                         &sinkhorn_ws);
+                         sinkhorn_pool.Acquire(n_treated, n_control));
       loss = Add(loss, ScalarMul(ipm, stage_train.alpha));
     }
     // Elastic net on the new feature-selection layer (Eq. 1).
@@ -274,23 +399,56 @@ TrainStats CerlTrainer::TrainContinual(const data::DataSplit& split) {
 
   train::TrainLoop loop(
       causal::MakeLoopOptions(stage_train,
-                              "cerl stage " + std::to_string(stages_seen_)),
-      params, &loop_rng);
-  TrainStats stats = loop.Run(train.num_units(), {&x_train, &old_reps_train},
-                              batch_loss, valid_loss_fn);
+                              "cerl stage " + std::to_string(ctx->stage)),
+      ctx->params, &loop_rng);
+  // Tape pooling follows the new-data treated/control split (the memory
+  // split is drawn inside the loss and cannot be keyed ahead of time; its
+  // few shape-varying nodes re-record in place).
+  loop.SetBatchShapeKey([&train](train::IndexSpan idx) {
+    return causal::TreatedSplitShapeKey(train.t, idx);
+  });
+  if (stage_train.async_validation) {
+    std::vector<autodiff::Parameter*> valid_params =
+        ctx->valid_net->Parameters();
+    if (config_.use_transform || config_.delta > 0.0) {
+      for (autodiff::Parameter* p : ctx->valid_phi->Parameters()) {
+        valid_params.push_back(p);
+      }
+    }
+    loop.EnableAsyncValidation(
+        [this, ctx, valid_params](
+            const std::vector<linalg::Matrix>& snapshot) {
+          train::RestoreValues(valid_params, snapshot);
+          return StageValidLoss(ctx->valid_net.get(), ctx->valid_phi.get(),
+                                *ctx);
+        });
+  }
+  return loop.Run(train.num_units(), {&ctx->x_train, &ctx->old_reps_train},
+                  batch_loss, valid_loss_fn);
+}
 
+void CerlTrainer::MigrateStage(StageContext* ctx) {
+  CERL_CHECK(ctx != nullptr);
+  if (ctx->baseline) {
+    SeedMemoryFromCurrent(ctx->split->train);
+    CERL_LOG(Debug) << "CERL baseline stage done: memory " << memory_.size()
+                    << " units, best valid loss "
+                    << ctx->stats.best_valid_loss;
+    return;
+  }
   // Memory migration: M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
   if (config_.use_transform) {
+    TransformNet* phi = ctx->phi.get();
     memory_.Transform(
-        [&phi](const linalg::Matrix& reps) { return phi.Apply(reps); });
-    const linalg::Matrix new_reps = net.Representations(train.x);
-    memory_.Append(new_reps, train.y, train.t);
+        [phi](const linalg::Matrix& reps) { return phi->Apply(reps); });
+    const linalg::Matrix new_reps =
+        model_->net().Representations(ctx->split->train.x);
+    memory_.Append(new_reps, ctx->split->train.y, ctx->split->train.t);
     memory_.Reduce(config_.memory_capacity, config_.use_herding, &rng_);
   }
-  CERL_LOG(Debug) << "CERL stage " << stages_seen_ << " done: memory "
+  CERL_LOG(Debug) << "CERL stage " << ctx->stage << " done: memory "
                   << memory_.size() << " units, best valid loss "
-                  << stats.best_valid_loss;
-  return stats;
+                  << ctx->stats.best_valid_loss;
 }
 
 }  // namespace cerl::core

@@ -15,6 +15,14 @@
 // phi(g_{w_{d-1}}(x)) with g_{w_d}(x). Afterwards the memory is migrated:
 //   M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
 // Raw covariates of past domains are never kept (accessibility criterion).
+//
+// Algorithm 1 is exposed as an explicit stage pipeline —
+//   ValidateDomain -> BeginStage -> TrainStage -> MigrateStage
+// — with all cross-stage state carried in a StageContext rather than hidden
+// in the trainer, so the stream engine (src/stream/) can schedule stages of
+// many independent trainers on shared workers and overlap stage work across
+// streams. ObserveDomain composes the three member stages in order and is
+// bit-identical to the historical monolithic loop.
 #pragma once
 
 #include <memory>
@@ -64,7 +72,37 @@ class CerlTrainer {
  public:
   CerlTrainer(const CerlConfig& config, int input_dim);
 
-  /// Consumes the next domain (Algorithm 1 body). Returns training stats.
+  // --- Stage pipeline (Algorithm 1, stream-engine schedulable) ----------
+
+  /// Pure pre-flight validation of an incoming domain: shape consistency
+  /// against `input_dim`, aligned unit counts, finite covariates/outcomes.
+  /// Touches no trainer state, so the stream engine scores it on the shared
+  /// pool while earlier stages are still training.
+  static Status ValidateDomain(const data::DataSplit& split, int input_dim);
+
+  /// Cross-stage context: every piece of per-stage state (standardized
+  /// inputs, distillation targets, phi, the joint parameter set, the stage
+  /// RNG, validation clones) lives here explicitly — the trainer itself
+  /// keeps only the durable continual state (current/old model, memory,
+  /// stage counter).
+  struct StageContext;
+
+  /// Ingest/standardize: advances the stage counter, builds (and
+  /// warm-starts) the stage model, standardizes the domain with the stage's
+  /// scalers, freezes the old model's representations of the new data, and
+  /// constructs phi. Must be followed by TrainStage then MigrateStage.
+  std::unique_ptr<StageContext> BeginStage(const data::DataSplit& split);
+
+  /// Train + validate: optimizes the stage objective with the shared
+  /// engine loop (asynchronous validation when
+  /// config.train.async_validation).
+  causal::TrainStats TrainStage(StageContext* ctx);
+
+  /// Herd/migrate: M_d = Herding({R_d, Y_d, T_d} ∪ phi(M_{d-1})).
+  void MigrateStage(StageContext* ctx);
+
+  /// Consumes the next domain (Algorithm 1 body): BeginStage + TrainStage +
+  /// MigrateStage. Returns training stats.
   causal::TrainStats ObserveDomain(const data::DataSplit& split);
 
   /// Estimated ITE with the current model h_{theta_d}(g_{w_d}(x)).
@@ -88,9 +126,10 @@ class CerlTrainer {
   Status LoadCheckpoint(const std::string& path);
 
  private:
-  causal::TrainStats TrainBaseline(const data::DataSplit& split);
-  causal::TrainStats TrainContinual(const data::DataSplit& split);
+  causal::TrainStats TrainContinualStage(StageContext* ctx);
   void SeedMemoryFromCurrent(const data::CausalDataset& train);
+  double StageValidLoss(causal::RepOutcomeNet* net, TransformNet* phi,
+                        const StageContext& ctx);
 
   CerlConfig config_;
   int input_dim_;
@@ -99,6 +138,38 @@ class CerlTrainer {
   std::unique_ptr<causal::CfrModel> old_model_;  ///< g_{w_{d-1}} (frozen)
   MemoryBank memory_;
   int stages_seen_ = 0;
+};
+
+/// Everything one stage carries between BeginStage, TrainStage and
+/// MigrateStage. Movable-by-pointer (the stream engine hands it between
+/// pipeline tasks); not reusable across stages.
+struct CerlTrainer::StageContext {
+  const data::DataSplit* split = nullptr;
+  int stage = 0;          ///< 1-based stage index (== stages_seen at begin)
+  bool baseline = false;  ///< stage 1 trains the plain CFR objective
+  causal::TrainConfig stage_train;
+
+  // Standardized stage inputs (continual stages; the baseline stage fits
+  // scalers inside CfrModel::Train).
+  linalg::Matrix x_train, x_valid;
+  linalg::Vector y_train, y_valid;
+  /// Old-model representations of the new data, computed once (frozen
+  /// distillation target, Eq. 6).
+  linalg::Matrix old_reps_train;
+
+  std::unique_ptr<TransformNet> phi;  ///< phi_{d-1->d} (continual stages)
+  /// Joint trainable set (net ∪ phi), in snapshot order.
+  std::vector<autodiff::Parameter*> params;
+  Rng loop_rng{0};  ///< shuffles + memory-replay sampling for this stage
+  bool use_memory = false;
+  int mem_batch = 0;
+
+  // Async-validation clones: parameter snapshots are written into these and
+  // scored off-thread while the live net/phi keep training.
+  std::unique_ptr<causal::RepOutcomeNet> valid_net;
+  std::unique_ptr<TransformNet> valid_phi;
+
+  causal::TrainStats stats;  ///< filled by TrainStage
 };
 
 }  // namespace cerl::core

@@ -132,7 +132,7 @@ Status CerlTrainer::LoadCheckpoint(const std::string& path) {
   in.read(reinterpret_cast<char*>(&mem_rows), sizeof(mem_rows));
   in.read(reinterpret_cast<char*>(&mem_cols), sizeof(mem_cols));
   if (!in) return Status::IoError("truncated checkpoint memory header");
-  memory_ = MemoryBank();
+  memory_.Clear();
   if (mem_rows > 0) {
     linalg::Matrix reps(mem_rows, mem_cols);
     in.read(reinterpret_cast<char*>(reps.data()),

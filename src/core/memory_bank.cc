@@ -9,6 +9,7 @@ namespace cerl::core {
 
 void MemoryBank::Append(const linalg::Matrix& reps, const linalg::Vector& y,
                         const std::vector<int>& t) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
   const int n = reps.rows();
   CERL_CHECK_EQ(static_cast<int>(y.size()), n);
   CERL_CHECK_EQ(static_cast<int>(t.size()), n);
@@ -34,6 +35,7 @@ void MemoryBank::Append(const linalg::Matrix& reps, const linalg::Vector& y,
 
 void MemoryBank::Transform(
     const std::function<linalg::Matrix(const linalg::Matrix&)>& f) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
   if (empty()) return;
   linalg::Matrix mapped = f(reps_);
   CERL_CHECK_EQ(mapped.rows(), reps_.rows());
@@ -44,7 +46,15 @@ int MemoryBank::num_treated() const {
   return static_cast<int>(std::accumulate(t_.begin(), t_.end(), 0));
 }
 
+void MemoryBank::Clear() {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  reps_ = linalg::Matrix();
+  y_.clear();
+  t_.clear();
+}
+
 void MemoryBank::Reduce(int capacity, bool use_herding, Rng* rng) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
   CERL_CHECK_GE(capacity, 0);
   if (size() <= capacity) return;
 

@@ -4,9 +4,18 @@
 // space (phi) and reduced back to capacity with herding, balanced across
 // treatment groups:
 //   M_d = Herding({R_d, Y_d, T_d} ∪ phi_{d-1->d}(M_{d-1})).
+//
+// Concurrency contract (stream engine): the mutating operations (Append,
+// Transform, Reduce, Clear) lock an internal mutex, so stage-completion
+// tasks finishing on different pool workers are safe against each other and
+// publish their writes. Readers are deliberately lock-free: a stream's
+// stage pipeline (TaskGroup) guarantees no mutator runs while the bank is
+// being read (training-time SampleBatch/reps), and cross-stream access
+// never shares a bank — each stream owns its own.
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -18,6 +27,8 @@ namespace cerl::core {
 class MemoryBank {
  public:
   MemoryBank() = default;
+  MemoryBank(const MemoryBank&) = delete;
+  MemoryBank& operator=(const MemoryBank&) = delete;
 
   /// Appends units (reps rows aligned with y and t).
   void Append(const linalg::Matrix& reps, const linalg::Vector& y,
@@ -32,6 +43,9 @@ class MemoryBank {
   /// matching; otherwise random subsampling (the w/o-herding ablation).
   void Reduce(int capacity, bool use_herding, Rng* rng);
 
+  /// Drops every stored unit (checkpoint restore starts from empty).
+  void Clear();
+
   bool empty() const { return y_.empty(); }
   int size() const { return static_cast<int>(y_.size()); }
   int num_treated() const;
@@ -45,6 +59,9 @@ class MemoryBank {
   std::vector<int> SampleBatch(int batch_size, Rng* rng) const;
 
  private:
+  // Serializes mutators (see the concurrency contract above). Reads during
+  // training are protected by per-stream stage serialization instead.
+  std::mutex mutate_mutex_;
   linalg::Matrix reps_;
   linalg::Vector y_;
   std::vector<int> t_;

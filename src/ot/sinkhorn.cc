@@ -342,7 +342,7 @@ void SinkhornWorkspace::Reserve(int n1, int n2) {
 }
 
 Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
-                                        const SinkhornConfig& config,
+                                        const SinkhornConfig& base_config,
                                         SinkhornWorkspace* workspace) {
   CERL_CHECK(workspace != nullptr);
   const int n1 = cost.rows();
@@ -352,6 +352,15 @@ Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
   }
   SinkhornWorkspace& ws = *workspace;
   ws.Reserve(n1, n2);
+
+  // Small solves stay on the calling thread (see SinkhornConfig::
+  // min_parallel_elements): bit-identical by construction, and under
+  // multi-stream ingest it batches one solve per stream worker instead of
+  // splitting every tiny kernel across the shared pool.
+  SinkhornConfig config = base_config;
+  config.parallel =
+      base_config.parallel &&
+      static_cast<int64_t>(n1) * n2 >= base_config.min_parallel_elements;
 
   // Scale-free regularization from the mean cost. Row sums are computed in
   // fixed order (possibly in parallel) and combined serially, so reg does

@@ -40,6 +40,15 @@ struct SinkhornConfig {
   /// reduced in a fixed order regardless of the split, so results are
   /// bit-identical to `parallel = false` (asserted by tests).
   bool parallel = true;
+  /// Workspace solves only: problems with fewer than this many cost entries
+  /// (n1 * n2) run serially on the calling thread even when `parallel` is
+  /// true. Splitting a tiny kernel across the whole pool costs more in
+  /// submit/wake latency than it saves — and under the stream engine many
+  /// small per-stream solves run concurrently, one per stream worker, where
+  /// pool fan-out from every solve would just thrash the queue (ROADMAP
+  /// "Sinkhorn on the pool for multi-domain ingest"). Parallel and serial
+  /// kernels are bit-identical, so the threshold never changes results.
+  int64_t min_parallel_elements = 4096;
 };
 
 /// Solution: the transport plan and the resulting OT cost <plan, cost>.

@@ -1,0 +1,169 @@
+#include "stream/stream_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cerl::stream {
+
+// One pushed domain moving through the stage pipeline. The split must stay
+// address-stable while tasks reference it, so PendingDomains are held by
+// unique_ptr and never relocated.
+struct StreamEngine::PendingDomain {
+  data::DataSplit split;
+  int domain_index = 0;
+
+  // Pre-flight validation rendezvous: set by the free pool task, awaited by
+  // the ingest stage (usually already complete — it overlapped an earlier
+  // stage's training).
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool validated = false;
+  Status status;
+
+  std::unique_ptr<core::CerlTrainer::StageContext> ctx;
+};
+
+struct StreamEngine::StreamState {
+  StreamState(std::string stream_name, const core::CerlConfig& config,
+              int input_dim, ThreadPool* pool)
+      : name(std::move(stream_name)),
+        input_dim(input_dim),
+        trainer(config, input_dim),
+        group(pool) {}
+
+  std::string name;
+  int input_dim;
+  core::CerlTrainer trainer;
+  TaskGroup group;
+  std::deque<std::unique_ptr<PendingDomain>> domains;
+  std::vector<DomainResult> results;
+  int pushed = 0;
+};
+
+namespace {
+
+int ResolveWorkers(int requested) {
+  if (requested > 0) return requested;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(const StreamEngineOptions& options)
+    : options_(options), pool_(ResolveWorkers(options.num_workers)) {}
+
+StreamEngine::~StreamEngine() { Drain(); }
+
+StreamEngine::StreamState& StreamEngine::stream(int id) {
+  CERL_CHECK(id >= 0 && id < num_streams());
+  return *streams_[id];
+}
+
+const StreamEngine::StreamState& StreamEngine::stream(int id) const {
+  CERL_CHECK(id >= 0 && id < num_streams());
+  return *streams_[id];
+}
+
+int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
+                            int input_dim) {
+  streams_.push_back(std::make_unique<StreamState>(std::move(name), config,
+                                                   input_dim, &pool_));
+  return num_streams() - 1;
+}
+
+void StreamEngine::PushDomain(int id, data::DataSplit split) {
+  StreamState& s = stream(id);
+  s.domains.push_back(std::make_unique<PendingDomain>());
+  PendingDomain* d = s.domains.back().get();
+  d->split = std::move(split);
+  d->domain_index = s.pushed++;
+
+  // Pre-flight validation: pure, so it runs as a free pool task right away
+  // and overlaps whatever stage any stream is currently in. The pool queue
+  // is FIFO and this is submitted before the domain's ingest task can be,
+  // so the ingest wait below can never starve it of a worker.
+  const int input_dim = s.input_dim;
+  if (options_.validate_on_push) {
+    pool_.Submit([d, input_dim] {
+      Status status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
+      {
+        std::lock_guard<std::mutex> lock(d->mutex);
+        d->status = status;
+        d->validated = true;
+      }
+      d->cv.notify_all();
+    });
+  }
+
+  StreamState* sp = &s;
+  const bool validate_inline = !options_.validate_on_push;
+  // Stage pipeline, serialized per stream by the task group; unrelated
+  // streams' groups interleave on the same workers.
+  s.group.Submit([sp, d, validate_inline, input_dim] {
+    if (validate_inline) {
+      d->status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
+    } else {
+      std::unique_lock<std::mutex> lock(d->mutex);
+      d->cv.wait(lock, [d] { return d->validated; });
+    }
+    CERL_CHECK_MSG(d->status.ok(), d->status.ToString().c_str());
+    d->ctx = sp->trainer.BeginStage(d->split);
+  });
+  s.group.Submit([sp, d] { sp->trainer.TrainStage(d->ctx.get()); });
+  s.group.Submit([sp, d] {
+    sp->trainer.MigrateStage(d->ctx.get());
+    DomainResult result;
+    result.domain_index = d->domain_index;
+    result.stats = d->ctx->stats;
+    result.memory_units = sp->trainer.memory().size();
+    // Score only when the test split carries counterfactual ground truth
+    // (semi-synthetic benchmarks); production domains without mu0/mu1 pass
+    // validation and simply skip the PEHE/ATE readout.
+    const data::CausalDataset& test = d->split.test;
+    if (test.num_units() > 0 &&
+        static_cast<int>(test.mu0.size()) == test.num_units()) {
+      result.has_metrics = true;
+      result.metrics = sp->trainer.Evaluate(test);
+    }
+    sp->results.push_back(result);
+    // Raw domain data and stage scratch are dead weight once migrated —
+    // long-lived tenant streams must not accumulate covariates (the same
+    // accessibility criterion the trainer upholds for its memory).
+    d->ctx.reset();
+    d->split = data::DataSplit();
+  });
+}
+
+void StreamEngine::Drain() {
+  for (auto& s : streams_) {
+    s->group.Wait();
+    // Every task referencing these PendingDomains has completed (the
+    // group's Wait fences them; each domain's validation task is consumed
+    // by its — now finished — ingest task), so the bookkeeping can go too.
+    s->domains.clear();
+  }
+}
+
+void StreamEngine::DrainStream(int id) {
+  StreamState& s = stream(id);
+  s.group.Wait();
+  s.domains.clear();
+}
+
+const std::string& StreamEngine::name(int id) const {
+  return stream(id).name;
+}
+
+const std::vector<DomainResult>& StreamEngine::results(int id) const {
+  return stream(id).results;
+}
+
+core::CerlTrainer& StreamEngine::trainer(int id) { return stream(id).trainer; }
+
+}  // namespace cerl::stream

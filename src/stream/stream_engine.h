@@ -1,0 +1,120 @@
+// StreamEngine — concurrent multiplexing of independent CERL streams.
+//
+// The paper's setting is a stream of incrementally arriving domains
+// (Algorithm 1); deployments serve MANY such streams at once (one per
+// tenant / scenario / data source — arXiv:2301.01026 frames continual
+// causal estimation as exactly this). The engine owns a shared
+// util::ThreadPool of stream workers and drives each registered stream
+// through the explicit per-domain stage pipeline exposed by
+// core::CerlTrainer:
+//
+//   PushDomain ──► [pre-flight validation]          (shared pool, immediate)
+//                  [ingest/standardize: BeginStage] ┐
+//                  [train + validate:   TrainStage] ├ per-stream TaskGroup
+//                  [herd/migrate:       MigrateStage]┘  (FIFO, serialized)
+//
+// Pipelining:
+//  - across streams, every stage runs concurrently — stream A's herding
+//    overlaps stream B's training on different workers;
+//  - within a stream, pre-flight validation of queued domains overlaps the
+//    current stage's training (it is pure and runs as a free pool task the
+//    moment the domain is pushed), and TrainStage itself overlaps the
+//    early-stopping validation pass with the next epoch's batches when
+//    config.train.async_validation is set. The algorithmic chain
+//    train(d) -> migrate(d) -> train(d+1) is inherently sequential (stage
+//    d+1 replays the memory M_d), so it stays serialized by the TaskGroup.
+//
+// Determinism: a stream's results depend only on its own config/seed and
+// pushed domains. One stream through the engine is bit-identical to calling
+// CerlTrainer::ObserveDomain serially, and each of N concurrent streams is
+// bit-identical to running it alone — the shared-pool kernels reduce in a
+// fixed order, all per-stream RNG streams live in the trainer/context, and
+// stage serialization (TaskGroup) carries the cross-worker memory fences.
+// Both properties are asserted by tests/stream_engine_test.cc.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "causal/metrics.h"
+#include "core/cerl_trainer.h"
+#include "data/dataset.h"
+#include "util/task_group.h"
+#include "util/thread_pool.h"
+
+namespace cerl::stream {
+
+struct StreamEngineOptions {
+  /// Stream workers (the pool running stage tasks; compute kernels inside a
+  /// stage fan out to the global pool as usual). 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Run CerlTrainer::ValidateDomain on the shared pool as soon as a domain
+  /// is pushed, overlapping earlier stages; the ingest stage then merely
+  /// checks the verdict. Off = validate inside the ingest stage.
+  bool validate_on_push = true;
+};
+
+/// Outcome of one fully processed domain of one stream.
+struct DomainResult {
+  int domain_index = 0;          ///< 0-based push order within the stream
+  causal::TrainStats stats;      ///< TrainStage statistics
+  int memory_units = 0;          ///< bank size right after this migration
+  bool has_metrics = false;      ///< test split carried ground truth
+  causal::CausalMetrics metrics; ///< PEHE / ATE error on the test split
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(const StreamEngineOptions& options = {});
+  /// Drains every stream (TaskGroup destructors wait) before teardown.
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Registers a tenant stream; returns its id. Streams are fully
+  /// independent: own trainer, own memory bank, own RNG streams.
+  int AddStream(std::string name, const core::CerlConfig& config,
+                int input_dim);
+
+  /// Enqueues the next domain of stream `id`. Returns immediately: the
+  /// domain's pre-flight validation starts on the shared pool and its
+  /// ingest -> train -> migrate stages are queued on the stream's task
+  /// group. Malformed domains abort with the validation message (the same
+  /// contract as the serial path's CheckConsistent).
+  void PushDomain(int id, data::DataSplit split);
+
+  /// Blocks until every pushed domain of every stream is fully processed.
+  void Drain();
+
+  /// Blocks until stream `id` alone is drained (other streams keep going).
+  void DrainStream(int id);
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  const std::string& name(int id) const;
+
+  /// Per-domain results in push order. Stable only while the stream is
+  /// drained (call Drain()/DrainStream(id) first).
+  const std::vector<DomainResult>& results(int id) const;
+
+  /// The stream's trainer (e.g. for PredictIte / checkpointing). Only
+  /// touch a drained stream — the engine's stage tasks own it otherwise.
+  core::CerlTrainer& trainer(int id);
+
+  int num_workers() const { return pool_.num_threads(); }
+
+ private:
+  struct PendingDomain;
+  struct StreamState;
+
+  StreamState& stream(int id);
+  const StreamState& stream(int id) const;
+
+  StreamEngineOptions options_;
+  ThreadPool pool_;  ///< stream workers (declared before the groups using it)
+  std::vector<std::unique_ptr<StreamState>> streams_;
+};
+
+}  // namespace cerl::stream

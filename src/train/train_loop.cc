@@ -6,11 +6,19 @@
 
 #include "nn/optim.h"
 #include "util/check.h"
+#include "util/keyed_pool.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cerl::train {
+
+namespace {
+// Persistent tapes retained per batch-shape key. Two is enough for the
+// default key (full + tail batch); shape-refined keys (treated/control
+// splits) rotate through a few more before reuse kicks in.
+constexpr int kTapePoolCapacity = 8;
+}  // namespace
 
 std::vector<linalg::Matrix> SnapshotValues(
     const std::vector<Parameter*>& params) {
@@ -32,6 +40,14 @@ TrainLoop::TrainLoop(const LoopOptions& options,
       params_(std::move(params)),
       external_rng_(rng),
       owned_rng_(options.seed) {}
+
+void TrainLoop::EnableAsyncValidation(SnapshotValidLossFn fn) {
+  async_valid_fn_ = std::move(fn);
+}
+
+void TrainLoop::SetBatchShapeKey(BatchShapeKeyFn fn) {
+  shape_key_fn_ = std::move(fn);
+}
 
 TrainStats TrainLoop::Run(int n, const BatchLossFn& batch_loss,
                           const ValidLossFn& valid_loss) {
@@ -59,12 +75,14 @@ TrainStats TrainLoop::Run(
   const int steps_per_epoch = (n + batch - 1) / batch;
 
   // One persistent tape per distinct batch shape: the graph topology is
-  // fixed for a fixed batch size, so Reset() + re-record reuses every node
-  // buffer and the steady-state step allocates nothing. The tail batch
-  // (n % batch) gets its own tape so it does not thrash the full-batch
-  // arena once per epoch.
-  Tape full_tape;
-  Tape tail_tape;
+  // fixed for a fixed shape key, so Reset() + re-record reuses every node
+  // buffer and the steady-state step allocates nothing. By default the key
+  // is the batch size — full batches share one tape, the tail batch (n %
+  // batch) gets its own so it does not thrash the full-batch arena once per
+  // epoch. A caller-provided shape key (SetBatchShapeKey) refines this so
+  // content-dependent topologies (treated/control splits) each keep a
+  // warmed arena too.
+  KeyedLruPool<Tape> tapes(kTapePoolCapacity);
 
   // Double-buffered gathered minibatches: batch k reads buffers[k % 2]
   // while the assembler worker fills buffers[(k + 1) % 2]. A buffer is
@@ -90,13 +108,47 @@ TrainStats TrainLoop::Run(
   std::unique_ptr<ThreadPool> assembler;
   if (pipelined) assembler = std::make_unique<ThreadPool>(1);
 
+  // Asynchronous validation (EnableAsyncValidation): a dedicated
+  // single-thread worker — separate from the assembler so a long validation
+  // pass does not stall batch prefetch — scores the snapshot taken after
+  // epoch e's last batch while epoch e+1 trains; the early-stop decision
+  // for epoch e resolves after epoch e+1's batches. `pending_snapshot` is
+  // written only by this thread and read only by the validator between
+  // Submit and Wait (which carry the fences).
+  // (`pending_snapshot`/`pending_value` are declared before `validator` so
+  // that if an exception unwinds with a score in flight, the pool joins —
+  // destructor — while the buffers the task reads are still alive, exactly
+  // like the perm/assembler ordering above.)
+  const bool async_valid = async_valid_fn_ != nullptr;
+  std::vector<linalg::Matrix> pending_snapshot;
+  double pending_value = 0.0;
+  bool pending = false;
+  std::unique_ptr<ThreadPool> validator;
+  if (async_valid) validator = std::make_unique<ThreadPool>(1);
+
   WallTimer timer;
   TrainStats stats;
   double best_valid = valid_loss();
   std::vector<linalg::Matrix> best_snapshot = SnapshotValues(params_);
   int since_best = 0;
 
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  // Applies one epoch's validation outcome. `snapshot` is the parameter
+  // state the value was scored on (null => snapshot the live parameters,
+  // valid only for the synchronous path where nothing has trained since).
+  // Returns true when patience is exhausted.
+  auto resolve = [&](double value, std::vector<linalg::Matrix>* snapshot) {
+    if (value < best_valid - options_.min_improvement) {
+      best_valid = value;
+      best_snapshot =
+          snapshot != nullptr ? std::move(*snapshot) : SnapshotValues(params_);
+      since_best = 0;
+      return false;
+    }
+    return ++since_best >= options_.patience;
+  };
+
+  bool stop = false;
+  for (int epoch = 0; epoch < options_.epochs && !stop; ++epoch) {
     perm = rng.Permutation(n);
     if (!gather_sources.empty()) {
       // Prime the first batch synchronously; later batches are either
@@ -125,10 +177,14 @@ TrainStats TrainLoop::Run(
         });
       }
 
-      Tape& tape = count == batch ? full_tape : tail_tape;
+      const IndexSpan span(perm.data() + start, count);
+      const uint64_t shape_key = shape_key_fn_
+                                     ? shape_key_fn_(span)
+                                     : static_cast<uint64_t>(count);
+      Tape& tape =
+          *tapes.Acquire(shape_key, [] { return std::make_unique<Tape>(); });
       tape.Reset();
-      Var loss =
-          batch_loss(&tape, IndexSpan(perm.data() + start, count), gathered);
+      Var loss = batch_loss(&tape, span, gathered);
       CERL_CHECK(loss.valid());
       optimizer.ZeroGrad();
       tape.Backward(loss);
@@ -137,21 +193,45 @@ TrainStats TrainLoop::Run(
       stats.samples_seen += count;
     }
     if (pipelined) assembler->Wait();  // no gather may outlive `perm`
-
-    const double epoch_valid = valid_loss();
     stats.epochs_run = epoch + 1;
-    if (epoch_valid < best_valid - options_.min_improvement) {
-      best_valid = epoch_valid;
-      best_snapshot = SnapshotValues(params_);
-      since_best = 0;
-    } else if (++since_best >= options_.patience) {
-      break;
+
+    if (!async_valid) {
+      const double epoch_valid = valid_loss();
+      stop = resolve(epoch_valid, /*snapshot=*/nullptr);
+      if (options_.verbose && options_.log_every > 0 &&
+          epoch % options_.log_every == 0) {
+        CERL_LOG(Info) << options_.log_label << " epoch " << epoch
+                       << " valid loss " << epoch_valid;
+      }
+      continue;
     }
-    if (options_.verbose && options_.log_every > 0 &&
-        epoch % options_.log_every == 0) {
-      CERL_LOG(Info) << options_.log_label << " epoch " << epoch
-                     << " valid loss " << epoch_valid;
+
+    // Resolve the previous epoch's score (it ran during this epoch's
+    // batches), then launch this epoch's scoring unless stopping.
+    if (pending) {
+      validator->Wait();
+      pending = false;
+      stop = resolve(pending_value, &pending_snapshot);
+      if (options_.verbose && options_.log_every > 0 &&
+          (epoch - 1) % options_.log_every == 0) {
+        CERL_LOG(Info) << options_.log_label << " epoch " << epoch - 1
+                       << " valid loss " << pending_value << " (async)";
+      }
     }
+    if (!stop) {
+      pending_snapshot = SnapshotValues(params_);
+      validator->Submit([this, &pending_value, &pending_snapshot] {
+        pending_value = async_valid_fn_(pending_snapshot);
+      });
+      pending = true;
+    }
+  }
+  if (pending) {
+    // Epoch budget exhausted with the final epoch's score still in flight:
+    // it must still compete for the best snapshot, exactly as the
+    // synchronous loop scores its last epoch.
+    validator->Wait();
+    resolve(pending_value, &pending_snapshot);
   }
 
   RestoreValues(params_, best_snapshot);

@@ -1,0 +1,71 @@
+#include "util/task_group.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace cerl {
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  CERL_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  bool start_pump = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(task));
+    ++submitted_;
+    if (!pump_active_) {
+      pump_active_ = true;
+      start_pump = true;
+    }
+  }
+  if (start_pump) pool_->Submit([this] { Pump(); });
+}
+
+void TaskGroup::Pump() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The pump is only ever scheduled with work pending; pending_ can only
+    // be consumed by the single active pump, so it is non-empty here.
+    CERL_CHECK(!pending_.empty());
+    task = std::move(pending_.front());
+    pending_.pop_front();
+  }
+  task();
+  bool more = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    more = !pending_.empty();
+    if (!more) {
+      pump_active_ = false;
+      cv_idle_.notify_all();
+    }
+  }
+  // Re-submit instead of looping: the worker returns to the pool between
+  // group tasks, so many groups sharing few workers round-robin instead of
+  // one group monopolizing a worker until its queue drains.
+  if (more) pool_->Submit([this] { Pump(); });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return !pump_active_ && pending_.empty(); });
+}
+
+int64_t TaskGroup::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+int64_t TaskGroup::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+}  // namespace cerl

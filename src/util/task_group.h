@@ -1,0 +1,74 @@
+// Serialized task submission on a shared ThreadPool (a "strand").
+//
+// A TaskGroup guarantees that its tasks run one at a time, in submission
+// order (fenced submit: every task observes the effects of all tasks
+// submitted to the same group before it), while tasks of DIFFERENT groups
+// interleave freely across the pool's workers. This is the primitive the
+// stream engine uses to serialize the per-stream stage pipeline
+// (ingest -> train -> migrate) without one stream's work blocking another:
+// unlike ThreadPool::Wait — which fences the whole pool — TaskGroup::Wait
+// only drains this group.
+//
+// The group never occupies a worker while idle: a pump task is scheduled on
+// the pool only while the group has pending work, and it re-submits itself
+// after each task so long-queued groups round-robin fairly with other groups
+// (and other pool users) instead of holding a worker until drained.
+//
+// Blocking inside a group task follows the same rule as any pool task:
+// tasks that block on the pool they run on (ParallelFor on the same pool,
+// ThreadPool::Wait) can deadlock once every worker is blocked. Run groups
+// whose tasks fan work out to the global pool on a dedicated pool (the
+// stream engine owns one), exactly like TrainLoop's assembler worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace cerl {
+
+/// FIFO-serialized executor on top of a ThreadPool.
+class TaskGroup {
+ public:
+  /// The pool must outlive the group.
+  explicit TaskGroup(ThreadPool* pool);
+
+  /// Drains pending tasks (Wait) before destruction.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues a task. Tasks of one group run strictly one at a time in
+  /// submission order; the completion of task k happens-before the start of
+  /// task k+1 (the internal mutex carries the memory fence).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to THIS group so far has finished.
+  /// Tasks of other groups (and unrelated pool work) are not waited on.
+  void Wait();
+
+  /// Tasks submitted over the group's lifetime (monotonic; for tests/stats).
+  int64_t submitted() const;
+
+  /// Tasks fully executed so far.
+  int64_t completed() const;
+
+ private:
+  /// Runs the front task, then re-submits itself while work remains.
+  void Pump();
+
+  ThreadPool* pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> pending_;
+  bool pump_active_ = false;  ///< a Pump task is scheduled or running
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+};
+
+}  // namespace cerl

@@ -1,0 +1,169 @@
+// Async-vs-sync validation equivalence for train::TrainLoop and its model
+// consumers: the asynchronous path (snapshot after the last batch, score on
+// a worker, resolve early stop one epoch late) must restore bit-identical
+// best parameters and report the identical best validation loss; only the
+// epoch at which the loop notices the stop may shift, by at most one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "autodiff/composite.h"
+#include "autodiff/ops.h"
+#include "causal/cfr.h"
+#include "train/train_loop.h"
+#include "util/rng.h"
+
+namespace cerl::train {
+namespace {
+
+using autodiff::Parameter;
+using autodiff::Tape;
+using autodiff::Var;
+
+struct RunOutcome {
+  std::vector<double> params;
+  TrainStats stats;
+};
+
+// Linear regression y ~ x w + b with an injected-noise plateau: validation
+// improves early, then stalls, so patience-based early stopping triggers.
+RunOutcome RunLinear(bool async, int epochs, int patience) {
+  const int n = 61, d = 6;
+  Rng data_rng(77);
+  linalg::Matrix x(n, d), y(n, 1);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = data_rng.Normal();
+  for (int r = 0; r < n; ++r) {
+    double target = 0.3;
+    for (int c = 0; c < d; ++c) target += 0.5 * x(r, c) * (c % 2 ? 1 : -1);
+    y(r, 0) = target + 0.05 * data_rng.Normal();
+  }
+  Parameter w(linalg::Matrix(d, 1, 0.0), "w");
+  Parameter b(linalg::Matrix(1, 1, 0.0), "b");
+
+  LoopOptions options;
+  options.epochs = epochs;
+  options.batch_size = 16;
+  options.patience = patience;
+  options.learning_rate = 5e-2;
+  options.seed = 911;
+
+  // Shared criterion body: mse of (w_val, b_val) over the full data.
+  auto mse_of = [&](const linalg::Matrix& w_val, const linalg::Matrix& b_val) {
+    double s = 0.0;
+    for (int r = 0; r < n; ++r) {
+      double p = b_val(0, 0);
+      for (int c = 0; c < d; ++c) p += x(r, c) * w_val(c, 0);
+      const double e = p - y(r, 0);
+      s += e * e;
+    }
+    return s / n;
+  };
+
+  TrainLoop loop(options, {&w, &b});
+  if (async) {
+    loop.EnableAsyncValidation(
+        [&](const std::vector<linalg::Matrix>& snapshot) {
+          return mse_of(snapshot[0], snapshot[1]);
+        });
+  }
+  RunOutcome out;
+  out.stats = loop.Run(
+      n, {&x, &y},
+      [&](Tape* tape, IndexSpan, const std::vector<linalg::Matrix>& g) {
+        Var xb = tape->ConstantView(&g[0]);
+        Var pred = autodiff::MatMul(xb, tape->Param(&w));
+        Var shifted = autodiff::AddRowBroadcast(pred, tape->Param(&b));
+        return autodiff::MseLoss(shifted, tape->ConstantView(&g[1]));
+      },
+      [&]() { return mse_of(w.value, b.value); });
+  for (int64_t i = 0; i < w.value.size(); ++i) {
+    out.params.push_back(w.value.data()[i]);
+  }
+  out.params.push_back(b.value(0, 0));
+  return out;
+}
+
+TEST(AsyncValidationTest, EarlyStopMatchesSyncBitwise) {
+  const RunOutcome sync = RunLinear(/*async=*/false, /*epochs=*/300,
+                                    /*patience=*/4);
+  const RunOutcome async = RunLinear(/*async=*/true, /*epochs=*/300,
+                                     /*patience=*/4);
+  // Early stopping actually fired (otherwise this test is vacuous).
+  ASSERT_LT(sync.stats.epochs_run, 300);
+  // The decision lands at most one epoch late...
+  EXPECT_GE(async.stats.epochs_run, sync.stats.epochs_run);
+  EXPECT_LE(async.stats.epochs_run, sync.stats.epochs_run + 1);
+  // ...and the selected snapshot is the same one, bit for bit.
+  EXPECT_EQ(async.stats.best_valid_loss, sync.stats.best_valid_loss);
+  ASSERT_EQ(async.params.size(), sync.params.size());
+  for (size_t i = 0; i < sync.params.size(); ++i) {
+    EXPECT_EQ(async.params[i], sync.params[i]) << "param element " << i;
+  }
+}
+
+TEST(AsyncValidationTest, ExhaustedEpochBudgetMatchesSyncExactly) {
+  // No early stop: every epoch is scored in both modes, including the last
+  // (the async loop drains the in-flight score after the final epoch).
+  const RunOutcome sync = RunLinear(/*async=*/false, /*epochs=*/7,
+                                    /*patience=*/100);
+  const RunOutcome async = RunLinear(/*async=*/true, /*epochs=*/7,
+                                     /*patience=*/100);
+  EXPECT_EQ(async.stats.epochs_run, sync.stats.epochs_run);
+  EXPECT_EQ(async.stats.best_valid_loss, sync.stats.best_valid_loss);
+  for (size_t i = 0; i < sync.params.size(); ++i) {
+    EXPECT_EQ(async.params[i], sync.params[i]);
+  }
+}
+
+// End-to-end through CfrModel: the async flag must not change what the
+// model predicts, only how validation is scheduled.
+TEST(AsyncValidationTest, CfrModelPredictionsBitIdentical) {
+  const int n = 260, p = 6;
+  Rng rng(5);
+  data::CausalDataset d;
+  d.x = linalg::Matrix(n, p);
+  d.t.resize(n);
+  d.y.resize(n);
+  d.mu0.resize(n);
+  d.mu1.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < p; ++j) d.x(i, j) = rng.Normal();
+    d.mu0[i] = std::sin(d.x(i, 0));
+    d.mu1[i] = d.mu0[i] + 1.0 + 0.5 * d.x(i, 1);
+    d.t[i] = rng.Uniform() < 0.45 ? 1 : 0;
+    d.y[i] = (d.t[i] ? d.mu1[i] : d.mu0[i]) + 0.1 * rng.Normal();
+  }
+  Rng split_rng(6);
+  data::DataSplit split = data::SplitDataset(d, &split_rng);
+
+  causal::NetConfig net;
+  net.rep_hidden = {12};
+  net.rep_dim = 6;
+  net.head_hidden = {8};
+
+  auto train_once = [&](bool async) {
+    causal::TrainConfig train;
+    train.epochs = 40;
+    train.batch_size = 32;
+    train.patience = 5;
+    train.seed = 99;
+    train.async_validation = async;
+    causal::CfrModel model(net, train, p);
+    causal::TrainStats stats = model.Train(split.train, split.valid);
+    return std::make_pair(model.PredictIte(split.test.x), stats);
+  };
+
+  auto sync = train_once(false);
+  auto async = train_once(true);
+  EXPECT_EQ(async.second.best_valid_loss, sync.second.best_valid_loss);
+  EXPECT_GE(async.second.epochs_run, sync.second.epochs_run);
+  EXPECT_LE(async.second.epochs_run, sync.second.epochs_run + 1);
+  ASSERT_EQ(async.first.size(), sync.first.size());
+  for (size_t i = 0; i < sync.first.size(); ++i) {
+    EXPECT_EQ(async.first[i], sync.first[i]) << "unit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cerl::train

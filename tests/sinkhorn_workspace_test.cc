@@ -10,6 +10,7 @@
 #include "linalg/ops.h"
 #include "ot/ipm.h"
 #include "ot/sinkhorn.h"
+#include "ot/workspace_pool.h"
 #include "util/rng.h"
 
 namespace cerl::ot {
@@ -172,6 +173,9 @@ TEST(SinkhornWorkspaceTest, ParallelAndSerialAreBitIdentical) {
 
   SinkhornConfig parallel_config;
   parallel_config.parallel = true;
+  // The 33x21 problem is below the small-solve serial threshold; force the
+  // genuinely parallel kernels so this test keeps comparing them.
+  parallel_config.min_parallel_elements = 0;
   SinkhornConfig serial_config;
   serial_config.parallel = false;
 
@@ -215,6 +219,90 @@ TEST(SinkhornWorkspaceTest, LogDomainFallbackAndWarmStartDrop) {
   auto next = SolveSinkhorn(CostOf(a, b), config, &ws);
   ASSERT_TRUE(next.ok());
   EXPECT_FALSE(next.value().warm_started);
+}
+
+TEST(SinkhornWorkspaceTest, SerialThresholdDoesNotChangeResults) {
+  Rng rng(11);
+  Matrix a = RandomMatrix(&rng, 18, 5);
+  Matrix b = RandomMatrix(&rng, 14, 5, 0.5);
+  Matrix cost = CostOf(a, b);
+
+  SinkhornConfig thresholded;  // 18*14 << default min_parallel_elements
+  SinkhornConfig forced_parallel;
+  forced_parallel.min_parallel_elements = 0;
+
+  SinkhornWorkspace ws_thr, ws_par;
+  auto thr = SolveSinkhorn(cost, thresholded, &ws_thr);
+  auto par = SolveSinkhorn(cost, forced_parallel, &ws_par);
+  ASSERT_TRUE(thr.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(thr.value().cost, par.value().cost);
+  EXPECT_EQ(thr.value().iterations, par.value().iterations);
+  EXPECT_EQ(Matrix::MaxAbsDiff(ws_thr.plan(), ws_par.plan()), 0.0);
+}
+
+// The pool's reason to exist: on a stream of heterogeneous treated/control
+// splits, one workspace never warm-starts (the shape changes every solve),
+// while the shape-keyed pool warm-starts every revisit of a shape.
+TEST(SinkhornWorkspacePoolTest, WarmStartsFireAcrossHeterogeneousShapes) {
+  Rng rng(12);
+  SinkhornConfig config;
+  // Two alternating split shapes, as adjacent minibatches produce.
+  Matrix a_small = RandomMatrix(&rng, 12, 6);
+  Matrix b_small = RandomMatrix(&rng, 20, 6, 0.4);
+  Matrix a_big = RandomMatrix(&rng, 16, 6);
+  Matrix b_big = RandomMatrix(&rng, 16, 6, 0.4);
+
+  SinkhornWorkspace single;
+  SinkhornWorkspacePool pool;
+  int single_warm = 0, pool_warm = 0;
+  const int kSteps = 10;
+  for (int step = 0; step < kSteps; ++step) {
+    Matrix& a = step % 2 == 0 ? a_small : a_big;
+    Matrix& b = step % 2 == 0 ? b_small : b_big;
+    Drift(&rng, &a, 1e-3);
+    const Matrix cost = CostOf(a, b);
+
+    auto single_info = SolveSinkhorn(cost, config, &single);
+    ASSERT_TRUE(single_info.ok());
+    single_warm += single_info.value().warm_started ? 1 : 0;
+
+    auto pooled_info =
+        SolveSinkhorn(cost, config, pool.Acquire(a.rows(), b.rows()));
+    ASSERT_TRUE(pooled_info.ok());
+    pool_warm += pooled_info.value().warm_started ? 1 : 0;
+  }
+  // The single workspace alternates shapes => never warm.
+  EXPECT_EQ(single_warm, 0);
+  // The pool warm-starts every solve after each shape's first visit.
+  EXPECT_EQ(pool_warm, kSteps - 2);
+  EXPECT_GT(pool.warm_acquires(), 0);
+  EXPECT_GT(pool.warm_hit_rate(), 0.0);
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_EQ(pool.evictions(), 0);
+}
+
+TEST(SinkhornWorkspacePoolTest, BoundedLruEvictsAndStaysCorrect) {
+  Rng rng(13);
+  SinkhornConfig config;
+  SinkhornWorkspacePool pool(/*capacity=*/2);
+  // Three shapes cycling through a capacity-2 pool: each acquire misses
+  // (its shape was evicted a step ago) but solves stay correct.
+  for (int step = 0; step < 9; ++step) {
+    const int n1 = 8 + 4 * (step % 3);
+    Matrix a = RandomMatrix(&rng, n1, 5);
+    Matrix b = RandomMatrix(&rng, 10, 5, 0.3);
+    SinkhornWorkspace* ws = pool.Acquire(n1, 10);
+    auto info = SolveSinkhorn(CostOf(a, b), config, ws);
+    ASSERT_TRUE(info.ok());
+    auto reference = SolveSinkhorn(CostOf(a, b), config);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_NEAR(info.value().cost, reference.value().cost,
+                1e-6 * (1.0 + std::fabs(reference.value().cost)));
+  }
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_GT(pool.evictions(), 0);
+  EXPECT_EQ(pool.warm_acquires(), 0);  // every revisit was evicted already
 }
 
 TEST(SinkhornWorkspaceTest, EmptyCostRejected) {

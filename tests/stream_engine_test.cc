@@ -1,0 +1,271 @@
+// Tests for stream::StreamEngine, the multi-stream CERL ingest engine:
+// single-stream bit-identity with the serial CerlTrainer loop, per-stream
+// determinism under 4-way concurrency, pre-flight domain validation, and
+// result bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/cerl_trainer.h"
+#include "data/dataset.h"
+#include "stream/stream_engine.h"
+#include "util/rng.h"
+
+namespace cerl::stream {
+namespace {
+
+using core::CerlConfig;
+using core::CerlTrainer;
+using data::CausalDataset;
+using data::DataSplit;
+using linalg::Matrix;
+using linalg::Vector;
+
+constexpr int kFeatures = 8;
+
+// Toy DGP with a controllable covariate mean shift between domains (same
+// family as core_test's): nonlinear outcome surface so continual stages do
+// real work.
+CausalDataset ShiftedToy(Rng* rng, int n, double shift) {
+  CausalDataset d;
+  d.x = Matrix(n, kFeatures);
+  d.t.resize(n);
+  d.y.resize(n);
+  d.mu0.resize(n);
+  d.mu1.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < kFeatures; ++j) d.x(i, j) = rng->Normal(shift, 1.0);
+    const double tau = 1.0 + std::sin(d.x(i, 0));
+    d.mu0[i] = std::sin(d.x(i, 1)) + std::cos(d.x(i, 2));
+    d.mu1[i] = d.mu0[i] + tau;
+    const double prop =
+        1.0 / (1.0 + std::exp(-(0.7 * d.x(i, 0) + 0.7 * d.x(i, 3) -
+                                1.4 * shift)));
+    d.t[i] = rng->Uniform() < prop ? 1 : 0;
+    d.y[i] = (d.t[i] == 1 ? d.mu1[i] : d.mu0[i]) + rng->Normal(0, 0.1);
+  }
+  return d;
+}
+
+std::vector<DataSplit> MakeStream(uint64_t seed, int domains, double shift) {
+  Rng rng(seed);
+  std::vector<DataSplit> stream;
+  for (int d = 0; d < domains; ++d) {
+    stream.push_back(
+        data::SplitDataset(ShiftedToy(&rng, 400, shift * d), &rng));
+  }
+  return stream;
+}
+
+CerlConfig FastConfig(uint64_t seed, bool async_validation) {
+  CerlConfig c;
+  c.net.rep_hidden = {16};
+  c.net.rep_dim = 8;
+  c.net.head_hidden = {8};
+  c.train.epochs = 15;
+  c.train.batch_size = 64;
+  c.train.learning_rate = 3e-3;
+  c.train.patience = 15;
+  c.train.alpha = 0.2;
+  c.train.lambda = 1e-5;
+  c.train.seed = seed;
+  c.train.async_validation = async_validation;
+  c.memory_capacity = 100;
+  return c;
+}
+
+struct SerialRun {
+  std::vector<Vector> ite_per_domain;  // current model on each test split
+  Matrix memory_reps;
+  std::vector<double> best_valid;
+};
+
+SerialRun RunSerial(const CerlConfig& config,
+                    const std::vector<DataSplit>& domains) {
+  SerialRun out;
+  CerlTrainer trainer(config, kFeatures);
+  for (const DataSplit& split : domains) {
+    causal::TrainStats stats = trainer.ObserveDomain(split);
+    out.best_valid.push_back(stats.best_valid_loss);
+  }
+  for (const DataSplit& split : domains) {
+    out.ite_per_domain.push_back(trainer.PredictIte(split.test.x));
+  }
+  out.memory_reps = trainer.memory().reps();
+  return out;
+}
+
+void ExpectBitIdentical(const SerialRun& serial, StreamEngine* engine, int id,
+                        const std::vector<DataSplit>& domains) {
+  const std::vector<DomainResult>& results = engine->results(id);
+  ASSERT_EQ(results.size(), domains.size());
+  for (size_t d = 0; d < domains.size(); ++d) {
+    EXPECT_EQ(results[d].domain_index, static_cast<int>(d));
+    EXPECT_EQ(results[d].stats.best_valid_loss, serial.best_valid[d])
+        << "stream " << id << " domain " << d;
+  }
+  CerlTrainer& trainer = engine->trainer(id);
+  for (size_t d = 0; d < domains.size(); ++d) {
+    const Vector ite = trainer.PredictIte(domains[d].test.x);
+    ASSERT_EQ(ite.size(), serial.ite_per_domain[d].size());
+    for (size_t i = 0; i < ite.size(); ++i) {
+      ASSERT_EQ(ite[i], serial.ite_per_domain[d][i])
+          << "stream " << id << " domain " << d << " unit " << i;
+    }
+  }
+  ASSERT_EQ(trainer.memory().reps().rows(), serial.memory_reps.rows());
+  EXPECT_EQ(Matrix::MaxAbsDiff(trainer.memory().reps(), serial.memory_reps),
+            0.0);
+}
+
+TEST(StreamEngineTest, SingleStreamBitIdenticalToSerialLoop) {
+  const CerlConfig config = FastConfig(33, /*async_validation=*/false);
+  const std::vector<DataSplit> domains = MakeStream(10, 3, 1.0);
+  const SerialRun serial = RunSerial(config, domains);
+
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  StreamEngine engine(options);
+  const int id = engine.AddStream("solo", config, kFeatures);
+  for (const DataSplit& split : domains) engine.PushDomain(id, split);
+  engine.Drain();
+  ExpectBitIdentical(serial, &engine, id, domains);
+}
+
+TEST(StreamEngineTest, AsyncValidationStreamStillBitIdenticalToSerial) {
+  // With async validation on in BOTH modes the engine schedules scoring on
+  // workers; restored weights (and thus everything downstream: predictions,
+  // memory migration) must not change.
+  const CerlConfig config = FastConfig(34, /*async_validation=*/true);
+  const std::vector<DataSplit> domains = MakeStream(11, 3, 1.0);
+  const SerialRun serial = RunSerial(config, domains);
+
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  StreamEngine engine(options);
+  const int id = engine.AddStream("solo-async", config, kFeatures);
+  for (const DataSplit& split : domains) engine.PushDomain(id, split);
+  engine.Drain();
+  ExpectBitIdentical(serial, &engine, id, domains);
+}
+
+TEST(StreamEngineTest, FourConcurrentStreamsAreEachDeterministic) {
+  // Four tenants with distinct seeds/shifts run concurrently on four
+  // workers; each must produce exactly the results of running it alone.
+  const int kStreams = 4;
+  std::vector<CerlConfig> configs;
+  std::vector<std::vector<DataSplit>> domains;
+  std::vector<SerialRun> serial;
+  for (int s = 0; s < kStreams; ++s) {
+    configs.push_back(
+        FastConfig(100 + 13 * s, /*async_validation=*/(s % 2) == 1));
+    domains.push_back(MakeStream(20 + s, 2, 0.5 + 0.4 * s));
+    serial.push_back(RunSerial(configs[s], domains[s]));
+  }
+
+  StreamEngineOptions options;
+  options.num_workers = 4;
+  StreamEngine engine(options);
+  std::vector<int> ids;
+  for (int s = 0; s < kStreams; ++s) {
+    ids.push_back(
+        engine.AddStream("tenant-" + std::to_string(s), configs[s],
+                         kFeatures));
+  }
+  // Interleave pushes across streams (arrival order of a real feed).
+  for (size_t d = 0; d < 2; ++d) {
+    for (int s = 0; s < kStreams; ++s) {
+      engine.PushDomain(ids[s], domains[s][d]);
+    }
+  }
+  engine.Drain();
+  for (int s = 0; s < kStreams; ++s) {
+    ExpectBitIdentical(serial[s], &engine, ids[s], domains[s]);
+  }
+}
+
+TEST(StreamEngineTest, ValidateDomainRejectsMalformedData) {
+  Rng rng(7);
+  DataSplit split = data::SplitDataset(ShiftedToy(&rng, 120, 0.0), &rng);
+  EXPECT_TRUE(CerlTrainer::ValidateDomain(split, kFeatures).ok());
+  // Wrong feature dimension.
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(split, kFeatures + 1).ok());
+  // Misaligned treatment vector.
+  DataSplit bad_t = split;
+  bad_t.train.t.pop_back();
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(bad_t, kFeatures).ok());
+  // Non-binary treatment.
+  DataSplit bad_code = split;
+  bad_code.train.t[0] = 2;
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(bad_code, kFeatures).ok());
+  // Non-finite covariate.
+  DataSplit bad_x = split;
+  bad_x.valid.x(0, 0) = std::nan("");
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(bad_x, kFeatures).ok());
+  // Non-finite outcome.
+  DataSplit bad_y = split;
+  bad_y.train.y[3] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(bad_y, kFeatures).ok());
+  // Ground truth is required on the training split (CheckConsistent's
+  // contract)...
+  DataSplit bad_mu = split;
+  bad_mu.train.mu0.clear();
+  bad_mu.train.mu1.clear();
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(bad_mu, kFeatures).ok());
+  // ...but a production test split without counterfactuals is fine.
+  DataSplit no_truth = split;
+  no_truth.test.mu0.clear();
+  no_truth.test.mu1.clear();
+  EXPECT_TRUE(CerlTrainer::ValidateDomain(no_truth, kFeatures).ok());
+  // Half-present ground truth is a shape bug, not "absent".
+  DataSplit half_mu = split;
+  half_mu.test.mu0.clear();
+  EXPECT_FALSE(CerlTrainer::ValidateDomain(half_mu, kFeatures).ok());
+}
+
+TEST(StreamEngineTest, TestSplitWithoutGroundTruthSkipsMetrics) {
+  const CerlConfig config = FastConfig(66, /*async_validation=*/false);
+  std::vector<DataSplit> domains = MakeStream(13, 2, 1.0);
+  for (DataSplit& split : domains) {
+    split.test.mu0.clear();  // production domain: no counterfactual truth
+    split.test.mu1.clear();
+  }
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  StreamEngine engine(options);
+  const int id = engine.AddStream("no-truth", config, kFeatures);
+  for (const DataSplit& split : domains) engine.PushDomain(id, split);
+  engine.Drain();
+  const std::vector<DomainResult>& results = engine.results(id);
+  ASSERT_EQ(results.size(), 2u);
+  for (const DomainResult& r : results) {
+    EXPECT_GT(r.stats.epochs_run, 0);
+    EXPECT_FALSE(r.has_metrics);  // skipped, not aborted
+  }
+}
+
+TEST(StreamEngineTest, ResultsCarryMetricsAndMemoryStaysBounded) {
+  const CerlConfig config = FastConfig(55, /*async_validation=*/true);
+  const std::vector<DataSplit> domains = MakeStream(12, 2, 1.5);
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  StreamEngine engine(options);
+  const int id = engine.AddStream("metrics", config, kFeatures);
+  for (const DataSplit& split : domains) engine.PushDomain(id, split);
+  engine.Drain();
+
+  const std::vector<DomainResult>& results = engine.results(id);
+  ASSERT_EQ(results.size(), 2u);
+  for (const DomainResult& r : results) {
+    EXPECT_GT(r.stats.epochs_run, 0);
+    ASSERT_TRUE(r.has_metrics);
+    EXPECT_TRUE(std::isfinite(r.metrics.pehe));
+  }
+  EXPECT_LE(engine.trainer(id).memory().size(), config.memory_capacity);
+  EXPECT_EQ(engine.name(id), "metrics");
+}
+
+}  // namespace
+}  // namespace cerl::stream
