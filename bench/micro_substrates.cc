@@ -23,6 +23,7 @@
 #include "topics/lda_generative.h"
 #include "topics/lda_gibbs.h"
 #include "train/train_loop.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace cerl {
@@ -305,6 +306,38 @@ void BM_WassersteinPenaltyStep(benchmark::State& state) {
 }
 BENCHMARK(BM_WassersteinPenaltyStep)->Arg(64)->Arg(128);
 
+// Shared CERL-workload substrate for the engine/checkpoint benches: a toy
+// shifted domain and a small fast config.
+data::DataSplit BenchSplit(Rng* rng, int units, int features, double shift) {
+  data::CausalDataset dataset;
+  dataset.x = RandomMatrix(rng, units, features);
+  dataset.t.resize(units);
+  dataset.y.resize(units);
+  dataset.mu0.assign(units, 0.0);
+  dataset.mu1.assign(units, 1.0);
+  for (int i = 0; i < units; ++i) {
+    dataset.x(i, 0) += shift;
+    dataset.t[i] = rng->Uniform() < 0.5 ? 1 : 0;
+    dataset.y[i] = std::sin(dataset.x(i, 0)) + dataset.t[i] +
+                   0.1 * rng->Normal();
+  }
+  return data::SplitDataset(dataset, rng);
+}
+
+core::CerlConfig BenchCerlConfig(uint64_t seed) {
+  core::CerlConfig config;
+  config.net.rep_hidden = {16};
+  config.net.rep_dim = 8;
+  config.net.head_hidden = {8};
+  config.train.epochs = 6;
+  config.train.batch_size = 64;
+  config.train.patience = 6;
+  config.train.alpha = 0.2;
+  config.train.seed = seed;
+  config.memory_capacity = 200;
+  return config;
+}
+
 // End-to-end domain ingest through the stream engine: `streams` independent
 // CERL tenants, each fed two shifted domains. items/s is aggregate domains
 // ingested per second — compare Arg(4)/Arg(8) against 4x/8x the Arg(1)
@@ -322,30 +355,11 @@ void BM_StreamEngineIngest(benchmark::State& state) {
   for (int s = 0; s < streams; ++s) {
     Rng rng(40 + s);
     for (int d = 0; d < kDomains; ++d) {
-      data::CausalDataset dataset;
-      dataset.x = RandomMatrix(&rng, kUnits, kFeatures);
-      dataset.t.resize(kUnits);
-      dataset.y.resize(kUnits);
-      dataset.mu0.assign(kUnits, 0.0);
-      dataset.mu1.assign(kUnits, 1.0);
-      for (int i = 0; i < kUnits; ++i) {
-        dataset.x(i, 0) += 0.8 * d;  // covariate shift between domains
-        dataset.t[i] = rng.Uniform() < 0.5 ? 1 : 0;
-        dataset.y[i] = std::sin(dataset.x(i, 0)) + dataset.t[i] +
-                       0.1 * rng.Normal();
-      }
-      domains[s].push_back(data::SplitDataset(dataset, &rng));
+      domains[s].push_back(BenchSplit(&rng, kUnits, kFeatures, 0.8 * d));
     }
   }
 
-  core::CerlConfig config;
-  config.net.rep_hidden = {16};
-  config.net.rep_dim = 8;
-  config.net.head_hidden = {8};
-  config.train.epochs = 6;
-  config.train.batch_size = 64;
-  config.train.patience = 6;
-  config.train.alpha = 0.2;
+  core::CerlConfig config = BenchCerlConfig(0);
   config.train.async_validation = true;
   config.memory_capacity = 80;
 
@@ -363,6 +377,70 @@ void BM_StreamEngineIngest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * streams * kDomains);
   state.SetLabel(std::to_string(streams) + "_streams");
 }
+
+// Checkpoint substrate: in-memory serialize/deserialize of a trained
+// trainer (the per-stream cost inside an engine snapshot) and a full
+// engine SaveSnapshot including the crash-safe file publish. The save runs
+// against a live engine at a domain boundary, so real_time here is the
+// serving-path latency a rolling restart pays per snapshot.
+void BM_CheckpointSerialize(benchmark::State& state) {
+  const int kFeatures = 8;
+  Rng rng(71);
+  core::CerlTrainer trainer(BenchCerlConfig(61), kFeatures);
+  trainer.ObserveDomain(BenchSplit(&rng, 400, kFeatures, 0.0));
+  trainer.ObserveDomain(BenchSplit(&rng, 400, kFeatures, 0.8));
+  std::string payload;
+  for (auto _ : state) {
+    Status s = trainer.SerializeCheckpoint(&payload);
+    CERL_CHECK(s.ok());
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CheckpointSerialize);
+
+void BM_CheckpointDeserialize(benchmark::State& state) {
+  const int kFeatures = 8;
+  Rng rng(72);
+  core::CerlTrainer trainer(BenchCerlConfig(62), kFeatures);
+  trainer.ObserveDomain(BenchSplit(&rng, 400, kFeatures, 0.0));
+  trainer.ObserveDomain(BenchSplit(&rng, 400, kFeatures, 0.8));
+  std::string payload;
+  CERL_CHECK(trainer.SerializeCheckpoint(&payload).ok());
+  for (auto _ : state) {
+    core::CerlTrainer restored(BenchCerlConfig(62), kFeatures);
+    Status s = restored.DeserializeCheckpoint(payload);
+    CERL_CHECK(s.ok());
+    benchmark::DoNotOptimize(restored.stages_seen());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CheckpointDeserialize);
+
+void BM_EngineSnapshotSave(benchmark::State& state) {
+  const int kStreams = 4;
+  const int kFeatures = 8;
+  stream::StreamEngineOptions options;
+  options.num_workers = 2;
+  stream::StreamEngine engine(options);
+  for (int s = 0; s < kStreams; ++s) {
+    Rng rng(90 + s);
+    const int id =
+        engine.AddStream("bench", BenchCerlConfig(80 + s), kFeatures);
+    engine.PushDomain(id, BenchSplit(&rng, 300, kFeatures, 0.0));
+  }
+  engine.Drain();
+  const std::string path = "/tmp/cerl_bench.snap";
+  for (auto _ : state) {
+    Status s = engine.SaveSnapshot(path);
+    CERL_CHECK(s.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kStreams);
+}
+BENCHMARK(BM_EngineSnapshotSave);
+
 BENCHMARK(BM_StreamEngineIngest)
     ->Arg(1)
     ->Arg(4)

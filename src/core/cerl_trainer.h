@@ -114,16 +114,31 @@ class CerlTrainer {
   const MemoryBank& memory() const { return memory_; }
   int stages_seen() const { return stages_seen_; }
   causal::RepOutcomeNet* current_net();
+  const CerlConfig& config() const { return config_; }
+  int input_dim() const { return input_dim_; }
 
   /// Persists the continual state — current model (weights + scalers), the
-  /// memory bank, and the stage counter — so estimation can resume in a new
-  /// process without any raw data (checkpoint.cc). Requires >= 1 stage.
+  /// memory bank, the stage counter, and the trainer RNG stream — so a
+  /// resumed trainer continues BIT-IDENTICALLY to the uninterrupted run, in
+  /// a new process, without any raw data (checkpoint.cc). Requires >= 1
+  /// stage. The write is crash-safe: temp file + fsync + atomic rename.
   Status SaveCheckpoint(const std::string& path);
 
   /// Restores a checkpoint into a freshly constructed trainer (same config
   /// and input dimension as the saver; enforced via parameter shapes).
   /// Must be called before any ObserveDomain.
   Status LoadCheckpoint(const std::string& path);
+
+  /// In-memory checkpoint entry points, shared by SaveCheckpoint /
+  /// LoadCheckpoint and by the stream engine's snapshot container (which
+  /// embeds one serialized trainer per stream). The payload is the full
+  /// CERLCKP1 format including the trailing checksum.
+  Status SerializeCheckpoint(std::string* out);
+
+  /// All-or-nothing restore: the payload is fully parsed and validated
+  /// (checksum, dimensions, parameter shapes) before ANY trainer state is
+  /// touched, so a failed load leaves the trainer exactly as it was.
+  Status DeserializeCheckpoint(std::string_view payload);
 
  private:
   causal::TrainStats TrainContinualStage(StageContext* ctx);

@@ -49,6 +49,13 @@ Status LoadParametersFromStream(
     uint32_t name_len = 0;
     in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
     if (!in) return Status::IoError("truncated parameter block");
+    // The expected name is known, so a corrupted length field is rejected
+    // before it can drive a huge allocation.
+    if (name_len != p->name.size()) {
+      return Status::InvalidArgument(
+          "parameter name length mismatch: stream has " +
+          std::to_string(name_len) + ", model expects '" + p->name + "'");
+    }
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
     uint32_t rows = 0, cols = 0;

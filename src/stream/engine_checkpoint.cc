@@ -1,0 +1,492 @@
+// Engine-level snapshot/restore (StreamEngine::SaveSnapshot/LoadSnapshot).
+//
+// A multi-tenant CERL server's entire durable state is: per stream, the
+// trainer's continual state (model + scalers + memory M_d + stage counter +
+// RNG — the CERLCKP1 payload from core/checkpoint.cc) plus the domains that
+// were pushed but not yet trained. The paper's accessibility criterion makes
+// this exactly what may persist: the journal holds only domains that have
+// not been consumed yet (they are current, not past-domain, data), and
+// nothing else in the container is raw covariates.
+//
+// Format CERLENG1 (frozen; golden fixtures under tests/testdata/):
+//   magic "CERLENG1",
+//   u32 num_workers, u8 validate_on_push          (informational),
+//   u32 num_streams, then per stream:
+//     u32 name_len, name bytes,
+//     u32 input_dim,
+//     CerlConfig block (fixed field order, see WriteConfig),
+//     u32 completed_domains                        (resumes domain indices),
+//     u8 has_trainer, [u64 blob_len, CERLCKP1 payload incl. its checksum],
+//     u32 journal_count, then per queued domain a DataSplit
+//       (train/valid/test, each: u32 rows, u32 cols, f64 x[], u8 t[],
+//        u32 n + f64 y[], u32 n + f64 mu0[], u32 n + f64 mu1[]),
+//   u64 FNV-1a checksum of all preceding bytes.
+//
+// Every read is bounds-checked against the remaining payload before
+// allocating, and LoadSnapshot stages the entire engine (streams, trainers,
+// journal) before publishing anything — a corrupt snapshot leaves the
+// target engine with zero streams.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/stream_engine.h"
+#include "stream/stream_internal.h"
+#include "util/binary_io.h"
+
+namespace cerl::stream {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '1'};
+
+// Decode-time sanity caps: generous for any real deployment, small enough
+// that a corrupted count fails fast with a descriptive error instead of an
+// attempted allocation (the byte-level guard is BoundedReader::Require) —
+// and, for the dataset dims, small enough that rows * cols * 8 can never
+// overflow uint64 and defeat that guard.
+constexpr uint32_t kMaxStreams = 1u << 16;
+constexpr uint32_t kMaxNameLen = 1u << 12;
+constexpr uint32_t kMaxHiddenLayers = 1u << 10;
+constexpr uint32_t kMaxLayerWidth = 1u << 20;
+constexpr uint32_t kMaxJournal = 1u << 20;
+constexpr uint32_t kMaxUnits = 1u << 27;
+constexpr uint32_t kMaxFeatures = 1u << 24;
+
+void WriteIntVector(std::string* out, const std::vector<int>& v) {
+  WritePod(out, static_cast<uint32_t>(v.size()));
+  for (int x : v) WritePod(out, static_cast<int32_t>(x));
+}
+
+// Reads a hidden-layer width list; widths are construction inputs (Mlp
+// CHECK-aborts on non-positive sizes), so they are validated here where a
+// bad value is still a clean decode error.
+Status ReadIntVector(BoundedReader* r, std::vector<int>* v,
+                     const char* what) {
+  uint32_t n = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&n, what));
+  if (n > kMaxHiddenLayers) {
+    return Status::IoError(std::string(what) + ": implausible count " +
+                           std::to_string(n));
+  }
+  CERL_RETURN_IF_ERROR(r->Require(static_cast<uint64_t>(n) * 4, what));
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t x = 0;
+    CERL_RETURN_IF_ERROR(r->ReadPod(&x, what));
+    if (x < 1 || x > static_cast<int32_t>(kMaxLayerWidth)) {
+      return Status::IoError(std::string(what) + ": implausible width " +
+                             std::to_string(x));
+    }
+    (*v)[i] = x;
+  }
+  return Status::Ok();
+}
+
+// --- CerlConfig codec (fixed field order; the CERLENG1 magic versions it) --
+
+void WriteConfig(std::string* out, const core::CerlConfig& c) {
+  WriteIntVector(out, c.net.rep_hidden);
+  WritePod(out, static_cast<int32_t>(c.net.rep_dim));
+  WriteIntVector(out, c.net.head_hidden);
+  WritePod(out, static_cast<uint8_t>(c.net.activation));
+  WritePod(out, static_cast<uint8_t>(c.net.cosine_normalized_rep ? 1 : 0));
+
+  WritePod(out, static_cast<int32_t>(c.train.epochs));
+  WritePod(out, static_cast<int32_t>(c.train.batch_size));
+  WritePod(out, c.train.learning_rate);
+  WritePod(out, static_cast<int32_t>(c.train.patience));
+  WritePod(out, c.train.alpha);
+  WritePod(out, c.train.lambda);
+  WritePod(out, static_cast<uint8_t>(c.train.ipm));
+  WritePod(out, c.train.sinkhorn.reg_fraction);
+  WritePod(out, static_cast<int32_t>(c.train.sinkhorn.max_iterations));
+  WritePod(out, c.train.sinkhorn.tolerance);
+  WritePod(out, static_cast<uint8_t>(c.train.sinkhorn.warm_start ? 1 : 0));
+  WritePod(out, static_cast<uint8_t>(c.train.sinkhorn.parallel ? 1 : 0));
+  WritePod(out,
+           static_cast<int64_t>(c.train.sinkhorn.min_parallel_elements));
+  WritePod(out, static_cast<uint64_t>(c.train.seed));
+  WritePod(out, static_cast<uint8_t>(c.train.verbose ? 1 : 0));
+  WritePod(out, static_cast<uint8_t>(c.train.async_validation ? 1 : 0));
+
+  WritePod(out, c.beta);
+  WritePod(out, c.delta);
+  WritePod(out, static_cast<int32_t>(c.memory_capacity));
+  WritePod(out, static_cast<uint8_t>(c.use_transform ? 1 : 0));
+  WritePod(out, static_cast<uint8_t>(c.use_herding ? 1 : 0));
+  WritePod(out, static_cast<uint8_t>(c.init_from_previous ? 1 : 0));
+  WritePod(out, c.continual_lr_scale);
+  WriteIntVector(out, c.transform_hidden);
+}
+
+Status ReadBool(BoundedReader* r, bool* v, const char* what) {
+  uint8_t b = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&b, what));
+  if (b > 1) {
+    return Status::IoError(std::string(what) + ": flag is not 0/1");
+  }
+  *v = b != 0;
+  return Status::Ok();
+}
+
+Status ReadConfig(BoundedReader* r, core::CerlConfig* c) {
+  int32_t i32 = 0;
+  uint8_t u8 = 0;
+
+  CERL_RETURN_IF_ERROR(ReadIntVector(r, &c->net.rep_hidden, "rep_hidden"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i32, "rep_dim"));
+  if (i32 < 1 || i32 > static_cast<int32_t>(kMaxLayerWidth)) {
+    return Status::IoError("implausible rep_dim " + std::to_string(i32));
+  }
+  c->net.rep_dim = i32;
+  CERL_RETURN_IF_ERROR(ReadIntVector(r, &c->net.head_hidden, "head_hidden"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&u8, "activation"));
+  if (u8 > static_cast<uint8_t>(nn::Activation::kSigmoid)) {
+    return Status::IoError("unknown activation code " + std::to_string(u8));
+  }
+  c->net.activation = static_cast<nn::Activation>(u8);
+  CERL_RETURN_IF_ERROR(
+      ReadBool(r, &c->net.cosine_normalized_rep, "cosine flag"));
+
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i32, "epochs"));
+  if (i32 < 0) return Status::IoError("negative epochs");
+  c->train.epochs = i32;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i32, "batch_size"));
+  if (i32 < 1) return Status::IoError("non-positive batch_size");
+  c->train.batch_size = i32;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&c->train.learning_rate, "learning_rate"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i32, "patience"));
+  c->train.patience = i32;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&c->train.alpha, "alpha"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&c->train.lambda, "lambda"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&u8, "ipm kind"));
+  if (u8 > static_cast<uint8_t>(ot::IpmKind::kLinearMmd)) {
+    return Status::IoError("unknown IPM code " + std::to_string(u8));
+  }
+  c->train.ipm = static_cast<ot::IpmKind>(u8);
+  CERL_RETURN_IF_ERROR(
+      r->ReadPod(&c->train.sinkhorn.reg_fraction, "reg_fraction"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i32, "max_iterations"));
+  c->train.sinkhorn.max_iterations = i32;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&c->train.sinkhorn.tolerance, "tolerance"));
+  CERL_RETURN_IF_ERROR(
+      ReadBool(r, &c->train.sinkhorn.warm_start, "warm_start"));
+  CERL_RETURN_IF_ERROR(ReadBool(r, &c->train.sinkhorn.parallel, "parallel"));
+  int64_t i64 = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i64, "min_parallel_elements"));
+  c->train.sinkhorn.min_parallel_elements = i64;
+  uint64_t seed = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&seed, "seed"));
+  c->train.seed = seed;
+  CERL_RETURN_IF_ERROR(ReadBool(r, &c->train.verbose, "verbose"));
+  CERL_RETURN_IF_ERROR(
+      ReadBool(r, &c->train.async_validation, "async_validation"));
+
+  CERL_RETURN_IF_ERROR(r->ReadPod(&c->beta, "beta"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&c->delta, "delta"));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&i32, "memory_capacity"));
+  if (i32 < 0) return Status::IoError("negative memory_capacity");
+  c->memory_capacity = i32;
+  CERL_RETURN_IF_ERROR(ReadBool(r, &c->use_transform, "use_transform"));
+  CERL_RETURN_IF_ERROR(ReadBool(r, &c->use_herding, "use_herding"));
+  CERL_RETURN_IF_ERROR(
+      ReadBool(r, &c->init_from_previous, "init_from_previous"));
+  CERL_RETURN_IF_ERROR(
+      r->ReadPod(&c->continual_lr_scale, "continual_lr_scale"));
+  CERL_RETURN_IF_ERROR(
+      ReadIntVector(r, &c->transform_hidden, "transform_hidden"));
+  return Status::Ok();
+}
+
+// --- DataSplit codec (the replay journal) ---------------------------------
+
+void WriteDataset(std::string* out, const data::CausalDataset& d) {
+  WritePod(out, static_cast<uint32_t>(d.x.rows()));
+  WritePod(out, static_cast<uint32_t>(d.x.cols()));
+  out->append(reinterpret_cast<const char*>(d.x.data()),
+              static_cast<size_t>(d.x.size()) * sizeof(double));
+  for (int t : d.t) WritePod(out, static_cast<uint8_t>(t));
+  WriteF64Vector(out, d.y);
+  WriteF64Vector(out, d.mu0);
+  WriteF64Vector(out, d.mu1);
+}
+
+// A mu column is either aligned with the units or absent (production
+// domains without counterfactual ground truth serialize empty mu vectors).
+Status ReadMuColumn(BoundedReader* r, uint32_t rows, linalg::Vector* v,
+                    const char* what) {
+  uint32_t n = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&n, what));
+  if (n != rows && n != 0) {
+    return Status::IoError(std::string(what) + ": size " + std::to_string(n) +
+                           " does not match unit count " +
+                           std::to_string(rows));
+  }
+  CERL_RETURN_IF_ERROR(
+      r->Require(static_cast<uint64_t>(n) * sizeof(double), what));
+  v->resize(n);
+  return r->ReadRaw(v->data(), static_cast<uint64_t>(n) * sizeof(double),
+                    what);
+}
+
+Status ReadDataset(BoundedReader* r, data::CausalDataset* d,
+                   const char* what) {
+  uint32_t rows = 0, cols = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&rows, what));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&cols, what));
+  // The caps keep rows * cols * 8 far below uint64 overflow (2^27 * 2^24 *
+  // 2^3 = 2^54), so the Require byte check below cannot be defeated by
+  // wraparound.
+  if (rows > kMaxUnits) {
+    return Status::IoError(std::string(what) + ": implausible unit count " +
+                           std::to_string(rows));
+  }
+  if (cols > kMaxFeatures) {
+    return Status::IoError(std::string(what) +
+                           ": implausible feature count " +
+                           std::to_string(cols));
+  }
+  const uint64_t x_bytes = static_cast<uint64_t>(rows) * cols * sizeof(double);
+  CERL_RETURN_IF_ERROR(r->Require(x_bytes, what));
+  d->x.Resize(static_cast<int>(rows), static_cast<int>(cols));
+  CERL_RETURN_IF_ERROR(r->ReadRaw(d->x.data(), x_bytes, what));
+  CERL_RETURN_IF_ERROR(r->Require(rows, what));
+  d->t.resize(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    uint8_t b = 0;
+    CERL_RETURN_IF_ERROR(r->ReadPod(&b, what));
+    if (b > 1) {
+      return Status::IoError(std::string(what) +
+                             ": journal treatment is not 0/1");
+    }
+    d->t[i] = b;
+  }
+  CERL_RETURN_IF_ERROR(ReadF64VectorExpected(r, rows, &d->y, what));
+  CERL_RETURN_IF_ERROR(ReadMuColumn(r, rows, &d->mu0, what));
+  CERL_RETURN_IF_ERROR(ReadMuColumn(r, rows, &d->mu1, what));
+  return Status::Ok();
+}
+
+void WriteSplit(std::string* out, const data::DataSplit& split) {
+  WriteDataset(out, split.train);
+  WriteDataset(out, split.valid);
+  WriteDataset(out, split.test);
+}
+
+Status ReadSplit(BoundedReader* r, data::DataSplit* split) {
+  CERL_RETURN_IF_ERROR(ReadDataset(r, &split->train, "journal train split"));
+  CERL_RETURN_IF_ERROR(ReadDataset(r, &split->valid, "journal valid split"));
+  CERL_RETURN_IF_ERROR(ReadDataset(r, &split->test, "journal test split"));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
+  out->clear();
+  out->append(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<uint32_t>(pool_.num_threads()));
+  WritePod(out, static_cast<uint8_t>(options_.validate_on_push ? 1 : 0));
+  WritePod(out, static_cast<uint32_t>(streams_.size()));
+  for (const auto& s : streams_) {
+    WritePod(out, static_cast<uint32_t>(s->name.size()));
+    out->append(s->name);
+    WritePod(out, static_cast<uint32_t>(s->input_dim));
+    WriteConfig(out, s->trainer.config());
+    // At the snapshot fence nothing is in flight, so pushed minus queued is
+    // the completed-domain count; restoring it keeps domain indices
+    // continuous across the restart.
+    const uint32_t completed =
+        static_cast<uint32_t>(s->pushed - static_cast<int>(s->queue.size()));
+    WritePod(out, completed);
+    const bool has_trainer = s->trainer.stages_seen() > 0;
+    WritePod(out, static_cast<uint8_t>(has_trainer ? 1 : 0));
+    if (has_trainer) {
+      std::string blob;
+      CERL_RETURN_IF_ERROR(s->trainer.SerializeCheckpoint(&blob));
+      WritePod(out, static_cast<uint64_t>(blob.size()));
+      out->append(blob);
+    }
+    // Replay journal: the queue verbatim, in push order. Validation verdicts
+    // are deliberately not persisted — restore re-runs pre-flight validation
+    // on every journaled domain, so the restored engine enforces exactly the
+    // same contract as the original push.
+    WritePod(out, static_cast<uint32_t>(s->queue.size()));
+    for (const auto& d : s->queue) WriteSplit(out, d->split);
+  }
+  AppendChecksum(out);
+  return Status::Ok();
+}
+
+Status StreamEngine::SaveSnapshot(const std::string& path,
+                                  SnapshotInfo* info) {
+  std::string payload;
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (paused_) {
+      return Status::FailedPrecondition("snapshot already in progress");
+    }
+    paused_ = true;
+    // Domain-boundary fence: dispatch is paused, so once every in-flight
+    // pipeline completes, each trainer sits between domains, the queues are
+    // frozen, and the TaskGroups are idle — the workers stay up throughout.
+    state_cv_.wait(lock, [this] {
+      for (const auto& s : streams_) {
+        if (s->in_flight != nullptr) return false;
+      }
+      return true;
+    });
+    if (info != nullptr) {
+      *info = SnapshotInfo();
+      info->num_streams = static_cast<int>(streams_.size());
+      for (const auto& s : streams_) {
+        info->journaled_domains += static_cast<int>(s->queue.size());
+        info->completed_domains +=
+            s->pushed - static_cast<int>(s->queue.size());
+      }
+    }
+    Status serialized = SerializeSnapshotLocked(&payload);
+    if (!serialized.ok()) {
+      paused_ = false;
+      for (auto& s : streams_) MaybeDispatchLocked(s.get());
+      // Notify under the lock (same destructor-vs-notify rule as the
+      // pipeline-completion tasks in stream_engine.cc).
+      state_cv_.notify_all();
+      return serialized;
+    }
+  }
+  // The engine state is captured; the (slow) disk write proceeds without the
+  // lock, then dispatch resumes whether or not the write succeeded.
+  Status written = WriteFileAtomic(path, payload);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    paused_ = false;
+    for (auto& s : streams_) MaybeDispatchLocked(s.get());
+    state_cv_.notify_all();
+  }
+  return written;
+}
+
+Status StreamEngine::LoadSnapshot(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (paused_ || !streams_.empty()) {
+      return Status::FailedPrecondition(
+          "LoadSnapshot requires a fresh engine (no streams registered)");
+    }
+  }
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  Result<std::string_view> verified =
+      VerifyChecksum(bytes.value(), "engine snapshot");
+  if (!verified.ok()) return verified.status();
+  const std::string_view payload = verified.value();
+
+  ViewStreambuf buf(payload);
+  std::istream in(&buf);
+  BoundedReader r(&in, payload.size());
+  char magic[8];
+  CERL_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad engine snapshot magic");
+  }
+  uint32_t saved_workers = 0;
+  uint8_t saved_validate = 0;
+  CERL_RETURN_IF_ERROR(r.ReadPod(&saved_workers, "worker count"));
+  CERL_RETURN_IF_ERROR(r.ReadPod(&saved_validate, "validate flag"));
+  uint32_t num_streams = 0;
+  CERL_RETURN_IF_ERROR(r.ReadPod(&num_streams, "stream count"));
+  if (num_streams > kMaxStreams) {
+    return Status::IoError("implausible stream count " +
+                           std::to_string(num_streams));
+  }
+
+  // Stage the whole engine before publishing anything: StreamStates are
+  // built (and trainers restored) into a local vector, so any failure below
+  // leaves this engine with zero streams.
+  std::vector<std::unique_ptr<StreamState>> staged;
+  std::vector<std::vector<data::DataSplit>> journals(num_streams);
+  staged.reserve(num_streams);
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    uint32_t name_len = 0;
+    CERL_RETURN_IF_ERROR(r.ReadPod(&name_len, "stream name length"));
+    if (name_len > kMaxNameLen) {
+      return Status::IoError("implausible stream name length " +
+                             std::to_string(name_len));
+    }
+    CERL_RETURN_IF_ERROR(r.Require(name_len, "stream name"));
+    std::string stream_name(name_len, '\0');
+    CERL_RETURN_IF_ERROR(r.ReadRaw(stream_name.data(), name_len,
+                                   "stream name"));
+    uint32_t input_dim = 0;
+    CERL_RETURN_IF_ERROR(r.ReadPod(&input_dim, "stream input dim"));
+    if (input_dim == 0 || input_dim > (1u << 24)) {
+      return Status::IoError("implausible stream input dim " +
+                             std::to_string(input_dim));
+    }
+    core::CerlConfig config;
+    CERL_RETURN_IF_ERROR(ReadConfig(&r, &config));
+    uint32_t completed = 0;
+    CERL_RETURN_IF_ERROR(r.ReadPod(&completed, "completed domains"));
+    // Lands in StreamState::pushed (an int): cap so a corrupt counter cannot
+    // go negative through the cast and poison later domain indices.
+    if (completed > (1u << 30)) {
+      return Status::IoError("implausible completed-domain count " +
+                             std::to_string(completed));
+    }
+
+    auto state = std::make_unique<StreamState>(
+        std::move(stream_name), config, static_cast<int>(input_dim), &pool_);
+    uint8_t has_trainer = 0;
+    CERL_RETURN_IF_ERROR(r.ReadPod(&has_trainer, "trainer flag"));
+    if (has_trainer > 1) {
+      return Status::IoError("snapshot trainer flag is not 0/1");
+    }
+    if (has_trainer) {
+      uint64_t blob_len = 0;
+      CERL_RETURN_IF_ERROR(r.ReadPod(&blob_len, "trainer blob length"));
+      CERL_RETURN_IF_ERROR(r.Require(blob_len, "trainer blob"));
+      std::string blob(static_cast<size_t>(blob_len), '\0');
+      CERL_RETURN_IF_ERROR(r.ReadRaw(blob.data(), blob_len, "trainer blob"));
+      CERL_RETURN_IF_ERROR(state->trainer.DeserializeCheckpoint(blob));
+    }
+    state->pushed = static_cast<int>(completed);
+
+    uint32_t journal_count = 0;
+    CERL_RETURN_IF_ERROR(r.ReadPod(&journal_count, "journal count"));
+    if (journal_count > kMaxJournal) {
+      return Status::IoError("implausible journal count " +
+                             std::to_string(journal_count));
+    }
+    journals[i].resize(journal_count);
+    for (uint32_t j = 0; j < journal_count; ++j) {
+      CERL_RETURN_IF_ERROR(ReadSplit(&r, &journals[i][j]));
+    }
+    staged.push_back(std::move(state));
+  }
+  if (r.remaining() != 0) {
+    return Status::IoError("engine snapshot has " +
+                           std::to_string(r.remaining()) + " trailing bytes");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (paused_ || !streams_.empty()) {
+      return Status::FailedPrecondition(
+          "engine changed while LoadSnapshot was parsing");
+    }
+    streams_ = std::move(staged);
+  }
+  // Replay the journal: queued-but-untrained work resumes exactly where the
+  // saved engine left it (PushDomain re-validates and dispatches normally).
+  for (uint32_t i = 0; i < num_streams; ++i) {
+    for (data::DataSplit& split : journals[i]) {
+      PushDomain(static_cast<int>(i), std::move(split));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cerl::stream

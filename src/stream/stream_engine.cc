@@ -1,50 +1,14 @@
 #include "stream/stream_engine.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "stream/stream_internal.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace cerl::stream {
-
-// One pushed domain moving through the stage pipeline. The split must stay
-// address-stable while tasks reference it, so PendingDomains are held by
-// unique_ptr and never relocated.
-struct StreamEngine::PendingDomain {
-  data::DataSplit split;
-  int domain_index = 0;
-
-  // Pre-flight validation rendezvous: set by the free pool task, awaited by
-  // the ingest stage (usually already complete — it overlapped an earlier
-  // stage's training).
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool validated = false;
-  Status status;
-
-  std::unique_ptr<core::CerlTrainer::StageContext> ctx;
-};
-
-struct StreamEngine::StreamState {
-  StreamState(std::string stream_name, const core::CerlConfig& config,
-              int input_dim, ThreadPool* pool)
-      : name(std::move(stream_name)),
-        input_dim(input_dim),
-        trainer(config, input_dim),
-        group(pool) {}
-
-  std::string name;
-  int input_dim;
-  core::CerlTrainer trainer;
-  TaskGroup group;
-  std::deque<std::unique_ptr<PendingDomain>> domains;
-  std::vector<DomainResult> results;
-  int pushed = 0;
-};
 
 namespace {
 
@@ -79,33 +43,46 @@ int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
 
 void StreamEngine::PushDomain(int id, data::DataSplit split) {
   StreamState& s = stream(id);
-  s.domains.push_back(std::make_unique<PendingDomain>());
-  PendingDomain* d = s.domains.back().get();
+  auto owned = std::make_unique<PendingDomain>();
+  PendingDomain* d = owned.get();
   d->split = std::move(split);
-  d->domain_index = s.pushed++;
 
-  // Pre-flight validation: pure, so it runs as a free pool task right away
-  // and overlaps whatever stage any stream is currently in. The pool queue
-  // is FIFO and this is submitted before the domain's ingest task can be,
-  // so the ingest wait below can never starve it of a worker.
   const int input_dim = s.input_dim;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  d->domain_index = s.pushed++;
+  s.queue.push_back(std::move(owned));
+  // Pre-flight validation: pure, so it runs as a free pool task right away
+  // and overlaps whatever stage any stream is currently in. It is submitted
+  // before the domain's ingest task can be (dispatch happens at or after
+  // this push), so the ingest wait can never starve it of a worker.
   if (options_.validate_on_push) {
     pool_.Submit([d, input_dim] {
       Status status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
-      {
-        std::lock_guard<std::mutex> lock(d->mutex);
-        d->status = status;
-        d->validated = true;
-      }
+      std::lock_guard<std::mutex> lock(d->mutex);
+      d->status = status;
+      d->validated = true;
+      // Notify while holding d->mutex: the moment the ingest waiter can
+      // proceed, the pipeline may run to completion and destroy this
+      // PendingDomain — the held mutex is what keeps `d` alive until the
+      // notify call has returned.
       d->cv.notify_all();
     });
   }
+  MaybeDispatchLocked(&s);
+}
 
-  StreamState* sp = &s;
+void StreamEngine::MaybeDispatchLocked(StreamState* s) {
+  if (paused_ || s->in_flight != nullptr || s->queue.empty()) return;
+  s->in_flight = std::move(s->queue.front());
+  s->queue.pop_front();
+  PendingDomain* d = s->in_flight.get();
+  StreamState* sp = s;
+
+  const int input_dim = s->input_dim;
   const bool validate_inline = !options_.validate_on_push;
   // Stage pipeline, serialized per stream by the task group; unrelated
   // streams' groups interleave on the same workers.
-  s.group.Submit([sp, d, validate_inline, input_dim] {
+  s->group.Submit([sp, d, validate_inline, input_dim] {
     if (validate_inline) {
       d->status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
     } else {
@@ -115,8 +92,8 @@ void StreamEngine::PushDomain(int id, data::DataSplit split) {
     CERL_CHECK_MSG(d->status.ok(), d->status.ToString().c_str());
     d->ctx = sp->trainer.BeginStage(d->split);
   });
-  s.group.Submit([sp, d] { sp->trainer.TrainStage(d->ctx.get()); });
-  s.group.Submit([sp, d] {
+  s->group.Submit([sp, d] { sp->trainer.TrainStage(d->ctx.get()); });
+  s->group.Submit([this, sp, d] {
     sp->trainer.MigrateStage(d->ctx.get());
     DomainResult result;
     result.domain_index = d->domain_index;
@@ -131,29 +108,41 @@ void StreamEngine::PushDomain(int id, data::DataSplit split) {
       result.has_metrics = true;
       result.metrics = sp->trainer.Evaluate(test);
     }
-    sp->results.push_back(result);
-    // Raw domain data and stage scratch are dead weight once migrated —
-    // long-lived tenant streams must not accumulate covariates (the same
-    // accessibility criterion the trainer upholds for its memory).
-    d->ctx.reset();
-    d->split = data::DataSplit();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      sp->results.push_back(result);
+      // Raw domain data and stage scratch are dead weight once migrated —
+      // long-lived tenant streams must not accumulate covariates (the same
+      // accessibility criterion the trainer upholds for its memory). The
+      // validation task has long been consumed by this pipeline's ingest
+      // stage, so the PendingDomain itself can go.
+      sp->in_flight.reset();
+      MaybeDispatchLocked(sp);
+      // Notify INSIDE the lock: a drain-waiter may be the engine
+      // destructor, and notifying an already-destroyed condvar is a race —
+      // holding the mutex pins the engine alive until the call returns.
+      state_cv_.notify_all();
+    }
   });
 }
 
 void StreamEngine::Drain() {
-  for (auto& s : streams_) {
-    s->group.Wait();
-    // Every task referencing these PendingDomains has completed (the
-    // group's Wait fences them; each domain's validation task is consumed
-    // by its — now finished — ingest task), so the bookkeeping can go too.
-    s->domains.clear();
-  }
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [this] {
+    if (paused_) return false;  // snapshot fence first, then keep draining
+    for (const auto& s : streams_) {
+      if (s->in_flight != nullptr || !s->queue.empty()) return false;
+    }
+    return true;
+  });
 }
 
 void StreamEngine::DrainStream(int id) {
   StreamState& s = stream(id);
-  s.group.Wait();
-  s.domains.clear();
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  state_cv_.wait(lock, [this, &s] {
+    return !paused_ && s.in_flight == nullptr && s.queue.empty();
+  });
 }
 
 const std::string& StreamEngine::name(int id) const {

@@ -33,8 +33,10 @@
 // Both properties are asserted by tests/stream_engine_test.cc.
 #pragma once
 
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,9 +82,12 @@ class StreamEngine {
                 int input_dim);
 
   /// Enqueues the next domain of stream `id`. Returns immediately: the
-  /// domain's pre-flight validation starts on the shared pool and its
-  /// ingest -> train -> migrate stages are queued on the stream's task
-  /// group. Malformed domains abort with the validation message (the same
+  /// domain's pre-flight validation starts on the shared pool, and the
+  /// domain joins the stream's queue — its ingest -> train -> migrate
+  /// pipeline is dispatched onto the stream's task group as soon as the
+  /// previous domain completes (one pipeline in flight per stream, so a
+  /// snapshot can fence at a domain boundary and journal the rest).
+  /// Malformed domains abort with the validation message (the same
   /// contract as the serial path's CheckConsistent).
   void PushDomain(int id, data::DataSplit split);
 
@@ -105,6 +110,39 @@ class StreamEngine {
 
   int num_workers() const { return pool_.num_threads(); }
 
+  // --- Snapshot / restore (engine_checkpoint.cc) ------------------------
+
+  /// What a SaveSnapshot captured (filled at the snapshot fence).
+  struct SnapshotInfo {
+    int num_streams = 0;
+    int completed_domains = 0;  ///< fully trained+migrated, summed
+    int journaled_domains = 0;  ///< queued-but-untrained, summed
+  };
+
+  /// Drain-consistent snapshot of the ENTIRE engine under load: pauses
+  /// dispatch, waits for every stream's in-flight domain pipeline to reach
+  /// its domain boundary (workers stay up; queued domains stay queued),
+  /// writes a CERLENG1 container — engine options, per-stream name / config
+  /// / completed-domain counter, each stream's embedded CERLCKP1 trainer
+  /// blob, and a replay journal of the still-queued domains so pushed work
+  /// is never lost — then resumes dispatch. The write is crash-safe (temp
+  /// file + fsync + atomic rename) and the container carries a checksum.
+  /// Concurrent PushDomain is safe: a push lands either in the journal or
+  /// in the resumed queue.
+  Status SaveSnapshot(const std::string& path, SnapshotInfo* info = nullptr);
+
+  /// Rebuilds a saved engine into THIS engine, which must be freshly
+  /// constructed (no streams registered): re-creates every stream from its
+  /// serialized config, restores each trainer bit-identically, and
+  /// re-enqueues the journaled domains in their original order (training
+  /// resumes immediately on the engine's workers). Worker count and
+  /// validate_on_push stay as THIS engine was constructed — they are
+  /// runtime scheduling choices, not durable state. Per-domain results of
+  /// the saved engine are not restored (stats are transient diagnostics);
+  /// domain indices continue from the saved counters. All-or-nothing: on
+  /// any error the engine still has zero streams.
+  Status LoadSnapshot(const std::string& path);
+
  private:
   struct PendingDomain;
   struct StreamState;
@@ -112,9 +150,23 @@ class StreamEngine {
   StreamState& stream(int id);
   const StreamState& stream(int id) const;
 
+  /// Starts the next queued domain's stage pipeline if the stream is idle
+  /// and dispatch is not paused. Caller holds state_mutex_.
+  void MaybeDispatchLocked(StreamState* s);
+
+  /// Builds the CERLENG1 payload. Caller holds state_mutex_ with dispatch
+  /// paused and no in-flight domains (SaveSnapshot's boundary wait).
+  Status SerializeSnapshotLocked(std::string* out);
+
   StreamEngineOptions options_;
   ThreadPool pool_;  ///< stream workers (declared before the groups using it)
   std::vector<std::unique_ptr<StreamState>> streams_;
+
+  /// Guards stream queues / in-flight flags / results and the pause state;
+  /// state_cv_ signals pipeline completions and pause transitions.
+  std::mutex state_mutex_;
+  std::condition_variable state_cv_;
+  bool paused_ = false;  ///< snapshot in progress: no new dispatches
 };
 
 }  // namespace cerl::stream

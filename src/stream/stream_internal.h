@@ -1,0 +1,58 @@
+// Internal definitions shared by stream_engine.cc and engine_checkpoint.cc
+// (the two halves of StreamEngine). Not part of the public stream API.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stream/stream_engine.h"
+
+namespace cerl::stream {
+
+// One pushed domain moving through the stage pipeline. The split must stay
+// address-stable while tasks reference it, so PendingDomains are held by
+// unique_ptr and never relocated.
+struct StreamEngine::PendingDomain {
+  data::DataSplit split;
+  int domain_index = 0;
+
+  // Pre-flight validation rendezvous: set by the free pool task, awaited by
+  // the ingest stage (usually already complete — it overlapped an earlier
+  // stage's training).
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool validated = false;
+  Status status;
+
+  std::unique_ptr<core::CerlTrainer::StageContext> ctx;
+};
+
+struct StreamEngine::StreamState {
+  StreamState(std::string stream_name, const core::CerlConfig& config,
+              int input_dim, ThreadPool* pool)
+      : name(std::move(stream_name)),
+        input_dim(input_dim),
+        trainer(config, input_dim),
+        group(pool) {}
+
+  std::string name;
+  int input_dim;
+  core::CerlTrainer trainer;
+  TaskGroup group;
+
+  // Domain-boundary dispatch (guarded by the engine's state_mutex_): pushed
+  // domains wait in `queue`; exactly one domain owns the stage pipeline at a
+  // time (`in_flight`). This is what gives SaveSnapshot a consistent fence —
+  // waiting out one pipeline per stream reaches a state where every trainer
+  // sits between domains and the queue is exactly the work to journal.
+  std::deque<std::unique_ptr<PendingDomain>> queue;
+  std::unique_ptr<PendingDomain> in_flight;
+  std::vector<DomainResult> results;
+  int pushed = 0;
+};
+
+}  // namespace cerl::stream

@@ -1,0 +1,185 @@
+#include "util/binary_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace cerl {
+namespace {
+
+// fsync the file at `path` so the atomic-rename publish is durable, not just
+// ordered. Failure is reported: a checkpoint whose durability is unknown is
+// an error, not a warning.
+Status FsyncPath(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IoError("cannot open for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::Ok();
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+void AppendChecksum(std::string* payload) {
+  const uint64_t sum = Fnv1a64(*payload);
+  char bytes[sizeof(sum)];
+  std::memcpy(bytes, &sum, sizeof(sum));
+  payload->append(bytes, sizeof(bytes));
+}
+
+Result<std::string_view> VerifyChecksum(std::string_view bytes,
+                                        const std::string& what) {
+  if (bytes.size() < sizeof(uint64_t)) {
+    return Status::IoError(what + ": too short to carry a checksum");
+  }
+  const std::string_view payload = bytes.substr(0, bytes.size() - 8);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + payload.size(), sizeof(stored));
+  if (stored != Fnv1a64(payload)) {
+    return Status::IoError(what + ": checksum mismatch (corrupted file)");
+  }
+  return payload;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string contents;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IoError("cannot size file: " + path);
+  contents.resize(static_cast<size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(contents.data(), size);
+  if (!in) return Status::IoError("read failed: " + path);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  Status synced = FsyncPath(tmp, /*directory=*/false);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable (the directory entry).
+  return FsyncPath(ParentDirectory(path), /*directory=*/true);
+}
+
+Status BoundedReader::ReadRaw(void* dst, uint64_t n, const char* what) {
+  CERL_RETURN_IF_ERROR(Require(n, what));
+  in_->read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (!*in_) {
+    return Status::IoError(std::string("truncated read of ") + what);
+  }
+  remaining_ -= n;
+  return Status::Ok();
+}
+
+Status BoundedReader::Consume(uint64_t n, const char* what) {
+  if (n > remaining_) {
+    return Status::IoError(std::string(what) +
+                           " overran the container payload");
+  }
+  remaining_ -= n;
+  return Status::Ok();
+}
+
+Status BoundedReader::Require(uint64_t n, const char* what) const {
+  if (n > remaining_) {
+    return Status::IoError(std::string("truncated container: ") + what +
+                           " needs " + std::to_string(n) +
+                           " bytes, payload has " + std::to_string(remaining_));
+  }
+  return Status::Ok();
+}
+
+void WriteF64Vector(std::string* out, const std::vector<double>& v) {
+  WritePod(out, static_cast<uint32_t>(v.size()));
+  out->append(reinterpret_cast<const char*>(v.data()),
+              v.size() * sizeof(double));
+}
+
+Status ReadF64VectorExpected(BoundedReader* r, uint32_t expect,
+                             std::vector<double>* v, const char* what) {
+  uint32_t n = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&n, what));
+  if (n != expect) {
+    return Status::IoError(std::string(what) + ": size " + std::to_string(n) +
+                           " does not match expected " +
+                           std::to_string(expect));
+  }
+  CERL_RETURN_IF_ERROR(
+      r->Require(static_cast<uint64_t>(n) * sizeof(double), what));
+  v->resize(n);
+  return r->ReadRaw(v->data(), static_cast<uint64_t>(n) * sizeof(double),
+                    what);
+}
+
+ViewStreambuf::ViewStreambuf(std::string_view data) {
+  // streambuf's get-area pointers are non-const by API; the buffer is only
+  // ever read (no overflow/underflow writes).
+  char* base = const_cast<char*>(data.data());
+  setg(base, base, base + data.size());
+}
+
+ViewStreambuf::pos_type ViewStreambuf::seekoff(off_type off,
+                                               std::ios_base::seekdir dir,
+                                               std::ios_base::openmode which) {
+  if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
+  char* target = nullptr;
+  switch (dir) {
+    case std::ios_base::beg: target = eback() + off; break;
+    case std::ios_base::cur: target = gptr() + off; break;
+    case std::ios_base::end: target = egptr() + off; break;
+    default: return pos_type(off_type(-1));
+  }
+  if (target < eback() || target > egptr()) return pos_type(off_type(-1));
+  setg(eback(), target, egptr());
+  return pos_type(target - eback());
+}
+
+ViewStreambuf::pos_type ViewStreambuf::seekpos(pos_type pos,
+                                               std::ios_base::openmode which) {
+  return seekoff(off_type(pos), std::ios_base::beg, which);
+}
+
+}  // namespace cerl

@@ -75,6 +75,20 @@ double Rng::Normal(double mean, double stddev) {
 
 Rng Rng::Split() { return Rng(NextU64()); }
 
+Rng::State Rng::SaveState() const {
+  State s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.has_cached_normal = has_cached_normal_;
+  s.cached_normal = cached_normal_;
+  return s;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 std::vector<int> Rng::Permutation(int n) {
   std::vector<int> p(n);
   for (int i = 0; i < n; ++i) p[i] = i;

@@ -40,6 +40,17 @@ class Rng {
   /// Creates an independent-looking child stream (seeded from this stream).
   Rng Split();
 
+  /// Full generator state, for checkpointing: the four xoshiro256++ words
+  /// plus the cached polar-method variate. Restoring it makes the stream
+  /// continue bit-identically from where SaveState was taken.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
   /// Fisher-Yates shuffle of `v`.
   template <typename T>
   void Shuffle(std::vector<T>* v) {

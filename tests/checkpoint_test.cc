@@ -80,6 +80,105 @@ TEST(CheckpointTest, MemoryContentRoundTrips) {
   EXPECT_EQ(a.t(), b.t());
 }
 
+TEST(CheckpointTest, ResumeContinuesBitIdenticalToUninterruptedRun) {
+  // The checkpoint is the ENTIRE durable state: save -> load -> K more
+  // domains must equal the uninterrupted run bitwise, not approximately.
+  auto splits = SmallStream(4);
+  CerlTrainer uninterrupted(SmallConfig(), 100);
+  CerlTrainer saver(SmallConfig(), 100);
+  for (int d = 0; d < 2; ++d) {
+    uninterrupted.ObserveDomain(splits[d]);
+    saver.ObserveDomain(splits[d]);
+  }
+  const std::string path = ::testing::TempDir() + "/cerl_bitwise.ckpt";
+  ASSERT_TRUE(saver.SaveCheckpoint(path).ok());
+  CerlTrainer resumed(SmallConfig(), 100);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  for (int d = 2; d < 4; ++d) {
+    uninterrupted.ObserveDomain(splits[d]);
+    resumed.ObserveDomain(splits[d]);
+  }
+  const linalg::Vector a = uninterrupted.PredictIte(splits[3].test.x);
+  const linalg::Vector b = resumed.PredictIte(splits[3].test.x);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << "unit " << i;
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(uninterrupted.memory().reps(),
+                                       resumed.memory().reps()),
+            0.0);
+  EXPECT_EQ(uninterrupted.memory().y(), resumed.memory().y());
+}
+
+TEST(CheckpointTest, ResumeBitIdenticalUnderRandomMemorySubsampling) {
+  // The w/o-herding ablation consumes the trainer RNG during memory
+  // reduction — exactly the state the checkpoint's RNG block preserves.
+  CerlConfig config = SmallConfig();
+  config.use_herding = false;
+  config.memory_capacity = 60;  // forces Reduce to subsample every stage
+  auto splits = SmallStream(3, 77);
+  CerlTrainer uninterrupted(config, 100);
+  CerlTrainer saver(config, 100);
+  for (int d = 0; d < 2; ++d) {
+    uninterrupted.ObserveDomain(splits[d]);
+    saver.ObserveDomain(splits[d]);
+  }
+  const std::string path = ::testing::TempDir() + "/cerl_rng.ckpt";
+  ASSERT_TRUE(saver.SaveCheckpoint(path).ok());
+  CerlTrainer resumed(config, 100);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  uninterrupted.ObserveDomain(splits[2]);
+  resumed.ObserveDomain(splits[2]);
+  EXPECT_EQ(linalg::Matrix::MaxAbsDiff(uninterrupted.memory().reps(),
+                                       resumed.memory().reps()),
+            0.0);
+  EXPECT_EQ(uninterrupted.memory().y(), resumed.memory().y());
+  EXPECT_EQ(uninterrupted.memory().t(), resumed.memory().t());
+}
+
+TEST(CheckpointTest, SaveIsAtomicAndLeavesNoTempFile) {
+  auto splits = SmallStream(1);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_atomic.ckpt";
+  {
+    std::ofstream prev(path, std::ios::binary);
+    prev << "previous generation";
+  }
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  CerlTrainer restored(SmallConfig(), 100);
+  EXPECT_TRUE(restored.LoadCheckpoint(path).ok());
+}
+
+TEST(CheckpointTest, FailedLoadLeavesTrainerUntouchedAndUsable) {
+  auto splits = SmallStream(2);
+  CerlTrainer trainer(SmallConfig(), 100);
+  trainer.ObserveDomain(splits[0]);
+  const std::string path = ::testing::TempDir() + "/cerl_partial.ckpt";
+  ASSERT_TRUE(trainer.SaveCheckpoint(path).ok());
+
+  // Corrupt the tail: the header parses but the payload fails (checksum).
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  content[content.size() / 2] ^= 0x20;
+  const std::string bad_path = ::testing::TempDir() + "/cerl_partial_bad.ckpt";
+  {
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+  }
+  CerlTrainer target(SmallConfig(), 100);
+  EXPECT_FALSE(target.LoadCheckpoint(bad_path).ok());
+  EXPECT_EQ(target.stages_seen(), 0);  // no partial mutation
+  EXPECT_TRUE(target.memory().empty());
+  // Still a perfectly good fresh trainer.
+  EXPECT_TRUE(target.LoadCheckpoint(path).ok());
+  EXPECT_EQ(target.stages_seen(), 1);
+}
+
 TEST(CheckpointTest, ResumedTrainerContinuesLearning) {
   auto splits = SmallStream(3);
   CerlTrainer trainer(SmallConfig(), 100);

@@ -7,7 +7,9 @@
 #include <fstream>
 #include <memory>
 #include <numeric>
+#include <sstream>
 
+#include "util/binary_io.h"
 #include "util/csv.h"
 #include "util/distributions.h"
 #include "util/flags.h"
@@ -92,6 +94,78 @@ TEST(RngTest, NormalMoments) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.02);
   EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SaveRestoreStateContinuesBitIdentically) {
+  Rng a(991);
+  for (int i = 0; i < 57; ++i) a.NextU64();
+  a.Normal();  // leaves a cached polar variate half the time
+  const Rng::State state = a.SaveState();
+  Rng b(123);  // unrelated seed; state restore must fully overwrite
+  b.RestoreState(state);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64()) << "draw " << i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.Normal(), b.Normal()) << "normal " << i;
+  }
+}
+
+TEST(BinaryIoTest, Fnv1a64KnownVectors) {
+  // Reference values of the standard 64-bit FNV-1a parameters.
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171F73967E8ull);
+}
+
+TEST(BinaryIoTest, ChecksumRoundTripAndTamperDetection) {
+  std::string payload = "some checkpoint bytes";
+  const std::string original = payload;
+  AppendChecksum(&payload);
+  EXPECT_EQ(payload.size(), original.size() + 8);
+  Result<std::string_view> ok = VerifyChecksum(payload, "test");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), original);
+  // Any flipped bit — payload or checksum — must be detected.
+  for (size_t pos = 0; pos < payload.size(); ++pos) {
+    std::string tampered = payload;
+    tampered[pos] ^= 0x04;
+    EXPECT_FALSE(VerifyChecksum(tampered, "test").ok()) << "pos " << pos;
+  }
+  EXPECT_FALSE(VerifyChecksum("short", "test").ok());
+}
+
+TEST(BinaryIoTest, WriteFileAtomicPublishesAllOrNothing) {
+  const std::string path = ::testing::TempDir() + "/atomic_util.bin";
+  {
+    std::ofstream prev(path, std::ios::binary);
+    prev << "old contents";
+  }
+  ASSERT_TRUE(WriteFileAtomic(path, "new contents").ok());
+  Result<std::string> readback = ReadFileToString(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), "new contents");
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());  // temp removed after publish
+  // Unwritable destination directory fails cleanly.
+  EXPECT_FALSE(WriteFileAtomic("/nonexistent-dir/x.bin", "data").ok());
+}
+
+TEST(BinaryIoTest, BoundedReaderStopsAtBudget) {
+  const std::string bytes = "abcdefgh";
+  std::istringstream in(bytes);
+  BoundedReader r(&in, bytes.size());
+  char buf[4];
+  EXPECT_TRUE(r.ReadRaw(buf, 4, "head").ok());
+  EXPECT_EQ(r.remaining(), 4u);
+  // A length field larger than the remaining payload fails BEFORE reading.
+  EXPECT_FALSE(r.Require(5, "huge field").ok());
+  EXPECT_FALSE(r.ReadRaw(buf, 5, "huge field").ok());
+  EXPECT_EQ(r.remaining(), 4u);  // budget unchanged by the failed read
+  EXPECT_TRUE(r.ReadRaw(buf, 4, "tail").ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  uint8_t b = 0;
+  EXPECT_FALSE(r.ReadPod(&b, "past end").ok());
 }
 
 TEST(RngTest, PermutationIsAPermutation) {

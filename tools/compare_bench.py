@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh google-benchmark JSON run against
+the committed baseline and fail on slowdowns.
+
+Usage:
+  tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25]
+
+Rules:
+  - benchmarks present in BOTH files are compared by real_time (after
+    normalizing to nanoseconds);
+  - any benchmark slower than threshold x baseline fails the gate;
+  - benchmarks only in one file are reported but never fail the gate (new
+    benches land before their baseline regenerates; retired ones linger in
+    old baselines);
+  - exit code 0 = pass, 1 = regression, 2 = usage/parse error.
+
+CI runners are noisy; the default 25% threshold is deliberately loose — it
+catches "accidentally quadratic", not micro-jitter.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # compare raw iterations, not mean/median/stddev rows
+        unit = TIME_UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            print(f"error: unknown time unit in {path}: {bench}",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[bench["name"]] = float(bench["real_time"]) * unit
+    if not out:
+        print(f"error: no benchmarks found in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when current > threshold * baseline "
+                             "(default 1.25 = 25%% slowdown)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    regressions = []
+    print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} "
+          f"{'ratio':>7s}")
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        flag = ""
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+            flag = "  << REGRESSION"
+        elif ratio < 1.0 / args.threshold:
+            flag = "  (faster)"
+        print(f"{name:44s} {baseline[name]:10.0f}ns {current[name]:10.0f}ns "
+              f"{ratio:6.2f}x{flag}")
+
+    for name in only_current:
+        print(f"{name:44s} {'--':>12s} {current[name]:10.0f}ns    new")
+    for name in only_baseline:
+        print(f"{name:44s} {baseline[name]:10.0f}ns {'--':>12s}    retired")
+
+    print(f"\ncompared {len(shared)} benchmarks "
+          f"({len(only_current)} new, {len(only_baseline)} retired), "
+          f"threshold {args.threshold:.2f}x")
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s) over "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x slower", file=sys.stderr)
+        sys.exit(1)
+    print("PASS: no benchmark regressed past the threshold")
+
+
+if __name__ == "__main__":
+    main()
