@@ -14,8 +14,10 @@
 #include "corrgen/hub_correlation.h"
 #include "linalg/gemm.h"
 #include "linalg/ops.h"
+#include "linalg/simd.h"
 #include "nn/mlp.h"
 #include "nn/optim.h"
+#include "ot/fused_micro_solver.h"
 #include "ot/ipm.h"
 #include "ot/sinkhorn.h"
 #include "stats/mvn.h"
@@ -167,6 +169,75 @@ void BM_MatVec(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n);
 }
 BENCHMARK(BM_MatVec)->Arg(256)->Arg(1024);
+
+// The dispatched batch exponential — the dominant op of every cold Gibbs
+// kernel build. The label records which kernel table ran (scalar / avx2).
+void BM_VecExp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(14);
+  std::vector<double> in(n), out(n);
+  for (double& x : in) x = rng.Uniform(-20.0, 0.0);
+  for (auto _ : state) {
+    linalg::VecExp(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(linalg::simd::Kernels().name);
+}
+BENCHMARK(BM_VecExp)->Arg(256)->Arg(4096)->Arg(65536);
+
+// N micro Sinkhorn solves (well below min_parallel_elements), the
+// per-stream Wasserstein-penalty workload at high stream counts.
+// Arg(1) = 1: stacked through the fused micro-solver (groups of 4 lanes,
+// one batched VecExp / lane4_dot sweep). Arg(1) = 0: sequential solo
+// solves. Warm starts are dropped every iteration so both sides run full
+// cold solves; results are bit-identical by the fused solver's contract.
+void BM_FusedMicroSolve(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  Rng rng(15);
+  std::vector<linalg::Matrix> costs;
+  for (int i = 0; i < count; ++i) {
+    // Uniform(0, 1) costs keep every solve well-conditioned, isolating the
+    // fused-sweep speedup: a degenerate problem ejects to the identical
+    // solo cascade and costs the same on both sides, only adding noise.
+    linalg::Matrix cost(12, 8);
+    for (int64_t e = 0; e < cost.size(); ++e) {
+      cost.data()[e] = rng.Uniform(0.0, 1.0);
+    }
+    costs.push_back(std::move(cost));
+  }
+  ot::SinkhornConfig config;
+  std::vector<ot::SinkhornWorkspace> ws(count);
+  std::vector<const linalg::Matrix*> cost_ptrs;
+  std::vector<ot::SinkhornConfig> configs(count, config);
+  std::vector<ot::SinkhornWorkspace*> ws_ptrs;
+  for (int i = 0; i < count; ++i) {
+    cost_ptrs.push_back(&costs[i]);
+    ws_ptrs.push_back(&ws[i]);
+  }
+  for (auto _ : state) {
+    for (auto& w : ws) w.DropWarmStart();
+    if (fused) {
+      auto results = ot::SolveSinkhornMicroBatch(cost_ptrs, configs, ws_ptrs);
+      benchmark::DoNotOptimize(results.data());
+    } else {
+      for (int i = 0; i < count; ++i) {
+        auto info = ot::SolveSinkhorn(costs[i], config, &ws[i]);
+        benchmark::DoNotOptimize(info);
+      }
+    }
+  }
+  state.SetLabel(fused ? "fused" : "sequential");
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_FusedMicroSolve)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
 
 // Cold-start Sinkhorn solves. Arg(1): the workspace solver (arena buffers,
 // parallel kernels, vectorized exp; warm start disabled so every solve runs

@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "linalg/gemm.h"
+#include "linalg/simd.h"
 
 namespace cerl::autodiff {
 namespace {
@@ -63,19 +64,14 @@ void SubBackward(Tape* t, int self, const Ctx& ctx) {
 
 void MulBackward(Tape* t, int self, const Ctx& ctx) {
   const Matrix& g = t->GradRef(self);
+  const auto& ks = linalg::simd::Kernels();
   if (t->RequiresGrad(ctx.a)) {
-    Matrix& ga = t->GradRef(ctx.a);
-    const Matrix& bv = t->ValueOf(ctx.b);
-    for (int64_t i = 0; i < g.size(); ++i) {
-      ga.data()[i] += g.data()[i] * bv.data()[i];
-    }
+    ks.vec_mul_accum(g.data(), t->ValueOf(ctx.b).data(),
+                     t->GradRef(ctx.a).data(), g.size());
   }
   if (t->RequiresGrad(ctx.b)) {
-    Matrix& gb = t->GradRef(ctx.b);
-    const Matrix& av = t->ValueOf(ctx.a);
-    for (int64_t i = 0; i < g.size(); ++i) {
-      gb.data()[i] += g.data()[i] * av.data()[i];
-    }
+    ks.vec_mul_accum(g.data(), t->ValueOf(ctx.a).data(),
+                     t->GradRef(ctx.b).data(), g.size());
   }
 }
 
@@ -84,9 +80,9 @@ void AddRowBroadcastBackward(Tape* t, int self, const Ctx& ctx) {
   if (t->RequiresGrad(ctx.a)) t->GradRef(ctx.a).Add(g);
   if (t->RequiresGrad(ctx.b)) {
     Matrix& gb = t->GradRef(ctx.b);
+    const auto& ks = linalg::simd::Kernels();
     for (int r = 0; r < g.rows(); ++r) {
-      const double* row = g.row(r);
-      for (int c = 0; c < g.cols(); ++c) gb(0, c) += row[c];
+      ks.vec_accum(g.row(r), gb.row(0), g.cols());
     }
   }
 }
@@ -97,11 +93,9 @@ void MulColBroadcastBackward(Tape* t, int self, const Ctx& ctx) {
   const Matrix& sv = t->ValueOf(ctx.b);
   if (t->RequiresGrad(ctx.a)) {
     Matrix& ga = t->GradRef(ctx.a);
+    const auto& ks = linalg::simd::Kernels();
     for (int r = 0; r < g.rows(); ++r) {
-      const double k = sv(r, 0);
-      const double* grow = g.row(r);
-      double* garow = ga.row(r);
-      for (int c = 0; c < g.cols(); ++c) garow[c] += grow[c] * k;
+      ks.vec_axpy(sv(r, 0), g.row(r), ga.row(r), g.cols());
     }
   }
   if (t->RequiresGrad(ctx.b)) {
@@ -126,20 +120,24 @@ void ScalarAddBackward(Tape* t, int self, const Ctx& ctx) {
   t->GradRef(ctx.a).Add(t->GradRef(self));
 }
 
-// Elementwise unary ops are instantiated per (forward, derivative) pair so
-// both functions inline into the loops — a per-element indirect call costs
-// more than the arithmetic for cheap activations like ReLU.
-template <double (*Fwd)(double), double (*Dfdx)(double, double)>
+// Elementwise unary ops are instantiated per forward function so it
+// inlines into the loop. The derivative formulas live in the SIMD kernel
+// layer (linalg::simd::EwGrad documents each expression), selected here by
+// tag: the backward pass `ga += g * dfdx(x, y)` runs through the dispatched
+// ew_backward kernel, which is plain elementwise arithmetic and therefore
+// bitwise identical between the scalar and AVX2 tables.
+// kFwdTag selects the dispatched ew_forward kernel for ops whose forward
+// is plain arithmetic or IEEE-exact (relu/reciprocal/sqrt/square/abs);
+// transcendental forwards pass -1 and keep the scalar libm loop, since a
+// vectorized approximation would change their bits.
+template <double (*Fwd)(double), linalg::simd::EwGrad kGrad, int kFwdTag = -1>
 struct EwOp {
   static void Backward(Tape* t, int self, const Ctx& ctx) {
     if (!t->RequiresGrad(ctx.a)) return;
     const Matrix& g = t->GradRef(self);
-    const Matrix& x = t->ValueOf(ctx.a);
-    const Matrix& y = t->ValueOf(self);
-    Matrix& ga = t->GradRef(ctx.a);
-    for (int64_t i = 0; i < g.size(); ++i) {
-      ga.data()[i] += g.data()[i] * Dfdx(x.data()[i], y.data()[i]);
-    }
+    linalg::simd::Kernels().ew_backward(
+        static_cast<int>(kGrad), g.data(), t->ValueOf(ctx.a).data(),
+        t->ValueOf(self).data(), t->GradRef(ctx.a).data(), g.size());
   }
 
   static Var Apply(Var a) {
@@ -149,8 +147,13 @@ struct EwOp {
     Matrix* out = nullptr;
     Var v = tape->NewNode(a.rows(), a.cols(), &Backward, ctx, &out);
     const Matrix& av = tape->ValueOf(ctx.a);
-    for (int64_t i = 0; i < av.size(); ++i) {
-      out->data()[i] = Fwd(av.data()[i]);
+    if constexpr (kFwdTag >= 0) {
+      linalg::simd::Kernels().ew_forward(kFwdTag, av.data(), out->data(),
+                                         av.size());
+    } else {
+      for (int64_t i = 0; i < av.size(); ++i) {
+        out->data()[i] = Fwd(av.data()[i]);
+      }
     }
     return v;
   }
@@ -160,17 +163,16 @@ void SumBackward(Tape* t, int self, const Ctx& ctx) {
   if (!t->RequiresGrad(ctx.a)) return;
   const double g = t->GradRef(self)(0, 0);
   Matrix& ga = t->GradRef(ctx.a);
-  for (int64_t i = 0; i < ga.size(); ++i) ga.data()[i] += g;
+  linalg::simd::Kernels().vec_add_scalar(g, ga.data(), ga.size());
 }
 
 void RowSumBackward(Tape* t, int self, const Ctx& ctx) {
   if (!t->RequiresGrad(ctx.a)) return;
   const Matrix& g = t->GradRef(self);
   Matrix& ga = t->GradRef(ctx.a);
+  const auto& ks = linalg::simd::Kernels();
   for (int r = 0; r < ga.rows(); ++r) {
-    const double k = g(r, 0);
-    double* row = ga.row(r);
-    for (int c = 0; c < ga.cols(); ++c) row[c] += k;
+    ks.vec_add_scalar(g(r, 0), ga.row(r), ga.cols());
   }
 }
 
@@ -178,9 +180,9 @@ void ColSumBackward(Tape* t, int self, const Ctx& ctx) {
   if (!t->RequiresGrad(ctx.a)) return;
   const Matrix& g = t->GradRef(self);
   Matrix& ga = t->GradRef(ctx.a);
+  const auto& ks = linalg::simd::Kernels();
   for (int r = 0; r < ga.rows(); ++r) {
-    double* row = ga.row(r);
-    for (int c = 0; c < ga.cols(); ++c) row[c] += g(0, c);
+    ks.vec_accum(g.row(0), ga.row(r), ga.cols());
   }
 }
 
@@ -197,21 +199,15 @@ void TransposeBackward(Tape* t, int self, const Ctx& ctx) {
 void ConcatRowsBackward(Tape* t, int self, const Ctx& ctx) {
   const Matrix& g = t->GradRef(self);
   const int a_rows = ctx.aux;
+  const auto& ks = linalg::simd::Kernels();
   if (t->RequiresGrad(ctx.a)) {
+    // The first a_rows rows of g and all of ga are contiguous blocks.
     Matrix& ga = t->GradRef(ctx.a);
-    for (int r = 0; r < ga.rows(); ++r) {
-      const double* src = g.row(r);
-      double* dst = ga.row(r);
-      for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
-    }
+    ks.vec_accum(g.row(0), ga.data(), ga.size());
   }
   if (t->RequiresGrad(ctx.b)) {
     Matrix& gb = t->GradRef(ctx.b);
-    for (int r = 0; r < gb.rows(); ++r) {
-      const double* src = g.row(a_rows + r);
-      double* dst = gb.row(r);
-      for (int c = 0; c < gb.cols(); ++c) dst[c] += src[c];
-    }
+    ks.vec_accum(g.row(a_rows), gb.data(), gb.size());
   }
 }
 
@@ -220,37 +216,24 @@ void GatherRowsBackward(Tape* t, int self, const Ctx& ctx) {
   const Matrix& g = t->GradRef(self);
   Matrix& ga = t->GradRef(ctx.a);
   const int* index = t->Indices(ctx.aux);
+  const auto& ks = linalg::simd::Kernels();
   for (int i = 0; i < ctx.aux2; ++i) {
-    const double* src = g.row(i);
-    double* dst = ga.row(index[i]);
-    for (int c = 0; c < ga.cols(); ++c) dst[c] += src[c];
+    ks.vec_accum(g.row(i), ga.row(index[i]), ga.cols());
   }
 }
 
-// The (forward, derivative) pairs. Derivatives may be written in terms of
-// the input x and/or the output y.
+// The forward functions. Each op's derivative formula is the matching
+// linalg::simd::EwGrad entry (see simd.h); keep the two in sync.
 double ReciprocalFwd(double x) { return 1.0 / x; }
-double ReciprocalDx(double, double y) { return -y * y; }
 double ReluFwd(double x) { return x > 0.0 ? x : 0.0; }
-double ReluDx(double x, double) { return x > 0.0 ? 1.0 : 0.0; }
 double EluFwd(double x) { return x > 0.0 ? x : std::expm1(x); }
-double EluDx(double x, double y) { return x > 0.0 ? 1.0 : y + 1.0; }
 double TanhFwd(double x) { return std::tanh(x); }
-double TanhDx(double, double y) { return 1.0 - y * y; }
 double SigmoidFwd(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-double SigmoidDx(double, double y) { return y * (1.0 - y); }
 double ExpFwd(double x) { return std::exp(x); }
-double ExpDx(double, double y) { return y; }
 double LogFwd(double x) { return std::log(x); }
-double LogDx(double x, double) { return 1.0 / x; }
 double SqrtFwd(double x) { return std::sqrt(x); }
-double SqrtDx(double, double y) { return y > 0.0 ? 0.5 / y : 0.0; }
 double SquareFwd(double x) { return x * x; }
-double SquareDx(double x, double) { return 2.0 * x; }
 double AbsFwd(double x) { return std::fabs(x); }
-double AbsDx(double x, double) {
-  return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0);
-}
 
 }  // namespace
 
@@ -290,9 +273,8 @@ Var Add(Var a, Var b) {
   Var v = tape->NewNode(a.rows(), a.cols(), &AddBackward, ctx, &out);
   const Matrix& av = tape->ValueOf(ctx.a);
   const Matrix& bv = tape->ValueOf(ctx.b);
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out->data()[i] = av.data()[i] + bv.data()[i];
-  }
+  linalg::simd::Kernels().vec_add(av.data(), bv.data(), out->data(),
+                                  av.size());
   return v;
 }
 
@@ -306,9 +288,8 @@ Var Sub(Var a, Var b) {
   Var v = tape->NewNode(a.rows(), a.cols(), &SubBackward, ctx, &out);
   const Matrix& av = tape->ValueOf(ctx.a);
   const Matrix& bv = tape->ValueOf(ctx.b);
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out->data()[i] = av.data()[i] - bv.data()[i];
-  }
+  linalg::simd::Kernels().vec_sub(av.data(), bv.data(), out->data(),
+                                  av.size());
   return v;
 }
 
@@ -322,9 +303,8 @@ Var Mul(Var a, Var b) {
   Var v = tape->NewNode(a.rows(), a.cols(), &MulBackward, ctx, &out);
   const Matrix& av = tape->ValueOf(ctx.a);
   const Matrix& bv = tape->ValueOf(ctx.b);
-  for (int64_t i = 0; i < av.size(); ++i) {
-    out->data()[i] = av.data()[i] * bv.data()[i];
-  }
+  linalg::simd::Kernels().vec_mul(av.data(), bv.data(), out->data(),
+                                  av.size());
   return v;
 }
 
@@ -340,11 +320,8 @@ Var AddRowBroadcast(Var a, Var bias) {
                         &out);
   const Matrix& av = tape->ValueOf(ctx.a);
   const Matrix& bv = tape->ValueOf(ctx.b);
-  for (int r = 0; r < av.rows(); ++r) {
-    const double* src = av.row(r);
-    double* dst = out->row(r);
-    for (int c = 0; c < av.cols(); ++c) dst[c] = src[c] + bv(0, c);
-  }
+  linalg::simd::Kernels().add_row_broadcast(av.data(), bv.data(), av.rows(),
+                                            av.cols(), out->data());
   return v;
 }
 
@@ -360,12 +337,8 @@ Var MulColBroadcast(Var a, Var s) {
                         &out);
   const Matrix& av = tape->ValueOf(ctx.a);
   const Matrix& sv = tape->ValueOf(ctx.b);
-  for (int r = 0; r < av.rows(); ++r) {
-    const double k = sv(r, 0);
-    const double* src = av.row(r);
-    double* dst = out->row(r);
-    for (int c = 0; c < av.cols(); ++c) dst[c] = src[c] * k;
-  }
+  linalg::simd::Kernels().mul_col_broadcast(av.data(), sv.data(), av.rows(),
+                                            av.cols(), out->data());
   return v;
 }
 
@@ -377,7 +350,7 @@ Var ScalarMul(Var a, double k) {
   Matrix* out = nullptr;
   Var v = tape->NewNode(a.rows(), a.cols(), &ScalarMulBackward, ctx, &out);
   const Matrix& av = tape->ValueOf(ctx.a);
-  for (int64_t i = 0; i < av.size(); ++i) out->data()[i] = k * av.data()[i];
+  linalg::simd::Kernels().vec_scale(k, av.data(), out->data(), av.size());
   return v;
 }
 
@@ -393,25 +366,30 @@ Var ScalarAdd(Var a, double k) {
   return v;
 }
 
-Var Reciprocal(Var a) { return EwOp<&ReciprocalFwd, &ReciprocalDx>::Apply(a); }
+Var Reciprocal(Var a) { return EwOp<&ReciprocalFwd, linalg::simd::EwGrad::kReciprocal,
+                 static_cast<int>(linalg::simd::EwFwd::kReciprocal)>::Apply(a); }
 
-Var Relu(Var a) { return EwOp<&ReluFwd, &ReluDx>::Apply(a); }
+Var Relu(Var a) { return EwOp<&ReluFwd, linalg::simd::EwGrad::kRelu,
+                 static_cast<int>(linalg::simd::EwFwd::kRelu)>::Apply(a); }
 
-Var Elu(Var a) { return EwOp<&EluFwd, &EluDx>::Apply(a); }
+Var Elu(Var a) { return EwOp<&EluFwd, linalg::simd::EwGrad::kElu>::Apply(a); }
 
-Var Tanh(Var a) { return EwOp<&TanhFwd, &TanhDx>::Apply(a); }
+Var Tanh(Var a) { return EwOp<&TanhFwd, linalg::simd::EwGrad::kTanh>::Apply(a); }
 
-Var Sigmoid(Var a) { return EwOp<&SigmoidFwd, &SigmoidDx>::Apply(a); }
+Var Sigmoid(Var a) { return EwOp<&SigmoidFwd, linalg::simd::EwGrad::kSigmoid>::Apply(a); }
 
-Var Exp(Var a) { return EwOp<&ExpFwd, &ExpDx>::Apply(a); }
+Var Exp(Var a) { return EwOp<&ExpFwd, linalg::simd::EwGrad::kExp>::Apply(a); }
 
-Var Log(Var a) { return EwOp<&LogFwd, &LogDx>::Apply(a); }
+Var Log(Var a) { return EwOp<&LogFwd, linalg::simd::EwGrad::kLog>::Apply(a); }
 
-Var Sqrt(Var a) { return EwOp<&SqrtFwd, &SqrtDx>::Apply(a); }
+Var Sqrt(Var a) { return EwOp<&SqrtFwd, linalg::simd::EwGrad::kSqrt,
+                 static_cast<int>(linalg::simd::EwFwd::kSqrt)>::Apply(a); }
 
-Var Square(Var a) { return EwOp<&SquareFwd, &SquareDx>::Apply(a); }
+Var Square(Var a) { return EwOp<&SquareFwd, linalg::simd::EwGrad::kSquare,
+                 static_cast<int>(linalg::simd::EwFwd::kSquare)>::Apply(a); }
 
-Var Abs(Var a) { return EwOp<&AbsFwd, &AbsDx>::Apply(a); }
+Var Abs(Var a) { return EwOp<&AbsFwd, linalg::simd::EwGrad::kAbs,
+                 static_cast<int>(linalg::simd::EwFwd::kAbs)>::Apply(a); }
 
 Var Sum(Var a) {
   Tape* tape = a.tape();

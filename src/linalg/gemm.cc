@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "linalg/simd.h"
 #include "util/thread_pool.h"
 
 namespace cerl::linalg {
@@ -86,69 +87,22 @@ void GemmRows(Trans trans_a, Trans trans_b, double alpha, const Matrix& a,
           PackA(trans_a, a, m0, m1, k0, k1, pack_a.data());
           apanel = pack_a.data();
         }
-        // Register-blocked microkernel: two C rows share each pack_b load
-        // and k is unrolled by 4, so the inner loop performs 16 flops per
-        // 8 memory operations (vs 8 per 6 for a single-row kernel) — the
-        // kernel was load-bound, not flop-bound. Everything stays
-        // contiguous in pack_b and crow, so it vectorizes.
+        // Register-blocked microkernel (dispatched, see linalg/simd.h):
+        // two C rows share each pack_b load and k is unrolled by 4, so the
+        // inner loop performs 16 flops per 8 memory operations (vs 8 per 6
+        // for a single-row kernel) — the kernel was load-bound, not
+        // flop-bound. Everything stays contiguous in pack_b and crow.
+        const auto& ks = simd::Kernels();
         int i = m0;
         for (; i + 2 <= m1; i += 2) {
           const double* arow0 =
               apanel + static_cast<size_t>(i - m0) * kw;
-          const double* arow1 = arow0 + kw;
-          double* crow0 = c->row(i) + n0;
-          double* crow1 = c->row(i + 1) + n0;
-          int k = 0;
-          for (; k + 4 <= kw; k += 4) {
-            const double a00 = alpha * arow0[k];
-            const double a01 = alpha * arow0[k + 1];
-            const double a02 = alpha * arow0[k + 2];
-            const double a03 = alpha * arow0[k + 3];
-            const double a10 = alpha * arow1[k];
-            const double a11 = alpha * arow1[k + 1];
-            const double a12 = alpha * arow1[k + 2];
-            const double a13 = alpha * arow1[k + 3];
-            const double* b0 = bpanel + static_cast<size_t>(k) * nw;
-            const double* b1 = b0 + nw;
-            const double* b2 = b1 + nw;
-            const double* b3 = b2 + nw;
-            for (int n = 0; n < nw; ++n) {
-              crow0[n] += a00 * b0[n] + a01 * b1[n] + a02 * b2[n] + a03 * b3[n];
-              crow1[n] += a10 * b0[n] + a11 * b1[n] + a12 * b2[n] + a13 * b3[n];
-            }
-          }
-          for (; k < kw; ++k) {
-            const double a0k = alpha * arow0[k];
-            const double a1k = alpha * arow1[k];
-            const double* brow = bpanel + static_cast<size_t>(k) * nw;
-            for (int n = 0; n < nw; ++n) {
-              crow0[n] += a0k * brow[n];
-              crow1[n] += a1k * brow[n];
-            }
-          }
+          ks.gemm_row2(alpha, arow0, arow0 + kw, bpanel, kw, nw,
+                       c->row(i) + n0, c->row(i + 1) + n0);
         }
         for (; i < m1; ++i) {
-          const double* arow = apanel + static_cast<size_t>(i - m0) * kw;
-          double* crow = c->row(i) + n0;
-          int k = 0;
-          for (; k + 4 <= kw; k += 4) {
-            const double a0 = alpha * arow[k];
-            const double a1 = alpha * arow[k + 1];
-            const double a2 = alpha * arow[k + 2];
-            const double a3 = alpha * arow[k + 3];
-            const double* b0 = bpanel + static_cast<size_t>(k) * nw;
-            const double* b1 = b0 + nw;
-            const double* b2 = b1 + nw;
-            const double* b3 = b2 + nw;
-            for (int n = 0; n < nw; ++n) {
-              crow[n] += a0 * b0[n] + a1 * b1[n] + a2 * b2[n] + a3 * b3[n];
-            }
-          }
-          for (; k < kw; ++k) {
-            const double ak = alpha * arow[k];
-            const double* brow = bpanel + static_cast<size_t>(k) * nw;
-            for (int n = 0; n < nw; ++n) crow[n] += ak * brow[n];
-          }
+          ks.gemm_row1(alpha, apanel + static_cast<size_t>(i - m0) * kw,
+                       bpanel, kw, nw, c->row(i) + n0);
         }
       }
     }
@@ -215,24 +169,15 @@ void MatVecInto(const Matrix& a, const Vector& x, Vector* y, int64_t grain) {
   double* yd = y->data();
   const double* xd = x.data();
   // Row panels are independent, so the parallel split is deterministic; the
-  // four running sums per row expose ILP the single-accumulator loop lacked.
+  // row_dot kernel's four fixed-order accumulators make the result
+  // identical for any split.
   if (grain < 0) grain = std::max<int64_t>(8, (1 << 16) / (cols + 1));
+  const auto& ks = simd::Kernels();
   ParallelFor(
       0, a.rows(),
       [&](int64_t lo, int64_t hi) {
-        for (int64_t r = lo; r < hi; ++r) {
-          const double* row = a.row(static_cast<int>(r));
-          double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-          int c = 0;
-          for (; c + 4 <= cols; c += 4) {
-            s0 += row[c] * xd[c];
-            s1 += row[c + 1] * xd[c + 1];
-            s2 += row[c + 2] * xd[c + 2];
-            s3 += row[c + 3] * xd[c + 3];
-          }
-          for (; c < cols; ++c) s0 += row[c] * xd[c];
-          yd[r] = (s0 + s1) + (s2 + s3);
-        }
+        ks.mat_vec(a.row(static_cast<int>(lo)), cols, xd,
+                   static_cast<int>(hi - lo), cols, yd + lo);
       },
       grain);
 }

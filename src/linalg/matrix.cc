@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "linalg/simd.h"
+
 #include "util/thread_pool.h"
 
 namespace cerl::linalg {
@@ -99,22 +101,23 @@ void Matrix::GatherRowsInto(const int* indices, int n, Matrix* out) const {
 }
 
 void Matrix::Scale(double s) {
-  for (double& v : data_) v *= s;
+  simd::Kernels().vec_scale(s, data_.data(), data_.data(), size());
 }
 
 void Matrix::Add(const Matrix& other) {
   CERL_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  simd::Kernels().vec_accum(other.data_.data(), data_.data(), size());
 }
 
 void Matrix::Sub(const Matrix& other) {
   CERL_CHECK(SameShape(other));
-  for (int64_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  simd::Kernels().vec_sub(data_.data(), other.data_.data(), data_.data(),
+                          size());
 }
 
 void Matrix::Axpy(double alpha, const Matrix& x) {
   CERL_CHECK(SameShape(x));
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * x.data_[i];
+  simd::Kernels().vec_axpy(alpha, x.data_.data(), data_.data(), size());
 }
 
 void Matrix::CopyFrom(const Matrix& other) {

@@ -2,55 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 
 #include "linalg/gemm.h"
+#include "linalg/simd.h"
 
 namespace cerl::linalg {
 
 void VecExp(const double* in, double* out, int n) {
-  // exp(x) = 2^k * exp(r) with r = x - k*ln2 (|r| <= ln2/2). k is extracted
-  // with the round-to-nearest shifter trick (adding 1.5 * 2^52 places the
-  // integer in the low mantissa bits), exp(r) is a degree-11 Taylor
-  // polynomial in Estrin form (max relative error ~9e-15 on the reduced
-  // range; the even/odd split shortens the 11-FMA Horner dependency chain
-  // to ~7 steps), and the 2^k scale is assembled directly in the exponent
-  // field. Every step is add/mul/compare-select/integer bit work on
-  // independent lanes, so gcc vectorizes the loop at -O3 even at the SSE2
-  // baseline (no roundpd/cvttpd needed). The clamp ternaries only become
-  // branch-free selects under -fno-trapping-math, set for this file in
-  // src/CMakeLists.txt — without it the loop stays scalar (correct, ~1.7x
-  // slower).
-  constexpr double kLog2e = 1.4426950408889634074;
-  constexpr double kLn2Hi = 6.93147180369123816490e-01;
-  constexpr double kLn2Lo = 1.90821492927058770002e-10;
-  constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
-  int64_t shift_bits;
-  std::memcpy(&shift_bits, &kShift, sizeof(shift_bits));
-  for (int i = 0; i < n; ++i) {
-    double x = in[i];
-    x = x > 708.0 ? 708.0 : x;
-    x = x < -708.0 ? -708.0 : x;
-    const double t = x * kLog2e + kShift;  // nearest integer, in-mantissa
-    const double kd = t - kShift;
-    const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
-    const double r2 = r * r;
-    const double r4 = r2 * r2;
-    const double r6 = r4 * r2;
-    const double lo = (1.0 + r) + r2 * (0.5 + r * (1.0 / 6.0)) +
-                      r4 * (1.0 / 24.0 + r * (1.0 / 120.0));
-    const double hi = (1.0 / 720.0 + r * (1.0 / 5040.0)) +
-                      r2 * (1.0 / 40320.0 + r * (1.0 / 362880.0)) +
-                      r4 * (1.0 / 3628800.0 + r * (1.0 / 39916800.0));
-    const double p = lo + r6 * hi;
-    int64_t t_bits;
-    std::memcpy(&t_bits, &t, sizeof(t_bits));
-    const int64_t k = t_bits - shift_bits;  // shared exponent => exact
-    const int64_t scale_bits = (k + 1023) << 52;
-    double scale;
-    std::memcpy(&scale, &scale_bits, sizeof(scale));
-    out[i] = p * scale;
-  }
+  simd::Kernels().vec_exp(in, out, n);
 }
 
 Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {

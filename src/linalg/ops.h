@@ -11,9 +11,14 @@ namespace cerl::linalg {
 Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b);
 
 /// Writes exp(in[i]) into out[i] for i in [0, n); in == out aliasing is
-/// allowed. Branch-free Cody-Waite range reduction plus a degree-11
-/// polynomial, so the loop auto-vectorizes at -O3 (libm exp calls do not).
-/// Accuracy is ~1e-14 relative to std::exp. Arguments are clamped to
+/// ALLOWED and part of the contract — element i is read before it is
+/// written and no element is revisited, in every kernel implementation
+/// (the Sinkhorn kernel build exponentiates its matrix in place through
+/// this entry point). Partial overlap other than in == out is not.
+/// Dispatches to the runtime-selected kernel set (linalg/simd.h): scalar
+/// and AVX2/FMA share the same branch-free Cody-Waite range reduction plus
+/// degree-11 polynomial. Accuracy is ~1e-14 relative to std::exp; scalar
+/// vs AVX2 results differ by FMA rounding only. Arguments are clamped to
 /// [-708, 708]: below that the result saturates near DBL_MIN instead of
 /// flushing through subnormals to zero (callers treating <= 1e-300 as
 /// underflow, like the Sinkhorn scaling solver, see identical behaviour).

@@ -1,0 +1,448 @@
+// Scalar kernel table and one-time dispatch resolution. The scalar bodies
+// are the former inline loops of ops.cc / gemm.cc / optim.cc moved here
+// verbatim: they define the reference arithmetic (order and operation
+// shape) that the AVX2 table either matches bitwise (vec_exp tail handling,
+// lane4_dot) or tracks within documented FMA rounding (row_dot, gemm,
+// adam). This file stays at the SSE2 baseline so the compiler cannot
+// contract multiply-adds — the scalar table is FMA-free by construction.
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace cerl::linalg::simd {
+
+#if defined(CERL_HAVE_AVX2_KERNELS)
+// Defined in simd_avx2.cc (the only TU compiled with -mavx2 -mfma).
+const KernelSet* Avx2KernelSet();
+#endif
+
+namespace {
+
+void VecExpScalar(const double* in, double* out, int n) {
+  // exp(x) = 2^k * exp(r) with r = x - k*ln2 (|r| <= ln2/2). k is extracted
+  // with the round-to-nearest shifter trick (adding 1.5 * 2^52 places the
+  // integer in the low mantissa bits), exp(r) is a degree-11 Taylor
+  // polynomial in Estrin form (max relative error ~9e-15 on the reduced
+  // range; the even/odd split shortens the 11-FMA Horner dependency chain
+  // to ~7 steps), and the 2^k scale is assembled directly in the exponent
+  // field. Every step is add/mul/compare-select/integer bit work on
+  // independent lanes, so gcc vectorizes the loop at -O3 even at the SSE2
+  // baseline (no roundpd/cvttpd needed). The clamp ternaries only become
+  // branch-free selects under -fno-trapping-math, set for this file in
+  // src/CMakeLists.txt — without it the loop stays scalar (correct, ~1.7x
+  // slower).
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  constexpr double kShift = 6755399441055744.0;  // 1.5 * 2^52
+  int64_t shift_bits;
+  std::memcpy(&shift_bits, &kShift, sizeof(shift_bits));
+  for (int i = 0; i < n; ++i) {
+    double x = in[i];
+    x = x > 708.0 ? 708.0 : x;
+    x = x < -708.0 ? -708.0 : x;
+    const double t = x * kLog2e + kShift;  // nearest integer, in-mantissa
+    const double kd = t - kShift;
+    const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+    const double r2 = r * r;
+    const double r4 = r2 * r2;
+    const double r6 = r4 * r2;
+    const double lo = (1.0 + r) + r2 * (0.5 + r * (1.0 / 6.0)) +
+                      r4 * (1.0 / 24.0 + r * (1.0 / 120.0));
+    const double hi = (1.0 / 720.0 + r * (1.0 / 5040.0)) +
+                      r2 * (1.0 / 40320.0 + r * (1.0 / 362880.0)) +
+                      r4 * (1.0 / 3628800.0 + r * (1.0 / 39916800.0));
+    const double p = lo + r6 * hi;
+    int64_t t_bits;
+    std::memcpy(&t_bits, &t, sizeof(t_bits));
+    const int64_t k = t_bits - shift_bits;  // shared exponent => exact
+    const int64_t scale_bits = (k + 1023) << 52;
+    double scale;
+    std::memcpy(&scale, &scale_bits, sizeof(scale));
+    out[i] = p * scale;
+  }
+}
+
+double RowDotScalar(const double* row, const double* x, int n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  int c = 0;
+  for (; c + 4 <= n; c += 4) {
+    s0 += row[c] * x[c];
+    s1 += row[c + 1] * x[c + 1];
+    s2 += row[c + 2] * x[c + 2];
+    s3 += row[c + 3] * x[c + 3];
+  }
+  for (; c < n; ++c) s0 += row[c] * x[c];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void GemmRow2Scalar(double alpha, const double* arow0, const double* arow1,
+                    const double* bpanel, int kw, int nw, double* crow0,
+                    double* crow1) {
+  int k = 0;
+  for (; k + 4 <= kw; k += 4) {
+    const double a00 = alpha * arow0[k];
+    const double a01 = alpha * arow0[k + 1];
+    const double a02 = alpha * arow0[k + 2];
+    const double a03 = alpha * arow0[k + 3];
+    const double a10 = alpha * arow1[k];
+    const double a11 = alpha * arow1[k + 1];
+    const double a12 = alpha * arow1[k + 2];
+    const double a13 = alpha * arow1[k + 3];
+    const double* b0 = bpanel + static_cast<size_t>(k) * nw;
+    const double* b1 = b0 + nw;
+    const double* b2 = b1 + nw;
+    const double* b3 = b2 + nw;
+    for (int n = 0; n < nw; ++n) {
+      crow0[n] += a00 * b0[n] + a01 * b1[n] + a02 * b2[n] + a03 * b3[n];
+      crow1[n] += a10 * b0[n] + a11 * b1[n] + a12 * b2[n] + a13 * b3[n];
+    }
+  }
+  for (; k < kw; ++k) {
+    const double a0k = alpha * arow0[k];
+    const double a1k = alpha * arow1[k];
+    const double* brow = bpanel + static_cast<size_t>(k) * nw;
+    for (int n = 0; n < nw; ++n) {
+      crow0[n] += a0k * brow[n];
+      crow1[n] += a1k * brow[n];
+    }
+  }
+}
+
+void GemmRow1Scalar(double alpha, const double* arow, const double* bpanel,
+                    int kw, int nw, double* crow) {
+  int k = 0;
+  for (; k + 4 <= kw; k += 4) {
+    const double a0 = alpha * arow[k];
+    const double a1 = alpha * arow[k + 1];
+    const double a2 = alpha * arow[k + 2];
+    const double a3 = alpha * arow[k + 3];
+    const double* b0 = bpanel + static_cast<size_t>(k) * nw;
+    const double* b1 = b0 + nw;
+    const double* b2 = b1 + nw;
+    const double* b3 = b2 + nw;
+    for (int n = 0; n < nw; ++n) {
+      crow[n] += a0 * b0[n] + a1 * b1[n] + a2 * b2[n] + a3 * b3[n];
+    }
+  }
+  for (; k < kw; ++k) {
+    const double ak = alpha * arow[k];
+    const double* brow = bpanel + static_cast<size_t>(k) * nw;
+    for (int n = 0; n < nw; ++n) crow[n] += ak * brow[n];
+  }
+}
+
+void AdamUpdateScalar(double* value, const double* grad, double* m, double* v,
+                      int64_t n, double beta1, double beta2, double inv_bc1,
+                      double inv_bc2, double eps, double lr,
+                      double weight_decay) {
+  for (int64_t j = 0; j < n; ++j) {
+    const double g = grad[j];
+    m[j] = beta1 * m[j] + (1.0 - beta1) * g;
+    v[j] = beta2 * v[j] + (1.0 - beta2) * g * g;
+    const double mhat = m[j] * inv_bc1;
+    const double vhat = v[j] * inv_bc2;
+    double update = mhat / (std::sqrt(vhat) + eps);
+    if (weight_decay != 0.0) {
+      update += weight_decay * value[j];
+    }
+    value[j] -= lr * update;
+  }
+}
+
+void Lane4DotScalar(const double* k4, const double* v4, int n, double* out) {
+  // Per lane, this is RowDotScalar on the strided lane data: same
+  // accumulator mapping (j % 4), same tail-into-s0, same combine.
+  for (int p = 0; p < 4; ++p) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      s0 += k4[4 * j + p] * v4[4 * j + p];
+      s1 += k4[4 * (j + 1) + p] * v4[4 * (j + 1) + p];
+      s2 += k4[4 * (j + 2) + p] * v4[4 * (j + 2) + p];
+      s3 += k4[4 * (j + 3) + p] * v4[4 * (j + 3) + p];
+    }
+    for (; j < n; ++j) s0 += k4[4 * j + p] * v4[4 * j + p];
+    out[p] = (s0 + s1) + (s2 + s3);
+  }
+}
+
+void Lane4MatVecScalar(const double* k4, const double* v4, int n1, int n2,
+                       double* kv4) {
+  for (int i = 0; i < n1; ++i) {
+    Lane4DotScalar(k4 + static_cast<size_t>(i) * n2 * 4, v4, n2, kv4 + i * 4);
+  }
+}
+
+void Lane4KtuScalar(const double* k4, const double* u4, int n1, int n2,
+                    double* ktu4) {
+  for (int j = 0; j < 4 * n2; ++j) ktu4[j] = 0.0;
+  for (int i = 0; i < n1; ++i) {
+    const double* krow = k4 + static_cast<size_t>(i) * n2 * 4;
+    const double* ui = u4 + i * 4;
+    for (int j = 0; j < n2; ++j) {
+      for (int p = 0; p < 4; ++p) {
+        // Fused multiply-add, like mat_tvec_accum (whose solo accumulation
+        // order this kernel replays lane by lane). fma is correctly rounded,
+        // so scalar and AVX2 stay bit-identical here.
+        ktu4[j * 4 + p] = std::fma(krow[j * 4 + p], ui[p], ktu4[j * 4 + p]);
+      }
+    }
+  }
+}
+
+void Lane4DivMaskedScalar(double a, const double* x4,
+                          const unsigned char* mask, int n, double* out4) {
+  for (int p = 0; p < 4; ++p) {
+    if (!mask[p]) continue;
+    for (int i = 0; i < n; ++i) out4[i * 4 + p] = a / x4[i * 4 + p];
+  }
+}
+
+void Lane4ViolationScalar(const double* u4, const double* x4, int n, double a,
+                          double* out) {
+  for (int p = 0; p < 4; ++p) {
+    double violation = 0.0;
+    for (int i = 0; i < n; ++i) {
+      violation += std::fabs(u4[i * 4 + p] * x4[i * 4 + p] - a);
+    }
+    out[p] = violation;
+  }
+}
+
+void Lane4PlanScalar(const double* u4, const double* k4, const double* c4,
+                     const double* v4, int n1, int n2, double* p4,
+                     double* rows4) {
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < n1; ++i) {
+      const size_t base = static_cast<size_t>(i) * n2 * 4;
+      const double ui = u4[i * 4 + p];
+      double s0 = 0.0, s1 = 0.0;
+      int j = 0;
+      for (; j + 2 <= n2; j += 2) {
+        const double p0 = ui * k4[base + j * 4 + p] * v4[j * 4 + p];
+        const double p1 =
+            ui * k4[base + (j + 1) * 4 + p] * v4[(j + 1) * 4 + p];
+        p4[base + j * 4 + p] = p0;
+        p4[base + (j + 1) * 4 + p] = p1;
+        s0 += p0 * c4[base + j * 4 + p];
+        s1 += p1 * c4[base + (j + 1) * 4 + p];
+      }
+      for (; j < n2; ++j) {
+        const double p0 = ui * k4[base + j * 4 + p] * v4[j * 4 + p];
+        p4[base + j * 4 + p] = p0;
+        s0 += p0 * c4[base + j * 4 + p];
+      }
+      rows4[i * 4 + p] = s0 + s1;
+    }
+  }
+}
+
+void VecAccumScalar(const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void VecAxpyScalar(double a, const double* x, double* y, int64_t n) {
+  // Fused multiply-add: correctly rounded, so the scalar and AVX2 tables
+  // agree bitwise while the accumulate costs one op instead of two.
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(a, x[i], y[i]);
+}
+
+void VecMulAccumScalar(const double* x1, const double* x2, double* y,
+                       int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = std::fma(x1[i], x2[i], y[i]);
+}
+
+void VecAddScalarScalar(double a, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += a;
+}
+
+void EwBackwardScalar(int op, const double* g, const double* x,
+                      const double* y, double* ga, int64_t n) {
+  // One loop per derivative so the formula inlines (a per-element indirect
+  // call costs more than the arithmetic for these cheap expressions). The
+  // formulas are the EwGrad contract in simd.h, verbatim.
+  switch (static_cast<EwGrad>(op)) {
+    case EwGrad::kReciprocal:
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (-y[i] * y[i]);
+      break;
+    case EwGrad::kRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        ga[i] += g[i] * (x[i] > 0.0 ? 1.0 : 0.0);
+      }
+      break;
+    case EwGrad::kElu:
+      for (int64_t i = 0; i < n; ++i) {
+        ga[i] += g[i] * (x[i] > 0.0 ? 1.0 : y[i] + 1.0);
+      }
+      break;
+    case EwGrad::kTanh:
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (1.0 - y[i] * y[i]);
+      break;
+    case EwGrad::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (y[i] * (1.0 - y[i]));
+      break;
+    case EwGrad::kExp:
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * y[i];
+      break;
+    case EwGrad::kLog:
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (1.0 / x[i]);
+      break;
+    case EwGrad::kSqrt:
+      for (int64_t i = 0; i < n; ++i) {
+        ga[i] += g[i] * (y[i] > 0.0 ? 0.5 / y[i] : 0.0);
+      }
+      break;
+    case EwGrad::kSquare:
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * (2.0 * x[i]);
+      break;
+    case EwGrad::kAbs:
+      for (int64_t i = 0; i < n; ++i) {
+        ga[i] += g[i] * (x[i] > 0.0 ? 1.0 : (x[i] < 0.0 ? -1.0 : 0.0));
+      }
+      break;
+  }
+}
+
+void VecAddScalarKernel(const double* x1, const double* x2, double* out,
+                        int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x1[i] + x2[i];
+}
+
+void VecSubScalar(const double* x1, const double* x2, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x1[i] - x2[i];
+}
+
+void VecMulScalar(const double* x1, const double* x2, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = x1[i] * x2[i];
+}
+
+void VecScaleScalar(double a, const double* x, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a * x[i];
+}
+
+void VecDivScalarScalar(double a, const double* x, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a / x[i];
+}
+
+void AddRowBroadcastScalar(const double* a, const double* b, int rows,
+                           int cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    const double* src = a + static_cast<size_t>(r) * cols;
+    double* dst = out + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c] + b[c];
+  }
+}
+
+void MulColBroadcastScalar(const double* a, const double* s, int rows,
+                           int cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    const double k = s[r];
+    const double* src = a + static_cast<size_t>(r) * cols;
+    double* dst = out + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = src[c] * k;
+  }
+}
+
+void MatVecScalar(const double* mat, int64_t ld, const double* x, int rows,
+                  int cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    out[r] = RowDotScalar(mat + static_cast<size_t>(r) * ld, x, cols);
+  }
+}
+
+void MatTVecAccumScalar(const double* mat, int64_t ld, const double* u,
+                        int rows, int cols, double* out) {
+  for (int c = 0; c < cols; ++c) out[c] = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const double* row = mat + static_cast<size_t>(r) * ld;
+    const double ur = u[r];
+    // fma keeps the r-ascending per-element accumulation order (the
+    // contract lane4_ktu replays) while matching the AVX2 table bitwise.
+    for (int c = 0; c < cols; ++c) out[c] = std::fma(ur, row[c], out[c]);
+  }
+}
+
+void EwForwardScalar(int op, const double* x, double* out, int64_t n) {
+  // The EwFwd formulas from simd.h, verbatim (and matching the autodiff
+  // forward functions they replace on the dispatched path).
+  switch (static_cast<EwFwd>(op)) {
+    case EwFwd::kReciprocal:
+      for (int64_t i = 0; i < n; ++i) out[i] = 1.0 / x[i];
+      break;
+    case EwFwd::kRelu:
+      for (int64_t i = 0; i < n; ++i) out[i] = x[i] > 0.0 ? x[i] : 0.0;
+      break;
+    case EwFwd::kSqrt:
+      for (int64_t i = 0; i < n; ++i) out[i] = std::sqrt(x[i]);
+      break;
+    case EwFwd::kSquare:
+      for (int64_t i = 0; i < n; ++i) out[i] = x[i] * x[i];
+      break;
+    case EwFwd::kAbs:
+      for (int64_t i = 0; i < n; ++i) out[i] = std::fabs(x[i]);
+      break;
+  }
+}
+
+constexpr KernelSet kScalarSet = {
+    "scalar",        VecExpScalar,      RowDotScalar,
+    GemmRow2Scalar,  GemmRow1Scalar,    AdamUpdateScalar,
+    Lane4DotScalar,  Lane4MatVecScalar, Lane4KtuScalar,
+    Lane4DivMaskedScalar, Lane4ViolationScalar, Lane4PlanScalar,
+    VecAccumScalar,  VecAxpyScalar,     VecMulAccumScalar,
+    VecAddScalarScalar, EwBackwardScalar,
+    VecAddScalarKernel, VecSubScalar,   VecMulScalar,
+    VecScaleScalar,  VecDivScalarScalar,
+    AddRowBroadcastScalar, MulColBroadcastScalar,
+    MatVecScalar,    MatTVecAccumScalar, EwForwardScalar,
+};
+
+bool CpuHasAvx2Fma() {
+#if defined(CERL_HAVE_AVX2_KERNELS)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelSet* Resolve() {
+  if (ForcedScalar()) return &kScalarSet;
+#if defined(CERL_HAVE_AVX2_KERNELS)
+  if (CpuHasAvx2Fma()) return Avx2KernelSet();
+#endif
+  return &kScalarSet;
+}
+
+// Resolution is cached in an atomic; concurrent first calls race benignly
+// (Resolve is deterministic, so every racer stores the same pointer).
+std::atomic<const KernelSet*> g_kernels{nullptr};
+
+}  // namespace
+
+const KernelSet& Kernels() {
+  const KernelSet* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = Resolve();
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+const KernelSet& ScalarKernels() { return kScalarSet; }
+
+bool Avx2Available() { return CpuHasAvx2Fma(); }
+
+bool ForcedScalar() {
+  const char* env = std::getenv("CERL_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+void ForceScalarForTesting(bool force) {
+  g_kernels.store(force ? &kScalarSet : Resolve(), std::memory_order_release);
+}
+
+}  // namespace cerl::linalg::simd

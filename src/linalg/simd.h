@@ -1,0 +1,250 @@
+// Runtime-dispatched SIMD kernel layer for the per-element hot paths:
+// the batch exponential (VecExp), the GEMM register-blocked microkernels,
+// the MatVecInto row reduction, the Adam parameter update, and the
+// interleaved group-of-4 dot used by the fused Sinkhorn micro-solver.
+//
+// Dispatch model: one function-pointer table (KernelSet) resolved once per
+// process — CERL_FORCE_SCALAR=<non-zero> in the environment forces the
+// scalar table, otherwise CPUID picks the AVX2/FMA table when both the
+// build and the CPU support it, with the scalar table as the fallback.
+// Resolution is a pure function of the environment and the CPU, so a given
+// build is deterministic run-to-run (and a given kernel set is
+// deterministic across thread-pool splits: every kernel reduces in a fixed
+// order).
+//
+// Numerics contract, kernel by kernel:
+//  - vec_exp is POSITION-UNIFORM: element i's result depends only on in[i],
+//    never on i, n, or alignment (the AVX2 tail is masked full-width
+//    arithmetic, not a scalar epilogue). Callers may therefore batch many
+//    small arrays into one call and get bitwise-identical results — the
+//    fused micro-solver's stacked kernel build relies on this.
+//  - row_dot fixes the 4-accumulator reduction order
+//    (s0+s1)+(s2+s3) with the tail folded into s0. The AVX2 version keeps
+//    that order and fuses each multiply-add (FMA), so scalar and AVX2
+//    differ by the usual FMA rounding (~1 ulp per term); within one kernel
+//    set the result is exact and split-independent.
+//  - lane4_dot replays row_dot's accumulation order lane-by-lane on
+//    4-interleaved data (element j of lane p at data[4*j + p]): lane p of
+//    the output is bitwise what row_dot of the SAME kernel set returns for
+//    lane p's deinterleaved data. This is the keystone of the fused
+//    micro-solver's solo-bitwise guarantee.
+//  - gemm_row2 / gemm_row1 and adam_update are elementwise/independent per
+//    output and keep the scalar expression shape; the AVX2 versions use
+//    FMA, so they track the scalar results to a few ulp per accumulation
+//    (tests document the tolerance).
+#pragma once
+
+#include <cstdint>
+
+namespace cerl::linalg::simd {
+
+/// Derivative selector for KernelSet::ew_backward. The formula column (x =
+/// forward input, y = forward output) is the contract: both kernel tables
+/// implement these expressions with plain individually-rounded IEEE ops, and
+/// autodiff/ops.cc's forward definitions must stay consistent with them.
+enum class EwGrad : int {
+  kReciprocal = 0,  ///< -y * y
+  kRelu,            ///< x > 0 ? 1 : 0
+  kElu,             ///< x > 0 ? 1 : y + 1
+  kTanh,            ///< 1 - y * y
+  kSigmoid,         ///< y * (1 - y)
+  kExp,             ///< y
+  kLog,             ///< 1 / x
+  kSqrt,            ///< y > 0 ? 0.5 / y : 0
+  kSquare,          ///< 2 * x
+  kAbs,             ///< x > 0 ? 1 : (x < 0 ? -1 : 0)
+};
+
+/// Forward selector for KernelSet::ew_forward — only the activations whose
+/// forward is plain arithmetic or an IEEE-exact instruction (sqrt is
+/// correctly rounded), so vectorizing cannot change a single bit.
+/// Transcendental forwards (elu/tanh/sigmoid/exp/log) stay on the scalar
+/// libm path in autodiff.
+enum class EwFwd : int {
+  kReciprocal = 0,  ///< 1 / x
+  kRelu,            ///< x > 0 ? x : 0
+  kSqrt,            ///< sqrt(x)
+  kSquare,          ///< x * x
+  kAbs,             ///< fabs(x)
+};
+
+struct KernelSet {
+  const char* name;  ///< "scalar" or "avx2" (diagnostics / bench labels)
+
+  /// out[i] = exp(in[i]) for i in [0, n); in == out aliasing is allowed.
+  /// Clamped to [-708, 708]; position-uniform (see file comment).
+  void (*vec_exp)(const double* in, double* out, int n);
+
+  /// Dot product of row and x with the fixed 4-accumulator order: s0..s3
+  /// over c += 4, remainder into s0, combined as (s0+s1)+(s2+s3).
+  double (*row_dot)(const double* row, const double* x, int n);
+
+  /// GEMM microkernel, two C rows: crow{0,1}[0..nw) += alpha * arow{0,1} ·
+  /// bpanel with k unrolled by 4 (bpanel is kw x nw row-major).
+  void (*gemm_row2)(double alpha, const double* arow0, const double* arow1,
+                    const double* bpanel, int kw, int nw, double* crow0,
+                    double* crow1);
+
+  /// GEMM microkernel, single C row (the m-remainder).
+  void (*gemm_row1)(double alpha, const double* arow, const double* bpanel,
+                    int kw, int nw, double* crow);
+
+  /// One Adam update over n contiguous elements (bias-corrected step with
+  /// optional decoupled weight decay). Elementwise, so any range split
+  /// produces identical results.
+  void (*adam_update)(double* value, const double* grad, double* m, double* v,
+                      int64_t n, double beta1, double beta2, double inv_bc1,
+                      double inv_bc2, double eps, double lr,
+                      double weight_decay);
+
+  /// Four interleaved dot products: out[p] = dot(k4 lane p, v4 lane p) for
+  /// n-element lanes stored as k4[4*j + p]. Lane p's result is bitwise
+  /// row_dot(lane p) of the same kernel set.
+  void (*lane4_dot)(const double* k4, const double* v4, int n,
+                    double* out /*[4]*/);
+
+  // --- whole-sweep lane kernels for the fused Sinkhorn micro-solver ------
+  //
+  // Each runs one full solver sweep over a 4-lane interleaved stack
+  // (element (i, j) of lane p at [(i * n2 + j) * 4 + p]). Apart from
+  // lane4_matvec (whose rows are lane4_dot, FMA in the AVX2 table), these
+  // are PLAIN mul/add/div/fabs in the solo solver's exact per-lane
+  // evaluation order — individually rounded IEEE ops — so their results are
+  // bitwise identical in BOTH tables; the AVX2 versions only widen the
+  // independent lane dimension.
+
+  /// kv4[i*4 + p] = lane4_dot of kernel row i and v4, for i in [0, n1).
+  void (*lane4_matvec)(const double* k4, const double* v4, int n1, int n2,
+                       double* kv4);
+
+  /// ktu4 = K^T u per lane: zero-fills ktu4 then accumulates
+  /// ktu4[j*4+p] = fma(k4[(i*n2+j)*4+p], u4[i*4+p], ktu4[j*4+p]) with i
+  /// ascending (the solo KernelTransposeTimesVec / mat_tvec_accum order;
+  /// fma is correctly rounded, so both tables agree bitwise).
+  void (*lane4_ktu)(const double* k4, const double* u4, int n1, int n2,
+                    double* ktu4);
+
+  /// out4[i*4+p] = a / x4[i*4+p] for lanes with mask[p] != 0; other lanes
+  /// keep their previous out4 values bit-exactly (the fused solver's frozen
+  /// lanes). Plain IEEE division.
+  void (*lane4_div_masked)(double a, const double* x4,
+                           const unsigned char* mask /*[4]*/, int n,
+                           double* out4);
+
+  /// out[p] = sum_i fabs(u4[i*4+p] * x4[i*4+p] - a), i ascending — the solo
+  /// Row/ColViolation reduction per lane.
+  void (*lane4_violation)(const double* u4, const double* x4, int n, double a,
+                          double* out /*[4]*/);
+
+  /// Plan assembly per lane, replaying the solo AssemblePlanCost: for each
+  /// row i, p4 = u_i * k4 * v4 elementwise (left-associated double
+  /// multiply), with the paired s0/s1 cost accumulators over even/odd j and
+  /// rows4[i*4+p] = s0 + s1. The caller sums rows4 serially per lane.
+  void (*lane4_plan)(const double* u4, const double* k4, const double* c4,
+                     const double* v4, int n1, int n2, double* p4,
+                     double* rows4);
+
+  // --- elementwise accumulation kernels ----------------------------------
+  //
+  // Each output element is independent and computed either with PLAIN mul /
+  // add / div / compare-select (individually rounded IEEE ops) or with a
+  // correctly-rounded std::fma — both choices make results bitwise
+  // identical in BOTH tables and independent of any ParallelFor range
+  // split. These carry the training path's elementwise traffic: the
+  // Sinkhorn K^T u accumulation, gradient accumulation, and the activation
+  // backward passes.
+
+  /// y[i] += x[i] for i in [0, n).
+  void (*vec_accum)(const double* x, double* y, int64_t n);
+
+  /// y[i] = fma(a, x[i], y[i]) — the K^T u per-row accumulation and
+  /// Matrix::Axpy.
+  void (*vec_axpy)(double a, const double* x, double* y, int64_t n);
+
+  /// y[i] = fma(x1[i], x2[i], y[i]) — elementwise-product backward.
+  void (*vec_mul_accum)(const double* x1, const double* x2, double* y,
+                        int64_t n);
+
+  /// y[i] += a — the row-sum backward broadcast.
+  void (*vec_add_scalar)(double a, double* y, int64_t n);
+
+  /// ga[i] += g[i] * dfdx(x[i], y[i]) where dfdx is selected by `op`
+  /// (an EwGrad value) and y is the forward output. Every derivative
+  /// formula is plain arithmetic / compare-select on (x, y).
+  void (*ew_backward)(int op, const double* g, const double* x,
+                      const double* y, double* ga, int64_t n);
+
+  // --- whole-array forward kernels ---------------------------------------
+  //
+  // Same plain-elementwise contract as the accumulation kernels: bitwise
+  // identical across tables and range splits. For the pure elementwise ones
+  // (vec_add .. vec_div_scalar, ew_forward) full in-place aliasing
+  // (out == an input) is allowed; partial overlap is not.
+
+  /// out[i] = x1[i] + x2[i].
+  void (*vec_add)(const double* x1, const double* x2, double* out, int64_t n);
+
+  /// out[i] = x1[i] - x2[i].
+  void (*vec_sub)(const double* x1, const double* x2, double* out, int64_t n);
+
+  /// out[i] = x1[i] * x2[i].
+  void (*vec_mul)(const double* x1, const double* x2, double* out, int64_t n);
+
+  /// out[i] = a * x[i].
+  void (*vec_scale)(double a, const double* x, double* out, int64_t n);
+
+  /// out[i] = a / x[i] (plain IEEE division) — the Sinkhorn marginal
+  /// updates u = a ./ Kv, v = b ./ K^T u.
+  void (*vec_div_scalar)(double a, const double* x, double* out, int64_t n);
+
+  /// out(r, c) = a(r, c) + b[c] over a rows x cols row-major block — the
+  /// bias add. One call covers the whole matrix.
+  void (*add_row_broadcast)(const double* a, const double* b, int rows,
+                            int cols, double* out);
+
+  /// out(r, c) = a(r, c) * s[r] over a rows x cols row-major block.
+  void (*mul_col_broadcast)(const double* a, const double* s, int rows,
+                            int cols, double* out);
+
+  /// out[r] = row_dot(mat + r*ld, x, cols) for r in [0, rows) — a whole
+  /// mat-vec panel in one dispatch (each row is exactly the row_dot kernel
+  /// of the same table, FMA in the AVX2 one).
+  void (*mat_vec)(const double* mat, int64_t ld, const double* x, int rows,
+                  int cols, double* out);
+
+  /// Transposed mat-vec accumulation panel: zero-fills out[0..cols) then
+  /// out[c] = fma(u[r], mat[r*ld + c], out[c]) with r strictly ascending
+  /// per element (the K^T u reference order that lane4_ktu replays; fma is
+  /// correctly rounded, so both tables agree bitwise). Implementations may
+  /// block over rows for locality; the per-element accumulation order
+  /// never changes, so the result is bitwise identical to the
+  /// row-at-a-time loop.
+  void (*mat_tvec_accum)(const double* mat, int64_t ld, const double* u,
+                         int rows, int cols, double* out);
+
+  /// out[i] = f(x[i]) with f selected by `op` (an EwFwd value); every
+  /// formula is plain arithmetic / compare-select / IEEE-exact sqrt.
+  void (*ew_forward)(int op, const double* x, double* out, int64_t n);
+};
+
+/// The active kernel set (resolved once; see file comment). Hot loops
+/// should hoist the reference out of their inner loop.
+const KernelSet& Kernels();
+
+/// The scalar reference table — always available, used by parity tests and
+/// by callers that must reproduce the scalar arithmetic exactly.
+const KernelSet& ScalarKernels();
+
+/// True when the AVX2/FMA table was compiled in AND this CPU supports it
+/// (independent of any force-scalar override).
+bool Avx2Available();
+
+/// True when the CERL_FORCE_SCALAR environment override is active.
+bool ForcedScalar();
+
+/// Test hook: swap the active table to scalar (true) or back to the
+/// environment/CPUID resolution (false). Process-wide; tests that pin
+/// machine-independent numerics (golden formats) call this first.
+void ForceScalarForTesting(bool force);
+
+}  // namespace cerl::linalg::simd

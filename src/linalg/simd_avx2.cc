@@ -1,0 +1,850 @@
+// AVX2/FMA kernel table. This is the ONLY translation unit compiled with
+// -mavx2 -mfma; it is added to the build when the compiler supports those
+// flags, and the table is selected at runtime only when CPUID reports both
+// features (see simd.cc).
+//
+// All floating-point arithmetic here is explicit intrinsics and the TU is
+// compiled with -ffp-contract=off: a multiply-add fuses exactly where an
+// _mm256_fmadd_pd is written, never behind the compiler's back. That is
+// what makes the contracts in simd.h checkable — vec_exp's masked tail is
+// the same vector arithmetic as its body (position-uniform), row_dot's
+// scalar tail is a genuine mul+add (so lane4_dot can replay it bitwise),
+// and the scalar epilogues of the gemm/adam kernels stay plain mul+add.
+#include "linalg/simd.h"
+
+#if defined(CERL_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace cerl::linalg::simd {
+namespace {
+
+// ---- vec_exp -------------------------------------------------------------
+
+// One vector of the Cody-Waite + Estrin exp from the scalar kernel, with
+// each multiply-add fused. The clamp replicates the scalar ternaries via
+// compare+blend (ordered compares: NaN inputs pass through to a NaN
+// result, exactly like the scalar kernel).
+inline __m256d ExpVec(__m256d x) {
+  const __m256d kHi = _mm256_set1_pd(708.0);
+  const __m256d kLo = _mm256_set1_pd(-708.0);
+  const __m256d kLog2e = _mm256_set1_pd(1.4426950408889634074);
+  const __m256d kLn2Hi = _mm256_set1_pd(6.93147180369123816490e-01);
+  const __m256d kLn2Lo = _mm256_set1_pd(1.90821492927058770002e-10);
+  const __m256d kShift = _mm256_set1_pd(6755399441055744.0);  // 1.5 * 2^52
+
+  x = _mm256_blendv_pd(x, kHi, _mm256_cmp_pd(x, kHi, _CMP_GT_OQ));
+  x = _mm256_blendv_pd(x, kLo, _mm256_cmp_pd(x, kLo, _CMP_LT_OQ));
+  const __m256d t = _mm256_fmadd_pd(x, kLog2e, kShift);
+  const __m256d kd = _mm256_sub_pd(t, kShift);
+  __m256d r = _mm256_fnmadd_pd(kd, kLn2Hi, x);
+  r = _mm256_fnmadd_pd(kd, kLn2Lo, r);
+  const __m256d r2 = _mm256_mul_pd(r, r);
+  const __m256d r4 = _mm256_mul_pd(r2, r2);
+  const __m256d r6 = _mm256_mul_pd(r4, r2);
+  const __m256d lo = _mm256_fmadd_pd(
+      r4,
+      _mm256_fmadd_pd(r, _mm256_set1_pd(1.0 / 120.0),
+                      _mm256_set1_pd(1.0 / 24.0)),
+      _mm256_fmadd_pd(
+          r2,
+          _mm256_fmadd_pd(r, _mm256_set1_pd(1.0 / 6.0), _mm256_set1_pd(0.5)),
+          _mm256_add_pd(_mm256_set1_pd(1.0), r)));
+  const __m256d hi = _mm256_fmadd_pd(
+      r4,
+      _mm256_fmadd_pd(r, _mm256_set1_pd(1.0 / 39916800.0),
+                      _mm256_set1_pd(1.0 / 3628800.0)),
+      _mm256_fmadd_pd(r2,
+                      _mm256_fmadd_pd(r, _mm256_set1_pd(1.0 / 362880.0),
+                                      _mm256_set1_pd(1.0 / 40320.0)),
+                      _mm256_fmadd_pd(r, _mm256_set1_pd(1.0 / 5040.0),
+                                      _mm256_set1_pd(1.0 / 720.0))));
+  const __m256d p = _mm256_fmadd_pd(r6, hi, lo);
+  // 2^k assembled in the exponent field; k is exact because t and kShift
+  // share an exponent.
+  const __m256i t_bits = _mm256_castpd_si256(t);
+  const __m256i shift_bits = _mm256_castpd_si256(kShift);
+  const __m256i k = _mm256_sub_epi64(t_bits, shift_bits);
+  const __m256i scale_bits =
+      _mm256_slli_epi64(_mm256_add_epi64(k, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(p, _mm256_castsi256_pd(scale_bits));
+}
+
+void VecExpAvx2(const double* in, double* out, int n) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, ExpVec(_mm256_loadu_pd(in + i)));
+  }
+  const int rem = n - i;
+  if (rem > 0) {
+    // Masked full-width tail: the remaining elements run the IDENTICAL
+    // vector arithmetic as the body, so results are position-uniform
+    // (element value depends only on the input value, never on where the
+    // element sits relative to the array end). Dead lanes load as 0.0 and
+    // their results are discarded by the masked store.
+    const int64_t on = -1;
+    __m256i mask = _mm256_setzero_si256();
+    switch (rem) {
+      case 3: mask = _mm256_set_epi64x(0, on, on, on); break;
+      case 2: mask = _mm256_set_epi64x(0, 0, on, on); break;
+      case 1: mask = _mm256_set_epi64x(0, 0, 0, on); break;
+    }
+    const __m256d x = _mm256_maskload_pd(in + i, mask);
+    _mm256_maskstore_pd(out + i, mask, ExpVec(x));
+  }
+}
+
+// ---- row_dot -------------------------------------------------------------
+
+double RowDotAvx2(const double* row, const double* x, int n) {
+  // Vector lane m carries the scalar kernel's accumulator s_m; the main
+  // loop fuses each multiply-add. The remainder is a plain scalar mul+add
+  // into s0 and the combine keeps the (s0+s1)+(s2+s3) order.
+  __m256d acc = _mm256_setzero_pd();
+  int c = 0;
+  for (; c + 4 <= n; c += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(row + c), _mm256_loadu_pd(x + c),
+                          acc);
+  }
+  alignas(32) double s[4];
+  _mm256_store_pd(s, acc);
+  double s0 = s[0];
+  for (; c < n; ++c) s0 += row[c] * x[c];
+  return (s0 + s[1]) + (s[2] + s[3]);
+}
+
+// ---- lane4_dot -----------------------------------------------------------
+
+void Lane4DotAvx2(const double* k4, const double* v4, int n, double* out) {
+  // Bitwise replay of RowDotAvx2 with lanes = problems: accumulator m takes
+  // elements j % 4 == m via the same fused multiply-add, the tail is the
+  // same plain mul+add into accumulator 0, and the combine is the same
+  // (s0+s1)+(s2+s3) — per lane, out[p] == RowDotAvx2(lane p).
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const double* kp = k4 + 4 * j;
+    const double* vp = v4 + 4 * j;
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(kp), _mm256_loadu_pd(vp), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(kp + 4), _mm256_loadu_pd(vp + 4),
+                           acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(kp + 8), _mm256_loadu_pd(vp + 8),
+                           acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(kp + 12), _mm256_loadu_pd(vp + 12),
+                           acc3);
+  }
+  for (; j < n; ++j) {
+    acc0 = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(k4 + 4 * j), _mm256_loadu_pd(v4 + 4 * j)),
+        acc0);
+  }
+  _mm256_storeu_pd(
+      out, _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+}
+
+// ---- GEMM microkernels ---------------------------------------------------
+
+void GemmRow2Avx2(double alpha, const double* arow0, const double* arow1,
+                  const double* bpanel, int kw, int nw, double* crow0,
+                  double* crow1) {
+  int k = 0;
+  for (; k + 4 <= kw; k += 4) {
+    const double a00 = alpha * arow0[k];
+    const double a01 = alpha * arow0[k + 1];
+    const double a02 = alpha * arow0[k + 2];
+    const double a03 = alpha * arow0[k + 3];
+    const double a10 = alpha * arow1[k];
+    const double a11 = alpha * arow1[k + 1];
+    const double a12 = alpha * arow1[k + 2];
+    const double a13 = alpha * arow1[k + 3];
+    const __m256d a00v = _mm256_set1_pd(a00);
+    const __m256d a01v = _mm256_set1_pd(a01);
+    const __m256d a02v = _mm256_set1_pd(a02);
+    const __m256d a03v = _mm256_set1_pd(a03);
+    const __m256d a10v = _mm256_set1_pd(a10);
+    const __m256d a11v = _mm256_set1_pd(a11);
+    const __m256d a12v = _mm256_set1_pd(a12);
+    const __m256d a13v = _mm256_set1_pd(a13);
+    const double* b0 = bpanel + static_cast<size_t>(k) * nw;
+    const double* b1 = b0 + nw;
+    const double* b2 = b1 + nw;
+    const double* b3 = b2 + nw;
+    int n = 0;
+    for (; n + 4 <= nw; n += 4) {
+      const __m256d b0v = _mm256_loadu_pd(b0 + n);
+      const __m256d b1v = _mm256_loadu_pd(b1 + n);
+      const __m256d b2v = _mm256_loadu_pd(b2 + n);
+      const __m256d b3v = _mm256_loadu_pd(b3 + n);
+      __m256d t0 = _mm256_mul_pd(a00v, b0v);
+      t0 = _mm256_fmadd_pd(a01v, b1v, t0);
+      t0 = _mm256_fmadd_pd(a02v, b2v, t0);
+      t0 = _mm256_fmadd_pd(a03v, b3v, t0);
+      _mm256_storeu_pd(crow0 + n,
+                       _mm256_add_pd(_mm256_loadu_pd(crow0 + n), t0));
+      __m256d t1 = _mm256_mul_pd(a10v, b0v);
+      t1 = _mm256_fmadd_pd(a11v, b1v, t1);
+      t1 = _mm256_fmadd_pd(a12v, b2v, t1);
+      t1 = _mm256_fmadd_pd(a13v, b3v, t1);
+      _mm256_storeu_pd(crow1 + n,
+                       _mm256_add_pd(_mm256_loadu_pd(crow1 + n), t1));
+    }
+    for (; n < nw; ++n) {
+      crow0[n] += a00 * b0[n] + a01 * b1[n] + a02 * b2[n] + a03 * b3[n];
+      crow1[n] += a10 * b0[n] + a11 * b1[n] + a12 * b2[n] + a13 * b3[n];
+    }
+  }
+  for (; k < kw; ++k) {
+    const double a0k = alpha * arow0[k];
+    const double a1k = alpha * arow1[k];
+    const __m256d a0v = _mm256_set1_pd(a0k);
+    const __m256d a1v = _mm256_set1_pd(a1k);
+    const double* brow = bpanel + static_cast<size_t>(k) * nw;
+    int n = 0;
+    for (; n + 4 <= nw; n += 4) {
+      const __m256d bv = _mm256_loadu_pd(brow + n);
+      _mm256_storeu_pd(
+          crow0 + n, _mm256_fmadd_pd(a0v, bv, _mm256_loadu_pd(crow0 + n)));
+      _mm256_storeu_pd(
+          crow1 + n, _mm256_fmadd_pd(a1v, bv, _mm256_loadu_pd(crow1 + n)));
+    }
+    for (; n < nw; ++n) {
+      crow0[n] += a0k * brow[n];
+      crow1[n] += a1k * brow[n];
+    }
+  }
+}
+
+void GemmRow1Avx2(double alpha, const double* arow, const double* bpanel,
+                  int kw, int nw, double* crow) {
+  int k = 0;
+  for (; k + 4 <= kw; k += 4) {
+    const double a0 = alpha * arow[k];
+    const double a1 = alpha * arow[k + 1];
+    const double a2 = alpha * arow[k + 2];
+    const double a3 = alpha * arow[k + 3];
+    const __m256d a0v = _mm256_set1_pd(a0);
+    const __m256d a1v = _mm256_set1_pd(a1);
+    const __m256d a2v = _mm256_set1_pd(a2);
+    const __m256d a3v = _mm256_set1_pd(a3);
+    const double* b0 = bpanel + static_cast<size_t>(k) * nw;
+    const double* b1 = b0 + nw;
+    const double* b2 = b1 + nw;
+    const double* b3 = b2 + nw;
+    int n = 0;
+    for (; n + 4 <= nw; n += 4) {
+      __m256d t = _mm256_mul_pd(a0v, _mm256_loadu_pd(b0 + n));
+      t = _mm256_fmadd_pd(a1v, _mm256_loadu_pd(b1 + n), t);
+      t = _mm256_fmadd_pd(a2v, _mm256_loadu_pd(b2 + n), t);
+      t = _mm256_fmadd_pd(a3v, _mm256_loadu_pd(b3 + n), t);
+      _mm256_storeu_pd(crow + n, _mm256_add_pd(_mm256_loadu_pd(crow + n), t));
+    }
+    for (; n < nw; ++n) {
+      crow[n] += a0 * b0[n] + a1 * b1[n] + a2 * b2[n] + a3 * b3[n];
+    }
+  }
+  for (; k < kw; ++k) {
+    const double ak = alpha * arow[k];
+    const __m256d av = _mm256_set1_pd(ak);
+    const double* brow = bpanel + static_cast<size_t>(k) * nw;
+    int n = 0;
+    for (; n + 4 <= nw; n += 4) {
+      _mm256_storeu_pd(crow + n,
+                       _mm256_fmadd_pd(av, _mm256_loadu_pd(brow + n),
+                                       _mm256_loadu_pd(crow + n)));
+    }
+    for (; n < nw; ++n) crow[n] += ak * brow[n];
+  }
+}
+
+// ---- Adam ----------------------------------------------------------------
+
+void AdamUpdateAvx2(double* value, const double* grad, double* m, double* v,
+                    int64_t n, double beta1, double beta2, double inv_bc1,
+                    double inv_bc2, double eps, double lr,
+                    double weight_decay) {
+  const __m256d b1v = _mm256_set1_pd(beta1);
+  const __m256d b2v = _mm256_set1_pd(beta2);
+  const __m256d omb1 = _mm256_set1_pd(1.0 - beta1);
+  const __m256d omb2 = _mm256_set1_pd(1.0 - beta2);
+  const __m256d bc1 = _mm256_set1_pd(inv_bc1);
+  const __m256d bc2 = _mm256_set1_pd(inv_bc2);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d wdv = _mm256_set1_pd(weight_decay);
+  const bool decay = weight_decay != 0.0;
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d g = _mm256_loadu_pd(grad + j);
+    __m256d mj = _mm256_loadu_pd(m + j);
+    __m256d vj = _mm256_loadu_pd(v + j);
+    mj = _mm256_fmadd_pd(b1v, mj, _mm256_mul_pd(omb1, g));
+    vj = _mm256_fmadd_pd(b2v, vj, _mm256_mul_pd(_mm256_mul_pd(omb2, g), g));
+    _mm256_storeu_pd(m + j, mj);
+    _mm256_storeu_pd(v + j, vj);
+    const __m256d mhat = _mm256_mul_pd(mj, bc1);
+    const __m256d vhat = _mm256_mul_pd(vj, bc2);
+    __m256d update =
+        _mm256_div_pd(mhat, _mm256_add_pd(_mm256_sqrt_pd(vhat), epsv));
+    const __m256d val = _mm256_loadu_pd(value + j);
+    if (decay) update = _mm256_fmadd_pd(wdv, val, update);
+    _mm256_storeu_pd(value + j, _mm256_fnmadd_pd(lrv, update, val));
+  }
+  const int rem = static_cast<int>(n - j);
+  if (rem > 0) {
+    // Masked full-width tail, same vector arithmetic as the body: the
+    // update is position-uniform, so ParallelFor may split a parameter at
+    // any boundary and every split produces identical bits (the simd.h
+    // adam_update contract). Dead lanes read as 0.0 (sqrt(0) and /eps are
+    // benign) and are never stored.
+    const int64_t on = -1;
+    __m256i mask = _mm256_setzero_si256();
+    switch (rem) {
+      case 3: mask = _mm256_set_epi64x(0, on, on, on); break;
+      case 2: mask = _mm256_set_epi64x(0, 0, on, on); break;
+      case 1: mask = _mm256_set_epi64x(0, 0, 0, on); break;
+    }
+    const __m256d g = _mm256_maskload_pd(grad + j, mask);
+    __m256d mj = _mm256_maskload_pd(m + j, mask);
+    __m256d vj = _mm256_maskload_pd(v + j, mask);
+    mj = _mm256_fmadd_pd(b1v, mj, _mm256_mul_pd(omb1, g));
+    vj = _mm256_fmadd_pd(b2v, vj, _mm256_mul_pd(_mm256_mul_pd(omb2, g), g));
+    _mm256_maskstore_pd(m + j, mask, mj);
+    _mm256_maskstore_pd(v + j, mask, vj);
+    const __m256d mhat = _mm256_mul_pd(mj, bc1);
+    const __m256d vhat = _mm256_mul_pd(vj, bc2);
+    __m256d update =
+        _mm256_div_pd(mhat, _mm256_add_pd(_mm256_sqrt_pd(vhat), epsv));
+    const __m256d val = _mm256_maskload_pd(value + j, mask);
+    if (decay) update = _mm256_fmadd_pd(wdv, val, update);
+    _mm256_maskstore_pd(value + j, mask, _mm256_fnmadd_pd(lrv, update, val));
+  }
+}
+
+// ---- fused micro-solver whole-sweep lane kernels -------------------------
+//
+// One __m256d vector = the four lanes of one logical element, so the solo
+// solver's per-element scalar ops map 1:1 onto vector ops. Everything
+// except lane4_matvec (which rides Lane4DotAvx2's FMA) is PLAIN mul / add /
+// div / fabs — individually rounded IEEE ops in the solo evaluation order —
+// making these kernels bitwise identical to their scalar-table twins.
+
+void Lane4MatVecAvx2(const double* k4, const double* v4, int n1, int n2,
+                     double* kv4) {
+  for (int i = 0; i < n1; ++i) {
+    Lane4DotAvx2(k4 + static_cast<size_t>(i) * n2 * 4, v4, n2, kv4 + i * 4);
+  }
+}
+
+void Lane4KtuAvx2(const double* k4, const double* u4, int n1, int n2,
+                  double* ktu4) {
+  const __m256d zero = _mm256_setzero_pd();
+  for (int j = 0; j < n2; ++j) _mm256_storeu_pd(ktu4 + j * 4, zero);
+  for (int i = 0; i < n1; ++i) {
+    const double* krow = k4 + static_cast<size_t>(i) * n2 * 4;
+    const __m256d ui = _mm256_loadu_pd(u4 + i * 4);
+    for (int j = 0; j < n2; ++j) {
+      // fmadd: the scalar twin's std::fma — correctly rounded, so the
+      // tables agree bitwise and the accumulate is one uop instead of two.
+      _mm256_storeu_pd(ktu4 + j * 4,
+                       _mm256_fmadd_pd(_mm256_loadu_pd(krow + j * 4), ui,
+                                       _mm256_loadu_pd(ktu4 + j * 4)));
+    }
+  }
+}
+
+void Lane4DivMaskedAvx2(double a, const double* x4, const unsigned char* mask,
+                        int n, double* out4) {
+  const int64_t on = -1;
+  const __m256i m = _mm256_set_epi64x(mask[3] ? on : 0, mask[2] ? on : 0,
+                                      mask[1] ? on : 0, mask[0] ? on : 0);
+  const __m256d mv = _mm256_castsi256_pd(m);
+  const __m256d av = _mm256_set1_pd(a);
+  for (int i = 0; i < n; ++i) {
+    // Frozen lanes keep their previous bits via blend; the division runs
+    // full-width (IEEE div never traps with default masked exceptions, and
+    // the frozen-lane quotients are discarded).
+    const __m256d q = _mm256_div_pd(av, _mm256_loadu_pd(x4 + i * 4));
+    const __m256d old = _mm256_loadu_pd(out4 + i * 4);
+    _mm256_storeu_pd(out4 + i * 4, _mm256_blendv_pd(old, q, mv));
+  }
+}
+
+void Lane4ViolationAvx2(const double* u4, const double* x4, int n, double a,
+                        double* out) {
+  const __m256d av = _mm256_set1_pd(a);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  __m256d acc = _mm256_setzero_pd();
+  for (int i = 0; i < n; ++i) {
+    // fabs(u*x - a): plain mul, sub, bit-and — each lane accumulates in
+    // serial i order, exactly the scalar reduction.
+    const __m256d prod =
+        _mm256_mul_pd(_mm256_loadu_pd(u4 + i * 4), _mm256_loadu_pd(x4 + i * 4));
+    acc = _mm256_add_pd(acc, _mm256_and_pd(_mm256_sub_pd(prod, av), abs_mask));
+  }
+  _mm256_storeu_pd(out, acc);
+}
+
+void Lane4PlanAvx2(const double* u4, const double* k4, const double* c4,
+                   const double* v4, int n1, int n2, double* p4,
+                   double* rows4) {
+  for (int i = 0; i < n1; ++i) {
+    const size_t base = static_cast<size_t>(i) * n2 * 4;
+    const __m256d ui = _mm256_loadu_pd(u4 + i * 4);
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    int j = 0;
+    for (; j + 2 <= n2; j += 2) {
+      // (ui * k) * v — left-associated plain multiplies, like the scalar
+      // twin; even j into s0, odd j into s1.
+      const __m256d p0 = _mm256_mul_pd(
+          _mm256_mul_pd(ui, _mm256_loadu_pd(k4 + base + j * 4)),
+          _mm256_loadu_pd(v4 + j * 4));
+      const __m256d p1 = _mm256_mul_pd(
+          _mm256_mul_pd(ui, _mm256_loadu_pd(k4 + base + (j + 1) * 4)),
+          _mm256_loadu_pd(v4 + (j + 1) * 4));
+      _mm256_storeu_pd(p4 + base + j * 4, p0);
+      _mm256_storeu_pd(p4 + base + (j + 1) * 4, p1);
+      s0 = _mm256_add_pd(
+          s0, _mm256_mul_pd(p0, _mm256_loadu_pd(c4 + base + j * 4)));
+      s1 = _mm256_add_pd(
+          s1, _mm256_mul_pd(p1, _mm256_loadu_pd(c4 + base + (j + 1) * 4)));
+    }
+    for (; j < n2; ++j) {
+      const __m256d p0 = _mm256_mul_pd(
+          _mm256_mul_pd(ui, _mm256_loadu_pd(k4 + base + j * 4)),
+          _mm256_loadu_pd(v4 + j * 4));
+      _mm256_storeu_pd(p4 + base + j * 4, p0);
+      s0 = _mm256_add_pd(
+          s0, _mm256_mul_pd(p0, _mm256_loadu_pd(c4 + base + j * 4)));
+    }
+    _mm256_storeu_pd(rows4 + i * 4, _mm256_add_pd(s0, s1));
+  }
+}
+
+// ---- plain elementwise accumulation kernels ------------------------------
+//
+// All plain mul / add / div / compare-select — no FMA anywhere — so each of
+// these is bitwise identical to its scalar-table twin (the simd.h plain
+// elementwise contract). Tails use masked full-width arithmetic like
+// vec_exp / adam_update: dead lanes load 0.0, their results are discarded.
+
+inline __m256i TailMask(int rem) {
+  const int64_t on = -1;
+  switch (rem) {
+    case 3: return _mm256_set_epi64x(0, on, on, on);
+    case 2: return _mm256_set_epi64x(0, 0, on, on);
+    case 1: return _mm256_set_epi64x(0, 0, 0, on);
+    default: return _mm256_setzero_si256();
+  }
+}
+
+void VecAccumAvx2(const double* x, double* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(y + i, mask,
+                        _mm256_add_pd(_mm256_maskload_pd(y + i, mask),
+                                      _mm256_maskload_pd(x + i, mask)));
+  }
+}
+
+void VecAxpyAvx2(double a, const double* x, double* y, int64_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // fmadd: the scalar twin's std::fma, bit-identical across the tables.
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                                            _mm256_loadu_pd(y + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(
+        y + i, mask,
+        _mm256_fmadd_pd(av, _mm256_maskload_pd(x + i, mask),
+                        _mm256_maskload_pd(y + i, mask)));
+  }
+}
+
+void VecMulAccumAvx2(const double* x1, const double* x2, double* y,
+                     int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(_mm256_loadu_pd(x1 + i),
+                               _mm256_loadu_pd(x2 + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(
+        y + i, mask,
+        _mm256_fmadd_pd(_mm256_maskload_pd(x1 + i, mask),
+                        _mm256_maskload_pd(x2 + i, mask),
+                        _mm256_maskload_pd(y + i, mask)));
+  }
+}
+
+void VecAddScalarAvx2(double a, double* y, int64_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), av));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(
+        y + i, mask, _mm256_add_pd(_mm256_maskload_pd(y + i, mask), av));
+  }
+}
+
+// ga += g * dfdx(x, y) with dfdx supplied as a vector functor. Division in
+// dead tail lanes is benign (IEEE div never traps with default masked
+// exceptions) and the results are discarded by the masked store.
+template <typename DFn>
+inline void EwBackwardLoop(const double* g, const double* x, const double* y,
+                           double* ga, int64_t n, DFn dfdx) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = dfdx(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    const __m256d prod = _mm256_mul_pd(_mm256_loadu_pd(g + i), d);
+    _mm256_storeu_pd(ga + i, _mm256_add_pd(_mm256_loadu_pd(ga + i), prod));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    const __m256d d = dfdx(_mm256_maskload_pd(x + i, mask),
+                           _mm256_maskload_pd(y + i, mask));
+    const __m256d prod = _mm256_mul_pd(_mm256_maskload_pd(g + i, mask), d);
+    _mm256_maskstore_pd(
+        ga + i, mask, _mm256_add_pd(_mm256_maskload_pd(ga + i, mask), prod));
+  }
+}
+
+void EwBackwardAvx2(int op, const double* g, const double* x, const double* y,
+                    double* ga, int64_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d sign_bit =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x8000000000000000ull));
+  // Each case is the EwGrad formula from simd.h in plain vector ops; the
+  // compare+blend/and forms reproduce the scalar ternaries bit-exactly.
+  switch (static_cast<EwGrad>(op)) {
+    case EwGrad::kReciprocal:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d, __m256d yv) {
+        // (-y) * y: the sign flip is exact, the multiply rounds once.
+        return _mm256_mul_pd(_mm256_xor_pd(yv, sign_bit), yv);
+      });
+      break;
+    case EwGrad::kRelu:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d xv, __m256d) {
+        return _mm256_and_pd(_mm256_cmp_pd(xv, zero, _CMP_GT_OQ), one);
+      });
+      break;
+    case EwGrad::kElu:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d xv, __m256d yv) {
+        return _mm256_blendv_pd(_mm256_add_pd(yv, one), one,
+                                _mm256_cmp_pd(xv, zero, _CMP_GT_OQ));
+      });
+      break;
+    case EwGrad::kTanh:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d, __m256d yv) {
+        return _mm256_sub_pd(one, _mm256_mul_pd(yv, yv));
+      });
+      break;
+    case EwGrad::kSigmoid:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d, __m256d yv) {
+        return _mm256_mul_pd(yv, _mm256_sub_pd(one, yv));
+      });
+      break;
+    case EwGrad::kExp:
+      EwBackwardLoop(g, x, y, ga, n,
+                     [&](__m256d, __m256d yv) { return yv; });
+      break;
+    case EwGrad::kLog:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d xv, __m256d) {
+        return _mm256_div_pd(one, xv);
+      });
+      break;
+    case EwGrad::kSqrt:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d, __m256d yv) {
+        const __m256d q = _mm256_div_pd(_mm256_set1_pd(0.5), yv);
+        return _mm256_and_pd(_mm256_cmp_pd(yv, zero, _CMP_GT_OQ), q);
+      });
+      break;
+    case EwGrad::kSquare:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d xv, __m256d) {
+        return _mm256_mul_pd(_mm256_set1_pd(2.0), xv);
+      });
+      break;
+    case EwGrad::kAbs:
+      EwBackwardLoop(g, x, y, ga, n, [&](__m256d xv, __m256d) {
+        const __m256d pos =
+            _mm256_and_pd(_mm256_cmp_pd(xv, zero, _CMP_GT_OQ), one);
+        const __m256d neg = _mm256_and_pd(
+            _mm256_cmp_pd(xv, zero, _CMP_LT_OQ), _mm256_set1_pd(-1.0));
+        return _mm256_or_pd(pos, neg);
+      });
+      break;
+  }
+}
+
+// ---- whole-array forward kernels -----------------------------------------
+//
+// All plain (or IEEE-exact, for vsqrtpd) vector ops with masked full-width
+// tails: bitwise identical to the scalar table. Pure elementwise, so full
+// in-place aliasing is fine — each vector is loaded before its slot is
+// stored.
+
+// out = f(x1, x2) elementwise for a binary vector functor.
+template <typename Fn>
+inline void BinaryLoop(const double* x1, const double* x2, double* out,
+                       int64_t n, Fn f) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     f(_mm256_loadu_pd(x1 + i), _mm256_loadu_pd(x2 + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(out + i, mask,
+                        f(_mm256_maskload_pd(x1 + i, mask),
+                          _mm256_maskload_pd(x2 + i, mask)));
+  }
+}
+
+void VecAddAvx2(const double* x1, const double* x2, double* out, int64_t n) {
+  BinaryLoop(x1, x2, out, n,
+             [](__m256d a, __m256d b) { return _mm256_add_pd(a, b); });
+}
+
+void VecSubAvx2(const double* x1, const double* x2, double* out, int64_t n) {
+  BinaryLoop(x1, x2, out, n,
+             [](__m256d a, __m256d b) { return _mm256_sub_pd(a, b); });
+}
+
+void VecMulAvx2(const double* x1, const double* x2, double* out, int64_t n) {
+  BinaryLoop(x1, x2, out, n,
+             [](__m256d a, __m256d b) { return _mm256_mul_pd(a, b); });
+}
+
+void VecScaleAvx2(double a, const double* x, double* out, int64_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(
+        out + i, mask, _mm256_mul_pd(av, _mm256_maskload_pd(x + i, mask)));
+  }
+}
+
+void VecDivScalarAvx2(double a, const double* x, double* out, int64_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_div_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    // Dead lanes load 0.0; a/0 = inf never traps and is discarded.
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(
+        out + i, mask, _mm256_div_pd(av, _mm256_maskload_pd(x + i, mask)));
+  }
+}
+
+void AddRowBroadcastAvx2(const double* a, const double* b, int rows, int cols,
+                         double* out) {
+  for (int r = 0; r < rows; ++r) {
+    BinaryLoop(a + static_cast<size_t>(r) * cols, b,
+               out + static_cast<size_t>(r) * cols, cols,
+               [](__m256d x, __m256d y) { return _mm256_add_pd(x, y); });
+  }
+}
+
+void MulColBroadcastAvx2(const double* a, const double* s, int rows, int cols,
+                         double* out) {
+  for (int r = 0; r < rows; ++r) {
+    VecScaleAvx2(s[r], a + static_cast<size_t>(r) * cols,
+                 out + static_cast<size_t>(r) * cols, cols);
+  }
+}
+
+void MatVecAvx2(const double* mat, int64_t ld, const double* x, int rows,
+                int cols, double* out) {
+  // Rows are independent dot products; interleaving four RowDotAvx2
+  // accumulator chains hides the loop-carried fmadd latency a single chain
+  // exposes at the short (~44-element) row lengths of the per-stream
+  // Sinkhorn solves. Each row runs exactly RowDotAvx2's operation
+  // sequence — same fmadds, same tail, same (s0+s1)+(s2+s3) combine — so
+  // out[r] is bitwise RowDotAvx2(row r) regardless of the blocking.
+  int r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* r0 = mat + static_cast<size_t>(r) * ld;
+    const double* r1 = r0 + ld;
+    const double* r2 = r1 + ld;
+    const double* r3 = r2 + ld;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    int c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + c);
+      a0 = _mm256_fmadd_pd(_mm256_loadu_pd(r0 + c), xv, a0);
+      a1 = _mm256_fmadd_pd(_mm256_loadu_pd(r1 + c), xv, a1);
+      a2 = _mm256_fmadd_pd(_mm256_loadu_pd(r2 + c), xv, a2);
+      a3 = _mm256_fmadd_pd(_mm256_loadu_pd(r3 + c), xv, a3);
+    }
+    alignas(32) double s0[4], s1[4], s2[4], s3[4];
+    _mm256_store_pd(s0, a0);
+    _mm256_store_pd(s1, a1);
+    _mm256_store_pd(s2, a2);
+    _mm256_store_pd(s3, a3);
+    double t0 = s0[0], t1 = s1[0], t2 = s2[0], t3 = s3[0];
+    for (; c < cols; ++c) {
+      const double xc = x[c];
+      t0 += r0[c] * xc;
+      t1 += r1[c] * xc;
+      t2 += r2[c] * xc;
+      t3 += r3[c] * xc;
+    }
+    out[r] = (t0 + s0[1]) + (s0[2] + s0[3]);
+    out[r + 1] = (t1 + s1[1]) + (s1[2] + s1[3]);
+    out[r + 2] = (t2 + s2[1]) + (s2[2] + s2[3]);
+    out[r + 3] = (t3 + s3[1]) + (s3[2] + s3[3]);
+  }
+  for (; r < rows; ++r) {
+    out[r] = RowDotAvx2(mat + static_cast<size_t>(r) * ld, x, cols);
+  }
+}
+
+void MatTVecAccumAvx2(const double* mat, int64_t ld, const double* u,
+                      int rows, int cols, double* out) {
+  // Blocked over 4 rows: out[c] still accumulates with r strictly
+  // ascending per element (fma(u_r0, ·, fma-chain), each fma correctly
+  // rounded), so the result is bitwise the row-at-a-time scalar reference —
+  // blocking only cuts the out[] load/store traffic 4x.
+  const __m256d zero = _mm256_setzero_pd();
+  int c = 0;
+  for (; c + 4 <= cols; c += 4) _mm256_storeu_pd(out + c, zero);
+  for (; c < cols; ++c) out[c] = 0.0;
+  int r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const double* row0 = mat + static_cast<size_t>(r) * ld;
+    const double* row1 = row0 + ld;
+    const double* row2 = row1 + ld;
+    const double* row3 = row2 + ld;
+    const __m256d u0 = _mm256_set1_pd(u[r]);
+    const __m256d u1 = _mm256_set1_pd(u[r + 1]);
+    const __m256d u2 = _mm256_set1_pd(u[r + 2]);
+    const __m256d u3 = _mm256_set1_pd(u[r + 3]);
+    int j = 0;
+    for (; j + 4 <= cols; j += 4) {
+      __m256d acc = _mm256_loadu_pd(out + j);
+      acc = _mm256_fmadd_pd(u0, _mm256_loadu_pd(row0 + j), acc);
+      acc = _mm256_fmadd_pd(u1, _mm256_loadu_pd(row1 + j), acc);
+      acc = _mm256_fmadd_pd(u2, _mm256_loadu_pd(row2 + j), acc);
+      acc = _mm256_fmadd_pd(u3, _mm256_loadu_pd(row3 + j), acc);
+      _mm256_storeu_pd(out + j, acc);
+    }
+    for (; j < cols; ++j) {
+      double acc = out[j];
+      acc = __builtin_fma(u[r], row0[j], acc);
+      acc = __builtin_fma(u[r + 1], row1[j], acc);
+      acc = __builtin_fma(u[r + 2], row2[j], acc);
+      acc = __builtin_fma(u[r + 3], row3[j], acc);
+      out[j] = acc;
+    }
+  }
+  for (; r < rows; ++r) {
+    VecAxpyAvx2(u[r], mat + static_cast<size_t>(r) * ld, out, cols);
+  }
+}
+
+// out = f(x) elementwise for a unary vector functor.
+template <typename Fn>
+inline void UnaryLoop(const double* x, double* out, int64_t n, Fn f) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, f(_mm256_loadu_pd(x + i)));
+  }
+  const int rem = static_cast<int>(n - i);
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    _mm256_maskstore_pd(out + i, mask, f(_mm256_maskload_pd(x + i, mask)));
+  }
+}
+
+void EwForwardAvx2(int op, const double* x, double* out, int64_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  switch (static_cast<EwFwd>(op)) {
+    case EwFwd::kReciprocal:
+      UnaryLoop(x, out, n, [](__m256d xv) {
+        return _mm256_div_pd(_mm256_set1_pd(1.0), xv);
+      });
+      break;
+    case EwFwd::kRelu:
+      UnaryLoop(x, out, n, [&](__m256d xv) {
+        // x > 0 ? x : 0 — NaN compares false, so NaN maps to 0 exactly
+        // like the scalar ternary.
+        return _mm256_and_pd(_mm256_cmp_pd(xv, zero, _CMP_GT_OQ), xv);
+      });
+      break;
+    case EwFwd::kSqrt:
+      // vsqrtpd is correctly rounded — bitwise std::sqrt.
+      UnaryLoop(x, out, n, [](__m256d xv) { return _mm256_sqrt_pd(xv); });
+      break;
+    case EwFwd::kSquare:
+      UnaryLoop(x, out, n,
+                [](__m256d xv) { return _mm256_mul_pd(xv, xv); });
+      break;
+    case EwFwd::kAbs:
+      UnaryLoop(x, out, n, [&](__m256d xv) {
+        return _mm256_and_pd(xv, abs_mask);
+      });
+      break;
+  }
+}
+
+constexpr KernelSet kAvx2Set = {
+    "avx2",       VecExpAvx2,      RowDotAvx2,
+    GemmRow2Avx2, GemmRow1Avx2,    AdamUpdateAvx2,
+    Lane4DotAvx2, Lane4MatVecAvx2, Lane4KtuAvx2,
+    Lane4DivMaskedAvx2, Lane4ViolationAvx2, Lane4PlanAvx2,
+    VecAccumAvx2, VecAxpyAvx2,     VecMulAccumAvx2,
+    VecAddScalarAvx2, EwBackwardAvx2,
+    VecAddAvx2,   VecSubAvx2,      VecMulAvx2,
+    VecScaleAvx2, VecDivScalarAvx2,
+    AddRowBroadcastAvx2, MulColBroadcastAvx2,
+    MatVecAvx2,   MatTVecAccumAvx2, EwForwardAvx2,
+};
+
+}  // namespace
+
+const KernelSet* Avx2KernelSet() { return &kAvx2Set; }
+
+}  // namespace cerl::linalg::simd
+
+#endif  // CERL_HAVE_AVX2_KERNELS

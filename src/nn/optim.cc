@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/simd.h"
 #include "util/thread_pool.h"
 
 namespace cerl::nn {
@@ -61,8 +62,10 @@ void Adam::Step() {
       1.0 / (1.0 - std::pow(beta1_, static_cast<double>(t_)));
   const double inv_bc2 =
       1.0 / (1.0 - std::pow(beta2_, static_cast<double>(t_)));
-  // The update is elementwise, so splitting a parameter across the pool is
+  // The update is elementwise (adam_update kernel, see linalg/simd.h), so
+  // splitting a parameter across the pool at a fixed grain is
   // deterministic. Small tensors (biases) stay serial to skip fork/join.
+  const auto& ks = linalg::simd::Kernels();
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter* p = params_[i];
     linalg::Matrix& m = m_[i];
@@ -70,18 +73,9 @@ void Adam::Step() {
     ParallelFor(
         0, p->value.size(),
         [&](int64_t lo, int64_t hi) {
-          for (int64_t j = lo; j < hi; ++j) {
-            const double g = p->grad.data()[j];
-            m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * g;
-            v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * g * g;
-            const double mhat = m.data()[j] * inv_bc1;
-            const double vhat = v.data()[j] * inv_bc2;
-            double update = mhat / (std::sqrt(vhat) + eps_);
-            if (weight_decay_ != 0.0) {
-              update += weight_decay_ * p->value.data()[j];
-            }
-            p->value.data()[j] -= lr_ * update;
-          }
+          ks.adam_update(p->value.data() + lo, p->grad.data() + lo,
+                         m.data() + lo, v.data() + lo, hi - lo, beta1_,
+                         beta2_, inv_bc1, inv_bc2, eps_, lr_, weight_decay_);
         },
         /*grain=*/4096);
   }

@@ -1,0 +1,476 @@
+// Fused micro-solver implementation. Read the bit-identity contract in
+// fused_micro_solver.h first: every loop in SolveGroup replays the solo
+// workspace solver's serial micro path (sinkhorn.cc) op for op within each
+// lane, with the lane index as the innermost, arithmetically-independent
+// dimension. The two dispatched kernels (vec_exp, lane4_dot) carry the
+// simd.h per-lane guarantees; every other sweep is plain mul/add/div/fabs
+// written in the solo path's exact per-element order — this file is
+// compiled at the default (SSE2) baseline, where the compiler cannot
+// contract multiply-adds, so "plain" stays plain.
+#include "ot/fused_micro_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "linalg/simd.h"
+#include "ot/sinkhorn_internal.h"
+#include "util/check.h"
+
+namespace cerl::ot {
+
+namespace {
+constexpr int L = MicroSolveBatcher::kLanes;
+using internal::kNearMissFactor;
+using internal::kUnderflow;
+}  // namespace
+
+struct MicroSolveBatcher::Request {
+  const linalg::Matrix* cost = nullptr;
+  SinkhornConfig config;
+  SinkhornWorkspace* ws = nullptr;
+  bool done = false;
+  Result<SinkhornSolveInfo> result = Status::Internal("micro solve not run");
+};
+
+struct MicroSolveBatcher::LaneStacks {
+  std::vector<double> c4, k4, p4;      // n1 * n2 * L
+  std::vector<double> u4, kv4, rows4;  // n1 * L
+  std::vector<double> v4, ktu4;        // n2 * L
+  std::vector<double> ktu_tmp;         // n2 (per-lane warm-accept verify)
+
+  void Reserve(int n1, int n2) {
+    const size_t mat = static_cast<size_t>(n1) * n2 * L;
+    c4.resize(mat);
+    k4.resize(mat);
+    p4.resize(mat);
+    u4.resize(static_cast<size_t>(n1) * L);
+    kv4.resize(static_cast<size_t>(n1) * L);
+    rows4.resize(static_cast<size_t>(n1) * L);
+    v4.resize(static_cast<size_t>(n2) * L);
+    ktu4.resize(static_cast<size_t>(n2) * L);
+    ktu_tmp.resize(n2);
+  }
+};
+
+MicroSolveBatcher::MicroSolveBatcher()
+    : stacks_(std::make_unique<LaneStacks>()) {}
+
+MicroSolveBatcher::~MicroSolveBatcher() = default;
+
+// The lane's anomaly fallback: replay the ordinary solo solve on the
+// (untouched) workspace, with the batcher cleared so the routing in
+// SolveSinkhorn cannot recurse. Because SolveGroup writes nothing into a
+// workspace before the lane's all-clear, this is bitwise the solve the
+// request would have gotten with no batcher configured.
+void MicroSolveBatcher::SolveSolo(Request* req) {
+  SinkhornConfig solo = req->config;
+  solo.batcher = nullptr;
+  req->result = SolveSinkhorn(*req->cost, solo, req->ws);
+}
+
+void MicroSolveBatcher::SolveGroup(const std::vector<Request*>& group,
+                                   LaneStacks* stacks) {
+  const int lanes = static_cast<int>(group.size());
+  CERL_CHECK(lanes >= 2 && lanes <= L);
+  const int n1 = group[0]->cost->rows();
+  const int n2 = group[0]->cost->cols();
+  const size_t cells = static_cast<size_t>(n1) * n2;
+
+  // Partial groups are padded with duplicates of lane 0: the pad lanes run
+  // the identical arithmetic (lane independence makes them inert) and their
+  // outcomes are dropped — no workspace writes, no ejects.
+  const Request* lane[L];
+  for (int p = 0; p < L; ++p) lane[p] = group[p < lanes ? p : 0];
+
+  stacks->Reserve(n1, n2);
+  double* c4 = stacks->c4.data();
+  double* k4 = stacks->k4.data();
+  double* p4 = stacks->p4.data();
+  double* u4 = stacks->u4.data();
+  double* kv4 = stacks->kv4.data();
+  double* rows4 = stacks->rows4.data();
+  double* v4 = stacks->v4.data();
+  double* ktu4 = stacks->ktu4.data();
+  double* ktu_tmp = stacks->ktu_tmp.data();
+
+  // Gather the four cost matrices into the interleaved stack.
+  for (int i = 0; i < n1; ++i) {
+    const double* crow[L];
+    for (int p = 0; p < L; ++p) crow[p] = lane[p]->cost->row(i);
+    double* dst = c4 + static_cast<size_t>(i) * n2 * L;
+    for (int j = 0; j < n2; ++j) {
+      for (int p = 0; p < L; ++p) dst[j * L + p] = crow[p][j];
+    }
+  }
+
+  // Mean cost per lane: row sums accumulated left to right, totalled in row
+  // order — the solo path's exact reduction.
+  double total_cost[L] = {0.0, 0.0, 0.0, 0.0};
+  for (int i = 0; i < n1; ++i) {
+    const double* src = c4 + static_cast<size_t>(i) * n2 * L;
+    double s[L] = {0.0, 0.0, 0.0, 0.0};
+    for (int j = 0; j < n2; ++j) {
+      for (int p = 0; p < L; ++p) s[p] += src[j * L + p];
+    }
+    for (int p = 0; p < L; ++p) total_cost[p] += s[p];
+  }
+  double neg_inv_reg[L];
+  for (int p = 0; p < L; ++p) {
+    double mean = total_cost[p];
+    mean /= static_cast<double>(n1) * n2;
+    const double reg = std::max(
+        1e-12, lane[p]->config.reg_fraction * std::max(mean, 1e-12));
+    neg_inv_reg[p] = -1.0 / reg;
+  }
+
+  // Gibbs kernels, all four at once: scale, then ONE batched exp over the
+  // whole stack. vec_exp is position-uniform (simd.h), so each element gets
+  // bitwise the value the solo path's per-row VecExp calls produce.
+  for (size_t idx = 0; idx < cells; ++idx) {
+    for (int p = 0; p < L; ++p) {
+      k4[idx * L + p] = c4[idx * L + p] * neg_inv_reg[p];
+    }
+  }
+  const auto& ks = linalg::simd::Kernels();
+  ks.vec_exp(k4, k4, static_cast<int>(cells * L));
+
+  const double a = 1.0 / n1;
+  const double b = 1.0 / n2;
+
+  // Duals: warm lanes gather the workspace's retained duals (read-only —
+  // the workspace stays untouched until the lane's success scatter), cold
+  // lanes start from ones.
+  bool warm[L], have_u[L];
+  for (int p = 0; p < L; ++p) {
+    warm[p] = lane[p]->config.warm_start &&
+              lane[p]->ws->has_warm_start(n1, n2);
+    have_u[p] = warm[p];
+    if (warm[p]) {
+      const SinkhornWorkspace& ws = *lane[p]->ws;
+      for (int i = 0; i < n1; ++i) u4[i * L + p] = ws.u_[i];
+      for (int j = 0; j < n2; ++j) v4[j * L + p] = ws.v_[j];
+    } else {
+      for (int i = 0; i < n1; ++i) u4[i * L + p] = 1.0;
+      for (int j = 0; j < n2; ++j) v4[j * L + p] = 1.0;
+    }
+  }
+
+  // Per-lane replay of RunScaling in lockstep. kRunning lanes sit at the
+  // top of loop iteration `t`; a lane whose iteration count reaches its own
+  // max_iterations moves to kFinal and gets the solo path's post-loop
+  // final-violation check on the next sweep; converged / near-miss lanes
+  // park in kDone for assembly; any anomaly marks the lane for ejection.
+  enum class LaneState { kRunning, kFinal, kDone };
+  LaneState st[L];
+  bool ejected[L] = {false, false, false, false};
+  bool accepted[L] = {false, false, false, false};
+  int iters[L] = {0, 0, 0, 0};
+  for (int p = 0; p < L; ++p) {
+    st[p] = lane[p]->config.max_iterations > 0 ? LaneState::kRunning
+                                               : LaneState::kFinal;
+  }
+
+  auto any_open = [&] {
+    for (int p = 0; p < L; ++p) {
+      if (st[p] != LaneState::kDone) return true;
+    }
+    return false;
+  };
+
+  int t = 0;
+  while (any_open()) {
+    // kv = K v for all four lanes: lane4_matvec's rows are lane4_dot —
+    // bitwise row_dot-per-lane of the active kernel set, the same row_dot
+    // the solo path's MatVecInto applies (frozen lanes' results are simply
+    // unused).
+    ks.lane4_matvec(k4, v4, n1, n2, kv4);
+    bool usable[L] = {true, true, true, true};
+    for (int i = 0; i < n1; ++i) {
+      for (int p = 0; p < L; ++p) {
+        const double x = kv4[i * L + p];
+        if (x <= kUnderflow || !std::isfinite(x)) usable[p] = false;
+      }
+    }
+    // Row violations for all four lanes at once (the solo RowViolation
+    // reduction in serial i order per lane). Pure, so computing it for
+    // lanes that will not consume it changes nothing.
+    double rv4[L];
+    ks.lane4_violation(u4, kv4, n1, a, rv4);
+
+    bool updating[L] = {false, false, false, false};
+    for (int p = 0; p < L; ++p) {
+      const double tol = lane[p]->config.tolerance;
+      if (st[p] == LaneState::kFinal) {
+        // Post-loop check: accept within the near-miss band, else eject
+        // (the solo path would retry cold / fall back — ejection replays
+        // exactly that).
+        st[p] = LaneState::kDone;
+        iters[p] = lane[p]->config.max_iterations;
+        if (!usable[p]) {
+          ejected[p] = true;
+          continue;
+        }
+        const double fv = rv4[p];
+        if (fv < tol || fv <= kNearMissFactor * tol) {
+          accepted[p] = true;
+        } else {
+          ejected[p] = true;
+        }
+        continue;
+      }
+      if (st[p] != LaneState::kRunning) continue;
+      if (!usable[p]) {  // degenerate scaling: solo retries cold
+        st[p] = LaneState::kDone;
+        ejected[p] = true;
+        continue;
+      }
+      if (have_u[p]) {
+        const double rv = rv4[p];
+        if (rv < tol) {
+          if (t > 0) {
+            st[p] = LaneState::kDone;
+            accepted[p] = true;
+            iters[p] = t;
+            continue;
+          }
+          // Zero-iteration warm accept must verify the column marginals
+          // (see RunScaling): one per-lane K^T u pass with the CURRENT u,
+          // in the solo path's serial order.
+          std::fill(ktu_tmp, ktu_tmp + n2, 0.0);
+          for (int i = 0; i < n1; ++i) {
+            const double* krow = k4 + static_cast<size_t>(i) * n2 * L;
+            const double ui = u4[i * L + p];
+            // std::fma: the same correctly-rounded accumulate as
+            // mat_tvec_accum / lane4_ktu in either kernel table.
+            for (int j = 0; j < n2; ++j) {
+              ktu_tmp[j] = std::fma(krow[j * L + p], ui, ktu_tmp[j]);
+            }
+          }
+          bool col_usable = true;
+          for (int j = 0; j < n2; ++j) {
+            if (ktu_tmp[j] <= kUnderflow || !std::isfinite(ktu_tmp[j])) {
+              col_usable = false;
+              break;
+            }
+          }
+          if (col_usable) {
+            double cv = 0.0;
+            for (int j = 0; j < n2; ++j) {
+              cv += std::fabs(v4[j * L + p] * ktu_tmp[j] - b);
+            }
+            if (cv < tol) {
+              st[p] = LaneState::kDone;
+              accepted[p] = true;
+              iters[p] = 0;
+              continue;
+            }
+          }
+          // Verification failed: fall through to the update, like solo.
+        }
+      }
+      updating[p] = true;
+    }
+
+    bool any_updating = false;
+    for (int p = 0; p < L; ++p) any_updating = any_updating || updating[p];
+    if (any_updating) {
+      // u = a ./ kv, masked per lane so frozen lanes keep their final
+      // duals untouched (bit for bit).
+      unsigned char upd_u[L];
+      for (int p = 0; p < L; ++p) {
+        upd_u[p] = updating[p] ? 1 : 0;
+        if (updating[p]) have_u[p] = true;
+      }
+      ks.lane4_div_masked(a, kv4, upd_u, n1, u4);
+      // ktu = K^T u, all lanes four-wide in the solo path's (i, j) order;
+      // frozen lanes' columns are computed but never consumed.
+      ks.lane4_ktu(k4, u4, n1, n2, ktu4);
+      unsigned char upd_v[L] = {0, 0, 0, 0};
+      for (int p = 0; p < L; ++p) {
+        if (!updating[p]) continue;
+        bool col_usable = true;
+        for (int j = 0; j < n2; ++j) {
+          const double x = ktu4[j * L + p];
+          if (x <= kUnderflow || !std::isfinite(x)) {
+            col_usable = false;
+            break;
+          }
+        }
+        if (!col_usable) {  // degenerate after the u update
+          st[p] = LaneState::kDone;
+          ejected[p] = true;
+          continue;
+        }
+        upd_v[p] = 1;
+        if (t + 1 >= lane[p]->config.max_iterations) {
+          st[p] = LaneState::kFinal;
+        }
+      }
+      ks.lane4_div_masked(b, ktu4, upd_v, n2, v4);
+    }
+    ++t;
+  }
+
+  // Plan assembly: the solo AssemblePlanCost's paired s0/s1 accumulators
+  // per row (lane4_plan, all lanes at once — non-accepted lanes' output is
+  // discarded) and the row-ordered serial total per accepted lane.
+  double plan_cost[L] = {0.0, 0.0, 0.0, 0.0};
+  bool any_accepted = false;
+  for (int p = 0; p < L; ++p) any_accepted = any_accepted || accepted[p];
+  if (any_accepted) {
+    ks.lane4_plan(u4, k4, c4, v4, n1, n2, p4, rows4);
+    for (int p = 0; p < L; ++p) {
+      if (!accepted[p]) continue;
+      double total = 0.0;
+      for (int i = 0; i < n1; ++i) total += rows4[i * L + p];
+      plan_cost[p] = total;
+      if (!std::isfinite(total)) {  // solo would retry / fall back
+        accepted[p] = false;
+        ejected[p] = true;
+      }
+    }
+  }
+
+  // Scatter / eject the REAL lanes (pad lanes are dropped).
+  for (int p = 0; p < lanes; ++p) {
+    Request* req = group[p];
+    if (!accepted[p]) {
+      CERL_CHECK(ejected[p]);
+      SolveSolo(req);
+      continue;
+    }
+    SinkhornWorkspace& ws = *req->ws;
+    // The solo path Reserves on entry; doing it here (the only workspace
+    // write point) keeps the allocation accounting identical.
+    ws.Reserve(n1, n2);
+    for (int i = 0; i < n1; ++i) ws.u_[i] = u4[i * L + p];
+    for (int j = 0; j < n2; ++j) ws.v_[j] = v4[j * L + p];
+    for (int i = 0; i < n1; ++i) {
+      const size_t base = static_cast<size_t>(i) * n2 * L;
+      double* prow = ws.plan_.row(i);
+      for (int j = 0; j < n2; ++j) prow[j] = p4[base + j * L + p];
+    }
+    // ws.kernel_ is NOT scattered: nothing reads it between solves (the
+    // next solve rebuilds it before use), and the solo path treats it as
+    // scratch too.
+    ws.warm_rows_ = n1;
+    ws.warm_cols_ = n2;
+    SinkhornSolveInfo info;
+    info.cost = plan_cost[p];
+    info.iterations = iters[p];
+    info.warm_started = warm[p];
+    info.used_log_domain = false;
+    req->result = info;
+  }
+}
+
+std::vector<MicroSolveBatcher::Request*> MicroSolveBatcher::TakeBatchLocked() {
+  std::vector<Request*> batch;
+  Request* front = queue_.front();
+  queue_.pop_front();
+  batch.push_back(front);
+  const int n1 = front->cost->rows();
+  const int n2 = front->cost->cols();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < static_cast<size_t>(L);) {
+    if ((*it)->cost->rows() == n1 && (*it)->cost->cols() == n2) {
+      batch.push_back(*it);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void MicroSolveBatcher::ProcessBatch(const std::vector<Request*>& batch) {
+  // A lone request gains nothing from the stacks; shapes big enough to
+  // overflow the int passed to vec_exp cannot be stacked (they are not
+  // micro problems in any configuration worth fusing).
+  const int64_t stack_elems = static_cast<int64_t>(batch[0]->cost->rows()) *
+                              batch[0]->cost->cols() * L;
+  if (batch.size() < 2 || stack_elems > std::numeric_limits<int>::max()) {
+    for (Request* req : batch) SolveSolo(req);
+    return;
+  }
+  SolveGroup(batch, stacks_.get());
+}
+
+Result<SinkhornSolveInfo> MicroSolveBatcher::Submit(
+    const linalg::Matrix& cost, const SinkhornConfig& config,
+    SinkhornWorkspace* workspace) {
+  Request req;
+  req.cost = &cost;
+  req.config = config;
+  req.ws = workspace;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(&req);
+  while (!req.done) {
+    if (leader_active_) {
+      // A leader is combining; it will either fill our result or hand off
+      // leadership when it returns with the queue non-empty.
+      cv_.wait(lock, [&] { return req.done || !leader_active_; });
+      continue;
+    }
+    leader_active_ = true;
+    while (!req.done && !queue_.empty()) {
+      std::vector<Request*> batch = TakeBatchLocked();
+      lock.unlock();
+      ProcessBatch(batch);
+      lock.lock();
+      for (Request* r : batch) r->done = true;
+      cv_.notify_all();
+    }
+    leader_active_ = false;
+    cv_.notify_all();
+  }
+  return req.result;
+}
+
+std::vector<Result<SinkhornSolveInfo>> SolveSinkhornMicroBatch(
+    const std::vector<const linalg::Matrix*>& costs,
+    const std::vector<SinkhornConfig>& configs,
+    const std::vector<SinkhornWorkspace*>& workspaces) {
+  const size_t n = costs.size();
+  CERL_CHECK_EQ(configs.size(), n);
+  CERL_CHECK_EQ(workspaces.size(), n);
+  std::vector<MicroSolveBatcher::Request> reqs(n);
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i].cost = costs[i];
+    reqs[i].config = configs[i];
+    reqs[i].ws = workspaces[i];
+  }
+  MicroSolveBatcher::LaneStacks stacks;
+  std::vector<bool> grouped(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (grouped[i]) continue;
+    std::vector<MicroSolveBatcher::Request*> group = {&reqs[i]};
+    grouped[i] = true;
+    const int n1 = costs[i]->rows();
+    const int n2 = costs[i]->cols();
+    for (size_t k = i + 1;
+         k < n && group.size() < static_cast<size_t>(L); ++k) {
+      if (!grouped[k] && costs[k]->rows() == n1 && costs[k]->cols() == n2) {
+        group.push_back(&reqs[k]);
+        grouped[k] = true;
+      }
+    }
+    const int64_t stack_elems = static_cast<int64_t>(n1) * n2 * L;
+    if (group.size() < 2 || stack_elems > std::numeric_limits<int>::max()) {
+      for (MicroSolveBatcher::Request* req : group) {
+        MicroSolveBatcher::SolveSolo(req);
+      }
+    } else {
+      MicroSolveBatcher::SolveGroup(group, &stacks);
+    }
+  }
+  std::vector<Result<SinkhornSolveInfo>> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) results.push_back(std::move(reqs[i].result));
+  return results;
+}
+
+}  // namespace cerl::ot

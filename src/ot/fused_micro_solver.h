@@ -1,0 +1,122 @@
+// Cross-stream fused Sinkhorn micro-solver.
+//
+// Under many-tenant ingest the per-stream Wasserstein penalties produce a
+// steady drizzle of TINY Sinkhorn solves (n1*n2 below
+// SinkhornConfig::min_parallel_elements) that run serially on their stream
+// workers: each one walks a kernel far too small to amortize pool fan-out,
+// so at high stream counts the engine spends its time issuing scalar-width
+// sweeps one problem at a time. The batcher turns that concurrency into
+// data parallelism instead: concurrent micro solves of the SAME shape are
+// stacked four-wide into interleaved lane tensors (element j of lane p at
+// data[4*j + p]) and swept together — one batched VecExp builds all four
+// Gibbs kernels, each K·v pass is a lane4_dot over four problems at once,
+// and the elementwise update/violation loops vectorize across lanes.
+//
+// Bit-identity contract: every lane reproduces its solo
+// SolveSinkhorn(cost, config, workspace) result EXACTLY, bit for bit —
+// plan, cost, iteration count, info flags, and retained warm-start duals.
+// This holds because
+//  - lanes are arithmetically independent (every op is elementwise in the
+//    lane index; nothing reduces across lanes), so a problem's results do
+//    not depend on which problems it was batched with — including the
+//    padding lanes (duplicates of lane 0) that fill partial groups;
+//  - the lane arithmetic replays the solo solver's serial micro path op for
+//    op: vec_exp is position-uniform (simd.h), lane4_dot is bitwise
+//    row_dot-per-lane of the same dispatched kernel set, and every other
+//    sweep (Kᵀu, violations, dual updates, mean-cost, plan assembly) is
+//    plain mul/add/div/fabs code in the solo path's exact per-lane order;
+//  - any numerical anomaly — degenerate scaling, a beyond-near-miss final
+//    violation, a non-finite plan cost — EJECTS the lane: the untouched
+//    workspace is handed to the ordinary solo solver (batcher cleared),
+//    which replays the full warm/cold/log-domain cascade from scratch.
+//    Workspaces are only written on the all-clear success path.
+// Batch composition depends on thread timing, so this independence is what
+// keeps per-stream results deterministic under the engine.
+//
+// Threading: flat combining. Submit() enqueues the request; one caller
+// becomes the leader and processes same-shape groups (up to 4 lanes) while
+// the others block on a condition variable until their result is filled.
+// All solves are micro (serial by definition), so the leader never touches
+// the global pool — no interaction with ParallelFor, no lock-order hazards.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ot/sinkhorn.h"
+
+namespace cerl::ot {
+
+class MicroSolveBatcher;
+
+/// Deterministic batch entry point used by tests and benchmarks: solves
+/// `costs[i]` with `configs[i]` into `workspaces[i]`, greedily fusing
+/// consecutive same-shape problems into groups of up to kLanes (no threads,
+/// no timing dependence). Results are bit-identical to solving each problem
+/// solo, per the batcher contract.
+std::vector<Result<SinkhornSolveInfo>> SolveSinkhornMicroBatch(
+    const std::vector<const linalg::Matrix*>& costs,
+    const std::vector<SinkhornConfig>& configs,
+    const std::vector<SinkhornWorkspace*>& workspaces);
+
+class MicroSolveBatcher {
+ public:
+  MicroSolveBatcher();
+  ~MicroSolveBatcher();
+  MicroSolveBatcher(const MicroSolveBatcher&) = delete;
+  MicroSolveBatcher& operator=(const MicroSolveBatcher&) = delete;
+
+  /// Solves like SolveSinkhorn(cost, config, workspace) — same results, bit
+  /// for bit — but may fuse the solve with concurrent submissions of the
+  /// same shape. Blocks until this request's result is ready. `cost` and
+  /// `workspace` must stay valid for the duration of the call (they do: the
+  /// caller is blocked). Normally invoked via SolveSinkhorn routing when
+  /// SinkhornConfig::batcher is set, not directly.
+  Result<SinkhornSolveInfo> Submit(const linalg::Matrix& cost,
+                                   const SinkhornConfig& config,
+                                   SinkhornWorkspace* workspace);
+
+  /// Lanes per fused group == the SIMD lane width the stacks are built for.
+  static constexpr int kLanes = 4;
+
+ private:
+  struct Request;
+  /// Interleaved lane tensors (cost/kernel/plan stacks, dual and scratch
+  /// vectors), grown to the largest shape seen. Layout: element (i, j) of
+  /// lane p at [(i * n2 + j) * kLanes + p]; vectors at [idx * kLanes + p].
+  struct LaneStacks;
+
+  /// Pops the front request plus up to kLanes-1 more queued requests of the
+  /// same shape (scanning in FIFO order). Caller holds mutex_.
+  std::vector<Request*> TakeBatchLocked();
+
+  /// Solves a same-shape batch (1..kLanes requests), filling each request's
+  /// result. Runs without the lock; arithmetic is entirely serial (the
+  /// leader role is serialized, so one stack set suffices).
+  void ProcessBatch(const std::vector<Request*>& batch);
+
+  /// The fused group solve shared by ProcessBatch and
+  /// SolveSinkhornMicroBatch.
+  static void SolveGroup(const std::vector<Request*>& group,
+                         LaneStacks* stacks);
+
+  /// Anomaly fallback: replay the ordinary solo solve on the (untouched)
+  /// workspace with the batcher cleared so routing cannot recurse.
+  static void SolveSolo(Request* req);
+
+  friend std::vector<Result<SinkhornSolveInfo>> SolveSinkhornMicroBatch(
+      const std::vector<const linalg::Matrix*>& costs,
+      const std::vector<SinkhornConfig>& configs,
+      const std::vector<SinkhornWorkspace*>& workspaces);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;
+  bool leader_active_ = false;
+  std::unique_ptr<LaneStacks> stacks_;
+};
+
+}  // namespace cerl::ot

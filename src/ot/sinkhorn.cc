@@ -6,6 +6,9 @@
 
 #include "linalg/gemm.h"
 #include "linalg/ops.h"
+#include "linalg/simd.h"
+#include "ot/fused_micro_solver.h"
+#include "ot/sinkhorn_internal.h"
 #include "util/thread_pool.h"
 
 namespace cerl::ot {
@@ -13,10 +16,7 @@ namespace {
 
 using linalg::Matrix;
 using linalg::Vector;
-
-// Scaling variables at or below this are treated as numerical underflow and
-// trigger the log-domain fallback (matches the historic scalar solver).
-constexpr double kUnderflow = 1e-300;
+using internal::kUnderflow;
 
 // Fast path: standard Sinkhorn matrix scaling u = a ./ (K v), v = b ./ (K^T u)
 // with the Gibbs kernel K = exp(-C / reg) computed once. Returns false if the
@@ -169,6 +169,16 @@ bool AllUsable(const Vector& x, int n) {
 // the grain (and thus the serial toggle) is Sinkhorn-specific.
 void KernelTimesVec(const Matrix& kernel, const Vector& v, Vector* kv,
                     bool parallel) {
+  if (!parallel) {
+    // Serial fast path: the single direct kernel call MatVecInto's
+    // grain=max ParallelFor would make (same kernel, same arguments, same
+    // bits), without the per-iteration dispatch overhead — measurable at
+    // the tiny per-stream problem sizes this loop runs ~60 times per
+    // solve. kv is pre-sized by Reserve.
+    linalg::simd::Kernels().mat_vec(kernel.row(0), kernel.cols(), v.data(),
+                                    kernel.rows(), kernel.cols(), kv->data());
+    return;
+  }
   linalg::MatVecInto(kernel, v, kv, Grain(parallel, kernel.cols()));
 }
 
@@ -181,17 +191,24 @@ void KernelTransposeTimesVec(const Matrix& kernel, const Vector& u,
   const int n1 = kernel.rows();
   const double* ud = u.data();
   double* out = ktu->data();
+  // mat_tvec_accum is a plain-elementwise kernel (bitwise identical across
+  // tables, range splits, and row blocking), so this stays the reference
+  // accumulation order that lane4_ktu replays in the fused micro-solver.
+  const auto& ks = linalg::simd::Kernels();
+  if (!parallel) {
+    // Serial fast path: identical to the grain=max ParallelFor below
+    // covering the full column range, minus the dispatch overhead.
+    ks.mat_tvec_accum(kernel.row(0), kernel.cols(), ud, n1, kernel.cols(),
+                      out);
+    return;
+  }
   ParallelFor(
       0, kernel.cols(),
       [&](int64_t lo, int64_t hi) {
         const int j0 = static_cast<int>(lo);
         const int j1 = static_cast<int>(hi);
-        std::fill(out + j0, out + j1, 0.0);
-        for (int i = 0; i < n1; ++i) {
-          const double* krow = kernel.row(i);
-          const double ui = ud[i];
-          for (int j = j0; j < j1; ++j) out[j] += krow[j] * ui;
-        }
+        ks.mat_tvec_accum(kernel.row(0) + j0, kernel.cols(), ud, n1, j1 - j0,
+                          out + j0);
       },
       Grain(parallel, n1));
 }
@@ -254,14 +271,16 @@ ScalingOutcome RunScaling(const Matrix& kernel, const SinkhornConfig& config,
         }
       }
     }
-    for (int i = 0; i < n1; ++i) (*u)[i] = a / (*kv)[i];
+    // vec_div_scalar is plain IEEE division — the same bits as the scalar
+    // loop (and as lane4_div_masked in the fused micro-solver).
+    linalg::simd::Kernels().vec_div_scalar(a, kv->data(), u->data(), n1);
     have_u = true;
     KernelTransposeTimesVec(kernel, *u, ktu, config.parallel);
     if (!AllUsable(*ktu, n2)) {
       *iterations = iter;
       return ScalingOutcome::kDegenerate;
     }
-    for (int j = 0; j < n2; ++j) (*v)[j] = b / (*ktu)[j];
+    linalg::simd::Kernels().vec_div_scalar(b, ktu->data(), v->data(), n2);
   }
   *iterations = iter;
   // The pair from the final iteration was never checked; measure it so the
@@ -318,6 +337,22 @@ double AssemblePlanCost(const Matrix& cost, const Matrix& kernel,
 
 }  // namespace
 
+bool SinkhornWorkspace::AdaptWarmStart(int rows, int cols) {
+  if (warm_rows_ <= 0 || warm_cols_ <= 0) return false;
+  if (warm_rows_ == rows && warm_cols_ == cols) return false;
+  // resize keeps the prefix; only entries beyond the old shape get the cold
+  // value. The scale of the retained duals is irrelevant: the first scaling
+  // update recomputes u entirely from K·v (and v from Kᵀ·u), so only the
+  // dual profile carries warm-start information.
+  u_.resize(rows);
+  for (int i = warm_rows_; i < rows; ++i) u_[i] = 1.0;
+  v_.resize(cols);
+  for (int j = warm_cols_; j < cols; ++j) v_[j] = 1.0;
+  warm_rows_ = rows;
+  warm_cols_ = cols;
+  return true;
+}
+
 void SinkhornWorkspace::Reserve(int n1, int n2) {
   const int64_t elems = static_cast<int64_t>(n1) * n2;
   if (elems > mat_high_water_) {
@@ -350,6 +385,22 @@ Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
   if (n1 == 0 || n2 == 0) {
     return Status::InvalidArgument("empty cost matrix");
   }
+  // Shape-adapted warm starts happen before the solo/fused routing so both
+  // paths observe the identical dual state (the batcher gathers duals from
+  // the workspace through the same has_warm_start check as the solo path).
+  if (base_config.warm_start && base_config.adaptive_warm_start) {
+    workspace->AdaptWarmStart(n1, n2);
+  }
+  // Micro solves (below the parallel threshold) can be handed to the
+  // cross-stream batcher, which stacks concurrent small problems into one
+  // SIMD-lane sweep. Per problem the batcher is bit-identical to the solo
+  // path below (it ejects back here — with the batcher cleared — on any
+  // numerical anomaly), so this routing never changes results.
+  if (base_config.batcher != nullptr &&
+      static_cast<int64_t>(n1) * n2 < base_config.min_parallel_elements) {
+    return base_config.batcher->Submit(cost, base_config, workspace);
+  }
+
   SinkhornWorkspace& ws = *workspace;
   ws.Reserve(n1, n2);
 
@@ -426,7 +477,7 @@ Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
     // matches the reference solver's accept-at-max-iterations behaviour
     // for merely slow convergence.
     if (outcome == ScalingOutcome::kNotConverged &&
-        final_violation > 100.0 * config.tolerance) {
+        final_violation > internal::kNearMissFactor * config.tolerance) {
       continue;
     }
     const double total =

@@ -1,0 +1,23 @@
+// Numerical thresholds shared by the solo Sinkhorn solver (sinkhorn.cc) and
+// the fused micro-solver (fused_micro_solver.cc). The fused solver promises
+// bit-identical results to the solo path, which requires, among the
+// lockstep arithmetic, agreeing exactly on when a scaling variable counts
+// as degenerate.
+#pragma once
+
+namespace cerl::ot::internal {
+
+/// Scaling variables at or below this are treated as numerical underflow:
+/// the solo solver retries cold / falls back to the log domain, the fused
+/// solver ejects the lane to a solo solve (matches the historic scalar
+/// solver's threshold).
+inline constexpr double kUnderflow = 1e-300;
+
+/// A solve that exhausts max_iterations with a final row violation within
+/// this factor of the tolerance is accepted as "slow but essentially
+/// converged" (the reference solver's accept-at-max-iterations behaviour);
+/// beyond it the solo solver retries / falls back and the fused solver
+/// ejects.
+inline constexpr double kNearMissFactor = 100.0;
+
+}  // namespace cerl::ot::internal

@@ -428,6 +428,10 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
     }
     core::CerlConfig config;
     CERL_RETURN_IF_ERROR(ReadConfig(&r, &config));
+    // The batcher pointer is runtime scheduling state, never serialized:
+    // re-wire it exactly as AddStream does for THIS engine's options.
+    config.train.sinkhorn.batcher =
+        options_.fuse_micro_solves ? &micro_batcher_ : nullptr;
     uint32_t completed = 0;
     CERL_RETURN_IF_ERROR(r.ReadPod(&completed, "completed domains"));
     // Lands in StreamState::pushed (an int): cap so a corrupt counter cannot

@@ -36,8 +36,14 @@ const StreamEngine::StreamState& StreamEngine::stream(int id) const {
 
 int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
                             int input_dim) {
-  streams_.push_back(std::make_unique<StreamState>(std::move(name), config,
-                                                   input_dim, &pool_));
+  // Point the stream's micro Sinkhorn solves at the shared cross-stream
+  // batcher. Results are bit-identical either way (fused_micro_solver.h),
+  // so this stays a runtime scheduling knob.
+  core::CerlConfig stream_config = config;
+  stream_config.train.sinkhorn.batcher =
+      options_.fuse_micro_solves ? &micro_batcher_ : nullptr;
+  streams_.push_back(std::make_unique<StreamState>(
+      std::move(name), stream_config, input_dim, &pool_));
   return num_streams() - 1;
 }
 

@@ -43,6 +43,7 @@
 #include "causal/metrics.h"
 #include "core/cerl_trainer.h"
 #include "data/dataset.h"
+#include "ot/fused_micro_solver.h"
 #include "util/task_group.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,14 @@ struct StreamEngineOptions {
   /// is pushed, overlapping earlier stages; the ingest stage then merely
   /// checks the verdict. Off = validate inside the ingest stage.
   bool validate_on_push = true;
+  /// Route each stream's tiny Sinkhorn solves (below
+  /// SinkhornConfig::min_parallel_elements) through the engine's shared
+  /// ot::MicroSolveBatcher, which fuses concurrent same-shape solves from
+  /// different stream workers into one SIMD-lane sweep. Per problem the
+  /// fused solve is bit-identical to the solo path (see
+  /// fused_micro_solver.h), so this is a pure scheduling choice — a runtime
+  /// option, not durable state (snapshots neither save nor restore it).
+  bool fuse_micro_solves = true;
 };
 
 /// Outcome of one fully processed domain of one stream.
@@ -160,6 +169,10 @@ class StreamEngine {
 
   StreamEngineOptions options_;
   ThreadPool pool_;  ///< stream workers (declared before the groups using it)
+  /// Cross-stream fused micro-solver (options_.fuse_micro_solves): every
+  /// stream's trainer config points its SinkhornConfig::batcher here.
+  /// Declared before streams_ so it outlives every stage task's solves.
+  ot::MicroSolveBatcher micro_batcher_;
   std::vector<std::unique_ptr<StreamState>> streams_;
 
   /// Guards stream queues / in-flight flags / results and the pause state;

@@ -1,0 +1,376 @@
+// Tests for the cross-stream fused Sinkhorn micro-solver
+// (ot/fused_micro_solver.h). The load-bearing property is BIT-IDENTITY:
+// every problem solved through a fused group must produce exactly the solo
+// SolveSinkhorn result — cost, iteration count, info flags, transport plan,
+// and the retained warm-start duals (verified through follow-up solves).
+// Covered: group sizes 1..4 (padding lanes), batch-composition
+// independence, warm-start continuity across drifting solves,
+// zero-iteration warm accepts, ejection of numerically degenerate lanes
+// (log-domain fallback) riding next to healthy lanes, mixed-shape grouping,
+// max_iterations edge cases, the threaded flat-combining batcher, and the
+// SolveSinkhorn config.batcher routing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "ot/fused_micro_solver.h"
+#include "ot/sinkhorn.h"
+#include "util/rng.h"
+
+namespace cerl::ot {
+namespace {
+
+using linalg::Matrix;
+
+Matrix RandomCost(Rng* rng, int rows, int cols, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = scale * rng->Uniform(0.0, 1.0);
+  }
+  return m;
+}
+
+void Drift(Rng* rng, Matrix* cost, double scale) {
+  for (int64_t i = 0; i < cost->size(); ++i) {
+    cost->data()[i] = std::fabs(cost->data()[i] + rng->Uniform(0.0, scale));
+  }
+}
+
+SinkhornConfig MicroConfig() {
+  SinkhornConfig config;
+  config.max_iterations = 200;
+  config.tolerance = 1e-6;
+  return config;
+}
+
+void ExpectBitIdentical(const Result<SinkhornSolveInfo>& fused,
+                        const Result<SinkhornSolveInfo>& solo,
+                        const SinkhornWorkspace& ws_fused,
+                        const SinkhornWorkspace& ws_solo,
+                        const std::string& what) {
+  ASSERT_EQ(fused.ok(), solo.ok()) << what;
+  if (!fused.ok()) {
+    EXPECT_EQ(fused.status().message(), solo.status().message()) << what;
+    return;
+  }
+  const SinkhornSolveInfo& f = fused.value();
+  const SinkhornSolveInfo& s = solo.value();
+  EXPECT_EQ(f.cost, s.cost) << what;  // exact, not NEAR
+  EXPECT_EQ(f.iterations, s.iterations) << what;
+  EXPECT_EQ(f.warm_started, s.warm_started) << what;
+  EXPECT_EQ(f.used_log_domain, s.used_log_domain) << what;
+  ASSERT_EQ(ws_fused.plan().rows(), ws_solo.plan().rows()) << what;
+  ASSERT_EQ(ws_fused.plan().cols(), ws_solo.plan().cols()) << what;
+  EXPECT_EQ(0, std::memcmp(ws_fused.plan().data(), ws_solo.plan().data(),
+                           static_cast<size_t>(ws_fused.plan().size()) *
+                               sizeof(double)))
+      << what << ": plans differ";
+}
+
+// Solves `costs` once solo (fresh workspaces) and once through
+// SolveSinkhornMicroBatch (fresh workspaces), asserting bit-identity
+// problem by problem. Returns nothing — the workspaces die with the call —
+// so sequences that need warm-start continuity drive the solvers directly.
+void CheckBatchMatchesSolo(const std::vector<Matrix>& costs,
+                           const SinkhornConfig& config) {
+  const size_t n = costs.size();
+  std::vector<SinkhornWorkspace> solo_ws(n), fused_ws(n);
+  std::vector<Result<SinkhornSolveInfo>> solo;
+  solo.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    solo.push_back(SolveSinkhorn(costs[i], config, &solo_ws[i]));
+  }
+  std::vector<const Matrix*> cost_ptrs;
+  std::vector<SinkhornConfig> configs(n, config);
+  std::vector<SinkhornWorkspace*> ws_ptrs;
+  for (size_t i = 0; i < n; ++i) {
+    cost_ptrs.push_back(&costs[i]);
+    ws_ptrs.push_back(&fused_ws[i]);
+  }
+  std::vector<Result<SinkhornSolveInfo>> fused =
+      SolveSinkhornMicroBatch(cost_ptrs, configs, ws_ptrs);
+  ASSERT_EQ(fused.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    ExpectBitIdentical(fused[i], solo[i], fused_ws[i], solo_ws[i],
+                       "problem " + std::to_string(i));
+  }
+}
+
+TEST(FusedMicroSolverTest, GroupSizesOneThroughFourMatchSolo) {
+  Rng rng(101);
+  for (int group : {1, 2, 3, 4}) {
+    std::vector<Matrix> costs;
+    for (int i = 0; i < group; ++i) costs.push_back(RandomCost(&rng, 9, 7));
+    CheckBatchMatchesSolo(costs, MicroConfig());
+  }
+}
+
+TEST(FusedMicroSolverTest, MoreThanFourProblemsSplitIntoGroups) {
+  Rng rng(103);
+  std::vector<Matrix> costs;
+  for (int i = 0; i < 11; ++i) costs.push_back(RandomCost(&rng, 6, 8));
+  CheckBatchMatchesSolo(costs, MicroConfig());
+}
+
+TEST(FusedMicroSolverTest, MixedShapesGroupBySameShapeOnly) {
+  Rng rng(107);
+  std::vector<Matrix> costs;
+  // Interleaved shapes: the greedy grouping must fuse only like with like.
+  for (int i = 0; i < 4; ++i) {
+    costs.push_back(RandomCost(&rng, 5, 6));
+    costs.push_back(RandomCost(&rng, 8, 3));
+    costs.push_back(RandomCost(&rng, 1, 9));
+  }
+  CheckBatchMatchesSolo(costs, MicroConfig());
+}
+
+// A problem's result must not depend on WHICH problems it is batched with
+// (this is what makes the engine deterministic despite timing-dependent
+// batch composition). Solve the same problem inside several different
+// batches and compare against its solo result each time.
+TEST(FusedMicroSolverTest, ResultIndependentOfBatchComposition) {
+  Rng rng(109);
+  const Matrix probe = RandomCost(&rng, 7, 7);
+  const SinkhornConfig config = MicroConfig();
+  SinkhornWorkspace solo_ws;
+  const auto solo = SolveSinkhorn(probe, config, &solo_ws);
+  ASSERT_TRUE(solo.ok());
+  for (int companions : {1, 2, 3}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<Matrix> costs;
+      costs.push_back(probe);
+      for (int i = 0; i < companions; ++i) {
+        costs.push_back(RandomCost(&rng, 7, 7, 1.0 + trial));
+      }
+      std::vector<const Matrix*> cost_ptrs;
+      std::vector<SinkhornConfig> configs(costs.size(), config);
+      std::vector<SinkhornWorkspace> ws(costs.size());
+      std::vector<SinkhornWorkspace*> ws_ptrs;
+      for (size_t i = 0; i < costs.size(); ++i) {
+        cost_ptrs.push_back(&costs[i]);
+        ws_ptrs.push_back(&ws[i]);
+      }
+      const auto fused = SolveSinkhornMicroBatch(cost_ptrs, configs, ws_ptrs);
+      ExpectBitIdentical(fused[0], solo, ws[0], solo_ws,
+                         "companions=" + std::to_string(companions));
+    }
+  }
+}
+
+// Warm-start continuity: a drifting sequence solved fused must track the
+// solo sequence bitwise at every step — the scattered duals ARE the solo
+// duals, so warm starts keep agreeing forever.
+TEST(FusedMicroSolverTest, WarmStartSequenceStaysBitIdentical) {
+  Rng rng(113);
+  const int kProblems = 3, kSteps = 5;
+  std::vector<Matrix> costs;
+  for (int i = 0; i < kProblems; ++i) costs.push_back(RandomCost(&rng, 8, 6));
+  const SinkhornConfig config = MicroConfig();
+  std::vector<SinkhornWorkspace> solo_ws(kProblems), fused_ws(kProblems);
+  for (int step = 0; step < kSteps; ++step) {
+    std::vector<Result<SinkhornSolveInfo>> solo;
+    for (int i = 0; i < kProblems; ++i) {
+      solo.push_back(SolveSinkhorn(costs[i], config, &solo_ws[i]));
+    }
+    std::vector<const Matrix*> cost_ptrs;
+    std::vector<SinkhornConfig> configs(kProblems, config);
+    std::vector<SinkhornWorkspace*> ws_ptrs;
+    for (int i = 0; i < kProblems; ++i) {
+      cost_ptrs.push_back(&costs[i]);
+      ws_ptrs.push_back(&fused_ws[i]);
+    }
+    const auto fused = SolveSinkhornMicroBatch(cost_ptrs, configs, ws_ptrs);
+    for (int i = 0; i < kProblems; ++i) {
+      ExpectBitIdentical(fused[i], solo[i], fused_ws[i], solo_ws[i],
+                         "step " + std::to_string(step) + " problem " +
+                             std::to_string(i));
+      if (fused[i].ok() && step > 0) {
+        EXPECT_TRUE(fused[i].value().warm_started);
+      }
+    }
+    for (int i = 0; i < kProblems; ++i) Drift(&rng, &costs[i], 0.05);
+  }
+}
+
+// Re-solving an unchanged cost warm hits the zero-iteration accept (the
+// retained duals already satisfy both marginals) — in the fused path this
+// exercises the per-lane K^T u verification sweep. Three rounds: round 0
+// may stop at max_iterations with a near-miss (duals not yet inside the
+// tolerance), round 1 converges from them, round 2 must zero-accept.
+TEST(FusedMicroSolverTest, ZeroIterationWarmAcceptMatchesSolo) {
+  Rng rng(127);
+  std::vector<Matrix> costs;
+  for (int i = 0; i < 4; ++i) costs.push_back(RandomCost(&rng, 6, 6));
+  const SinkhornConfig config = MicroConfig();
+  std::vector<SinkhornWorkspace> solo_ws(4), fused_ws(4);
+  std::vector<const Matrix*> cost_ptrs;
+  std::vector<SinkhornConfig> configs(4, config);
+  std::vector<SinkhornWorkspace*> ws_ptrs;
+  for (int i = 0; i < 4; ++i) {
+    cost_ptrs.push_back(&costs[i]);
+    ws_ptrs.push_back(&fused_ws[i]);
+  }
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Result<SinkhornSolveInfo>> solo;
+    for (int i = 0; i < 4; ++i) {
+      solo.push_back(SolveSinkhorn(costs[i], config, &solo_ws[i]));
+    }
+    const auto fused = SolveSinkhornMicroBatch(cost_ptrs, configs, ws_ptrs);
+    for (int i = 0; i < 4; ++i) {
+      ExpectBitIdentical(fused[i], solo[i], fused_ws[i], solo_ws[i],
+                         "round " + std::to_string(round));
+      if (round == 2) {
+        ASSERT_TRUE(fused[i].ok());
+        EXPECT_EQ(fused[i].value().iterations, 0) << "unchanged cost";
+      }
+    }
+  }
+}
+
+// A lane that degenerates (regularization so small the scaling underflows)
+// must eject to the full solo cascade — landing in the log-domain fallback
+// exactly like solo — WITHOUT disturbing the healthy lanes in its group.
+TEST(FusedMicroSolverTest, DegenerateLaneEjectsAndMatchesSoloFallback) {
+  Rng rng(131);
+  std::vector<Matrix> costs;
+  costs.push_back(RandomCost(&rng, 8, 8));
+  costs.push_back(RandomCost(&rng, 8, 8, 50.0));  // the problem lane
+  costs.push_back(RandomCost(&rng, 8, 8));
+  costs.push_back(RandomCost(&rng, 8, 8));
+  std::vector<SinkhornConfig> configs(4, MicroConfig());
+  configs[1].reg_fraction = 1e-9;  // exp(-C/reg) underflows -> log domain
+  std::vector<SinkhornWorkspace> solo_ws(4), fused_ws(4);
+  std::vector<Result<SinkhornSolveInfo>> solo;
+  for (int i = 0; i < 4; ++i) {
+    solo.push_back(SolveSinkhorn(costs[i], configs[i], &solo_ws[i]));
+  }
+  ASSERT_TRUE(solo[1].ok());
+  ASSERT_TRUE(solo[1].value().used_log_domain)
+      << "fixture must actually trigger the fallback";
+  std::vector<const Matrix*> cost_ptrs;
+  std::vector<SinkhornWorkspace*> ws_ptrs;
+  for (int i = 0; i < 4; ++i) {
+    cost_ptrs.push_back(&costs[i]);
+    ws_ptrs.push_back(&fused_ws[i]);
+  }
+  const auto fused = SolveSinkhornMicroBatch(cost_ptrs, configs, ws_ptrs);
+  for (int i = 0; i < 4; ++i) {
+    ExpectBitIdentical(fused[i], solo[i], fused_ws[i], solo_ws[i],
+                       "problem " + std::to_string(i));
+  }
+}
+
+// Tiny iteration budgets hit the final-violation (near-miss / eject) paths.
+TEST(FusedMicroSolverTest, IterationBudgetEdgeCasesMatchSolo) {
+  Rng rng(137);
+  for (int max_iter : {0, 1, 2, 3}) {
+    std::vector<Matrix> costs;
+    for (int i = 0; i < 4; ++i) costs.push_back(RandomCost(&rng, 7, 5));
+    SinkhornConfig config = MicroConfig();
+    config.max_iterations = max_iter;
+    CheckBatchMatchesSolo(costs, config);
+  }
+}
+
+TEST(FusedMicroSolverTest, OneByOneProblemsMatchSolo) {
+  Rng rng(139);
+  std::vector<Matrix> costs;
+  for (int i = 0; i < 4; ++i) costs.push_back(RandomCost(&rng, 1, 1));
+  CheckBatchMatchesSolo(costs, MicroConfig());
+}
+
+// --- the threaded batcher -----------------------------------------------
+
+// Concurrent submissions through MicroSolveBatcher (via the SolveSinkhorn
+// config.batcher routing, the way the stream engine uses it) must produce
+// each thread's solo-bitwise result no matter how the flat-combining
+// leader batches them.
+TEST(MicroSolveBatcherTest, ConcurrentSubmissionsAreSoloBitwise) {
+  Rng rng(149);
+  const int kThreads = 8, kSolvesPerThread = 16;
+  std::vector<Matrix> costs;
+  std::vector<SinkhornWorkspace> solo_ws(kThreads);
+  std::vector<std::vector<double>> solo_costs(kThreads);
+  std::vector<std::vector<int>> solo_iters(kThreads);
+  const SinkhornConfig base = MicroConfig();
+  for (int t = 0; t < kThreads; ++t) {
+    costs.push_back(RandomCost(&rng, 6, 6));
+  }
+  // Reference: each thread's drifting sequence solved solo, serially.
+  {
+    std::vector<Matrix> seq = costs;
+    std::vector<Rng> rngs;
+    for (int t = 0; t < kThreads; ++t) rngs.emplace_back(1000 + t);
+    for (int t = 0; t < kThreads; ++t) {
+      for (int s = 0; s < kSolvesPerThread; ++s) {
+        const auto r = SolveSinkhorn(seq[t], base, &solo_ws[t]);
+        ASSERT_TRUE(r.ok());
+        solo_costs[t].push_back(r.value().cost);
+        solo_iters[t].push_back(r.value().iterations);
+        Drift(&rngs[t], &seq[t], 0.05);
+      }
+    }
+  }
+  // Live: every thread routes through one shared batcher.
+  MicroSolveBatcher batcher;
+  SinkhornConfig routed = base;
+  routed.batcher = &batcher;
+  ASSERT_LT(6 * 6, routed.min_parallel_elements)
+      << "fixture must stay below the micro threshold";
+  std::vector<SinkhornWorkspace> live_ws(kThreads);
+  std::vector<std::vector<double>> live_costs(kThreads);
+  std::vector<std::vector<int>> live_iters(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Matrix cost = costs[t];
+      Rng thread_rng(1000 + t);
+      for (int s = 0; s < kSolvesPerThread; ++s) {
+        const auto r = SolveSinkhorn(cost, routed, &live_ws[t]);
+        ASSERT_TRUE(r.ok());
+        live_costs[t].push_back(r.value().cost);
+        live_iters[t].push_back(r.value().iterations);
+        Drift(&thread_rng, &cost, 0.05);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(live_costs[t].size(), solo_costs[t].size());
+    for (int s = 0; s < kSolvesPerThread; ++s) {
+      EXPECT_EQ(live_costs[t][s], solo_costs[t][s])
+          << "thread " << t << " solve " << s;
+      EXPECT_EQ(live_iters[t][s], solo_iters[t][s])
+          << "thread " << t << " solve " << s;
+    }
+    EXPECT_EQ(0, std::memcmp(live_ws[t].plan().data(),
+                             solo_ws[t].plan().data(),
+                             static_cast<size_t>(live_ws[t].plan().size()) *
+                                 sizeof(double)))
+        << "thread " << t << " final plan";
+  }
+}
+
+// Problems at or above min_parallel_elements must bypass the batcher (the
+// routing is strictly for micro solves).
+TEST(MicroSolveBatcherTest, LargeSolvesBypassBatcher) {
+  Rng rng(151);
+  MicroSolveBatcher batcher;
+  SinkhornConfig config = MicroConfig();
+  config.batcher = &batcher;
+  config.min_parallel_elements = 16;  // 5x5 = 25 >= 16 -> solo path
+  const Matrix cost = RandomCost(&rng, 5, 5);
+  SinkhornWorkspace ws_routed, ws_plain;
+  const auto routed = SolveSinkhorn(cost, config, &ws_routed);
+  SinkhornConfig plain = config;
+  plain.batcher = nullptr;
+  const auto solo = SolveSinkhorn(cost, plain, &ws_plain);
+  ExpectBitIdentical(routed, solo, ws_routed, ws_plain, "bypass");
+}
+
+}  // namespace
+}  // namespace cerl::ot

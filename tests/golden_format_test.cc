@@ -18,12 +18,24 @@
 
 #include "core/cerl_trainer.h"
 #include "data/synthetic.h"
+#include "linalg/simd.h"
 #include "stream/stream_engine.h"
 #include "util/binary_io.h"
 #include "util/rng.h"
 
 namespace cerl {
 namespace {
+
+// The committed hexfloats pin the SCALAR kernel arithmetic: they must load
+// bit-identically on any machine, including ones without AVX2. Each test
+// (and the regen path) forces the scalar table so the fixture values stay
+// machine-independent; production numerics are covered by the parity suite
+// in simd_kernel_test.cc instead.
+class ScalarKernelGuard {
+ public:
+  ScalarKernelGuard() { linalg::simd::ForceScalarForTesting(true); }
+  ~ScalarKernelGuard() { linalg::simd::ForceScalarForTesting(false); }
+};
 
 using core::CerlConfig;
 using core::CerlTrainer;
@@ -176,6 +188,7 @@ void RegenerateEngineFixture(Vector* expected_a, Vector* expected_b) {
 
 TEST(GoldenFormatTest, RegenerateIfRequested) {
   if (!RegenRequested()) return;
+  ScalarKernelGuard scalar_guard;
   Vector trainer_ite, engine_a, engine_b;
   RegenerateTrainerFixture(&trainer_ite);
   RegenerateEngineFixture(&engine_a, &engine_b);
@@ -185,6 +198,7 @@ TEST(GoldenFormatTest, RegenerateIfRequested) {
 }
 
 TEST(GoldenFormatTest, TrainerFixtureLoadsBitIdentically) {
+  ScalarKernelGuard scalar_guard;
   const std::vector<Vector> expected = ReadExpected(3);
   CerlTrainer trainer(GoldenTrainerConfig(), kGoldenDim);
   Status s = trainer.LoadCheckpoint(TrainerFixture());
@@ -195,6 +209,7 @@ TEST(GoldenFormatTest, TrainerFixtureLoadsBitIdentically) {
 }
 
 TEST(GoldenFormatTest, EngineFixtureLoadsAndReplaysBitIdentically) {
+  ScalarKernelGuard scalar_guard;
   const std::vector<Vector> expected = ReadExpected(3);
   stream::StreamEngineOptions options;
   options.num_workers = 2;

@@ -1,0 +1,713 @@
+// Parity and contract tests for the runtime-dispatched SIMD kernel layer
+// (linalg/simd.h): scalar-vs-AVX2 agreement with a documented ULP
+// tolerance across sizes including every n % 4 remainder, the
+// position-uniformity / split-invariance guarantees the fused micro-solver
+// and Adam depend on, lane4_dot's exact row_dot-per-lane identity, VecExp's
+// in == out alias contract, and same-build run-to-run determinism.
+//
+// ULP tolerance rationale: the AVX2 kernels keep the scalar expression
+// shape but fuse each multiply-add (FMA), so every fused op can differ from
+// the scalar mul-then-add by up to 1 ulp of intermediate rounding. vec_exp
+// runs a fixed number (~10) of fused steps per element; observed deviation
+// is <= 2 ulp, asserted <= 8. Dot products / GEMM accumulate one fused op
+// per term, so the bound grows with length; asserted via relative error
+// against a long-double reference instead of raw ulps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "linalg/simd.h"
+#include "util/rng.h"
+
+namespace cerl::linalg::simd {
+namespace {
+
+// Sizes covering every remainder class mod 4 (and mod 8 for the unrolled
+// lane4_dot), plus sub-width arrays.
+const int kSizes[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 64, 100, 257};
+
+uint64_t OrderedKey(double x) {
+  uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  // Map the IEEE bit pattern onto a monotonically ordered unsigned line so
+  // ulp distance is a plain subtraction.
+  return (u & 0x8000000000000000ull) ? 0x8000000000000000ull - (u & 0x7FFFFFFFFFFFFFFFull)
+                                     : u + 0x8000000000000000ull;
+}
+
+uint64_t UlpDiff(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) {
+    return (std::isnan(a) && std::isnan(b)) ? 0 : ~0ull;
+  }
+  const uint64_t ka = OrderedKey(a);
+  const uint64_t kb = OrderedKey(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+std::vector<double> RandomVec(Rng* rng, int n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform(lo, hi);
+  return v;
+}
+
+bool ActiveIsAvx2() { return std::string(Kernels().name) == "avx2"; }
+
+TEST(SimdDispatchTest, ResolvesOnceAndConsistently) {
+  const KernelSet& a = Kernels();
+  const KernelSet& b = Kernels();
+  EXPECT_EQ(&a, &b) << "dispatch must resolve to one table per process";
+  if (ForcedScalar() || !Avx2Available()) {
+    EXPECT_STREQ(a.name, "scalar");
+  } else {
+    EXPECT_STREQ(a.name, "avx2");
+  }
+}
+
+TEST(SimdDispatchTest, ForceScalarForTestingSwapsTables) {
+  ForceScalarForTesting(true);
+  EXPECT_STREQ(Kernels().name, "scalar");
+  EXPECT_EQ(&Kernels(), &ScalarKernels());
+  ForceScalarForTesting(false);
+  if (!ForcedScalar() && Avx2Available()) {
+    EXPECT_STREQ(Kernels().name, "avx2");
+  }
+}
+
+// --- vec_exp -------------------------------------------------------------
+
+TEST(VecExpKernelTest, Avx2MatchesScalarWithinUlps) {
+  if (!ActiveIsAvx2()) GTEST_SKIP() << "AVX2 table not active";
+  Rng rng(42);
+  for (int n : kSizes) {
+    // Cover the clamp edges and the interesting exponent range.
+    std::vector<double> in = RandomVec(&rng, n, -720.0, 720.0);
+    std::vector<double> scalar_out(n), simd_out(n);
+    ScalarKernels().vec_exp(in.data(), scalar_out.data(), n);
+    Kernels().vec_exp(in.data(), simd_out.data(), n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LE(UlpDiff(scalar_out[i], simd_out[i]), 8u)
+          << "n=" << n << " i=" << i << " in=" << in[i];
+    }
+  }
+}
+
+// Position-uniformity: element i's result depends only on in[i] — the
+// masked AVX2 tail must be bitwise the full-width arithmetic, so batching
+// many small arrays into one call changes nothing. The fused micro-solver
+// builds all four Gibbs kernels with ONE vec_exp over the stacked lanes on
+// the strength of this exact property.
+TEST(VecExpKernelTest, PositionUniformAcrossLengthsAndOffsets) {
+  Rng rng(7);
+  const std::vector<double> in = RandomVec(&rng, 257, -700.0, 700.0);
+  std::vector<double> full(in.size());
+  const KernelSet& ks = Kernels();
+  ks.vec_exp(in.data(), full.data(), static_cast<int>(in.size()));
+  for (int n : kSizes) {
+    for (int offset : {0, 1, 2, 3, 5}) {
+      if (offset + n > static_cast<int>(in.size())) continue;
+      std::vector<double> part(n);
+      ks.vec_exp(in.data() + offset, part.data(), n);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(part[i], full[offset + i])
+            << "n=" << n << " offset=" << offset << " i=" << i;
+      }
+    }
+  }
+}
+
+// linalg::VecExp documents that in == out aliasing is part of the contract.
+TEST(VecExpKernelTest, InPlaceAliasMatchesOutOfPlace) {
+  Rng rng(11);
+  for (int n : kSizes) {
+    std::vector<double> in = RandomVec(&rng, n, -30.0, 30.0);
+    std::vector<double> separate(n);
+    linalg::VecExp(in.data(), separate.data(), n);
+    std::vector<double> inplace = in;
+    linalg::VecExp(inplace.data(), inplace.data(), n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(inplace[i], separate[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(VecExpKernelTest, ClampAndSpecialValues) {
+  const double in[] = {-800.0, -708.0, 0.0, 708.0, 800.0, 1.0, -1.0};
+  const int n = 7;
+  double out[7];
+  Kernels().vec_exp(in, out, n);
+  EXPECT_GT(out[0], 0.0);  // clamped, not underflowed to 0
+  EXPECT_TRUE(std::isfinite(out[4]));
+  EXPECT_EQ(out[2], 1.0);
+  EXPECT_EQ(out[0], out[1]);  // both clamp to exp(-708)
+  EXPECT_EQ(out[3], out[4]);  // both clamp to exp(708)
+}
+
+// --- row_dot / lane4_dot -------------------------------------------------
+
+TEST(RowDotKernelTest, Avx2MatchesScalarWithinRelativeTolerance) {
+  if (!ActiveIsAvx2()) GTEST_SKIP() << "AVX2 table not active";
+  Rng rng(13);
+  for (int n : kSizes) {
+    std::vector<double> a = RandomVec(&rng, n, -2.0, 2.0);
+    std::vector<double> b = RandomVec(&rng, n, -2.0, 2.0);
+    const double s = ScalarKernels().row_dot(a.data(), b.data(), n);
+    const double v = Kernels().row_dot(a.data(), b.data(), n);
+    long double ref = 0.0L;
+    for (int i = 0; i < n; ++i) {
+      ref += static_cast<long double>(a[i]) * b[i];
+    }
+    const double scale = std::max(1.0, std::fabs(static_cast<double>(ref)));
+    EXPECT_NEAR(s, v, 1e-13 * scale) << "n=" << n;
+  }
+}
+
+// The fused micro-solver's keystone: lane p of lane4_dot is BITWISE the
+// row_dot of the same kernel set applied to lane p's deinterleaved data —
+// for the active table and for the scalar table.
+TEST(Lane4DotKernelTest, EachLaneBitwiseEqualsRowDot) {
+  Rng rng(17);
+  const KernelSet* sets[] = {&Kernels(), &ScalarKernels()};
+  for (const KernelSet* ks : sets) {
+    for (int n : kSizes) {
+      std::vector<double> k4 = RandomVec(&rng, n * 4, -3.0, 3.0);
+      std::vector<double> v4 = RandomVec(&rng, n * 4, -3.0, 3.0);
+      double out[4];
+      ks->lane4_dot(k4.data(), v4.data(), n, out);
+      for (int p = 0; p < 4; ++p) {
+        std::vector<double> row(n), x(n);
+        for (int j = 0; j < n; ++j) {
+          row[j] = k4[4 * j + p];
+          x[j] = v4[4 * j + p];
+        }
+        const double solo = ks->row_dot(row.data(), x.data(), n);
+        EXPECT_EQ(out[p], solo)
+            << ks->name << " n=" << n << " lane=" << p;
+      }
+    }
+  }
+}
+
+// --- gemm microkernels ---------------------------------------------------
+
+TEST(GemmKernelTest, Avx2RowKernelsMatchScalarWithinTolerance) {
+  if (!ActiveIsAvx2()) GTEST_SKIP() << "AVX2 table not active";
+  Rng rng(19);
+  for (int kw : {1, 2, 3, 4, 5, 8, 13, 32}) {
+    for (int nw : {1, 2, 3, 4, 5, 7, 16, 33}) {
+      std::vector<double> a0 = RandomVec(&rng, kw, -1.0, 1.0);
+      std::vector<double> a1 = RandomVec(&rng, kw, -1.0, 1.0);
+      std::vector<double> bp = RandomVec(&rng, kw * nw, -1.0, 1.0);
+      std::vector<double> c0s = RandomVec(&rng, nw, -1.0, 1.0);
+      std::vector<double> c1s = c0s;
+      std::vector<double> c0v = c0s, c1v = c1s;
+      const double alpha = 1.25;
+      ScalarKernels().gemm_row2(alpha, a0.data(), a1.data(), bp.data(), kw,
+                                nw, c0s.data(), c1s.data());
+      Kernels().gemm_row2(alpha, a0.data(), a1.data(), bp.data(), kw, nw,
+                          c0v.data(), c1v.data());
+      for (int j = 0; j < nw; ++j) {
+        EXPECT_NEAR(c0s[j], c0v[j], 1e-13 * kw) << "kw=" << kw << " nw=" << nw;
+        EXPECT_NEAR(c1s[j], c1v[j], 1e-13 * kw) << "kw=" << kw << " nw=" << nw;
+      }
+      std::vector<double> crs = RandomVec(&rng, nw, -1.0, 1.0);
+      std::vector<double> crv = crs;
+      ScalarKernels().gemm_row1(alpha, a0.data(), bp.data(), kw, nw,
+                                crs.data());
+      Kernels().gemm_row1(alpha, a0.data(), bp.data(), kw, nw, crv.data());
+      for (int j = 0; j < nw; ++j) {
+        EXPECT_NEAR(crs[j], crv[j], 1e-13 * kw) << "kw=" << kw << " nw=" << nw;
+      }
+    }
+  }
+}
+
+// --- adam_update ---------------------------------------------------------
+
+TEST(AdamKernelTest, Avx2MatchesScalarWithinTolerance) {
+  if (!ActiveIsAvx2()) GTEST_SKIP() << "AVX2 table not active";
+  Rng rng(23);
+  for (int64_t n : {int64_t{1}, int64_t{3}, int64_t{4}, int64_t{7},
+                    int64_t{64}, int64_t{101}}) {
+    const int ni = static_cast<int>(n);
+    std::vector<double> value = RandomVec(&rng, ni, -1.0, 1.0);
+    std::vector<double> grad = RandomVec(&rng, ni, -1.0, 1.0);
+    std::vector<double> m = RandomVec(&rng, ni, -0.1, 0.1);
+    std::vector<double> v = RandomVec(&rng, ni, 0.0, 0.1);
+    auto vs = value, ms = m, vvs = v;
+    auto vv = value, mv = m, vvv = v;
+    ScalarKernels().adam_update(vs.data(), grad.data(), ms.data(), vvs.data(),
+                                n, 0.9, 0.999, 1.0 / (1 - 0.9),
+                                1.0 / (1 - 0.999), 1e-8, 1e-3, 0.01);
+    Kernels().adam_update(vv.data(), grad.data(), mv.data(), vvv.data(), n,
+                          0.9, 0.999, 1.0 / (1 - 0.9), 1.0 / (1 - 0.999),
+                          1e-8, 1e-3, 0.01);
+    for (int i = 0; i < ni; ++i) {
+      EXPECT_NEAR(vs[i], vv[i], 1e-15) << "n=" << n << " i=" << i;
+      EXPECT_NEAR(ms[i], mv[i], 1e-15);
+      EXPECT_NEAR(vvs[i], vvv[i], 1e-15);
+    }
+  }
+}
+
+// Split invariance: ParallelFor's chunk boundaries depend on the worker
+// count, so optim.cc's correctness across machines requires that updating
+// [0, n) in one call is bitwise identical to updating it in two chunks at
+// ANY split point — including splits that land mid-vector-width.
+TEST(AdamKernelTest, RangeSplitInvariant) {
+  Rng rng(29);
+  const int n = 37;
+  const std::vector<double> value0 = RandomVec(&rng, n, -1.0, 1.0);
+  const std::vector<double> grad = RandomVec(&rng, n, -1.0, 1.0);
+  const std::vector<double> m0 = RandomVec(&rng, n, -0.1, 0.1);
+  const std::vector<double> v0 = RandomVec(&rng, n, 0.0, 0.1);
+  const KernelSet& ks = Kernels();
+  auto run_whole = [&](std::vector<double>* val, std::vector<double>* m,
+                       std::vector<double>* v) {
+    ks.adam_update(val->data(), grad.data(), m->data(), v->data(), n, 0.9,
+                   0.999, 1.111, 1.001, 1e-8, 1e-3, 0.0);
+  };
+  std::vector<double> val_a = value0, m_a = m0, v_a = v0;
+  run_whole(&val_a, &m_a, &v_a);
+  for (int split : {1, 2, 3, 4, 5, 17, 36}) {
+    std::vector<double> val_b = value0, m_b = m0, v_b = v0;
+    ks.adam_update(val_b.data(), grad.data(), m_b.data(), v_b.data(), split,
+                   0.9, 0.999, 1.111, 1.001, 1e-8, 1e-3, 0.0);
+    ks.adam_update(val_b.data() + split, grad.data() + split,
+                   m_b.data() + split, v_b.data() + split, n - split, 0.9,
+                   0.999, 1.111, 1.001, 1e-8, 1e-3, 0.0);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(val_a[i], val_b[i]) << "split=" << split << " i=" << i;
+      EXPECT_EQ(m_a[i], m_b[i]) << "split=" << split << " i=" << i;
+      EXPECT_EQ(v_a[i], v_b[i]) << "split=" << split << " i=" << i;
+    }
+  }
+}
+
+// --- elementwise accumulation / whole-array kernels ----------------------
+//
+// Contract (simd.h): every kernel in this family computes each output
+// element with plain individually-rounded IEEE ops or a correctly-rounded
+// std::fma, so the scalar and AVX2 tables must agree BITWISE at every size,
+// including all n % 4 remainders.
+
+TEST(ElementwiseKernelTest, CrossTableBitwiseIdentical) {
+  Rng rng(37);
+  const KernelSet& sc = ScalarKernels();
+  const KernelSet& ac = Kernels();
+  for (int n : kSizes) {
+    const std::vector<double> x1 = RandomVec(&rng, n, -3.0, 3.0);
+    const std::vector<double> x2 = RandomVec(&rng, n, 0.5, 3.0);  // nonzero
+    const std::vector<double> y0 = RandomVec(&rng, n, -1.0, 1.0);
+    const double a = 1.7;
+
+    auto expect_eq = [&](const std::vector<double>& s,
+                         const std::vector<double>& v, const char* kernel) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(s[i], v[i]) << kernel << " n=" << n << " i=" << i;
+      }
+    };
+    std::vector<double> s = y0, v = y0;
+    sc.vec_accum(x1.data(), s.data(), n);
+    ac.vec_accum(x1.data(), v.data(), n);
+    expect_eq(s, v, "vec_accum");
+
+    s = y0, v = y0;
+    sc.vec_axpy(a, x1.data(), s.data(), n);
+    ac.vec_axpy(a, x1.data(), v.data(), n);
+    expect_eq(s, v, "vec_axpy");
+
+    s = y0, v = y0;
+    sc.vec_mul_accum(x1.data(), x2.data(), s.data(), n);
+    ac.vec_mul_accum(x1.data(), x2.data(), v.data(), n);
+    expect_eq(s, v, "vec_mul_accum");
+
+    s = y0, v = y0;
+    sc.vec_add_scalar(a, s.data(), n);
+    ac.vec_add_scalar(a, v.data(), n);
+    expect_eq(s, v, "vec_add_scalar");
+
+    s.assign(n, 0.0), v.assign(n, 0.0);
+    sc.vec_add(x1.data(), x2.data(), s.data(), n);
+    ac.vec_add(x1.data(), x2.data(), v.data(), n);
+    expect_eq(s, v, "vec_add");
+
+    sc.vec_sub(x1.data(), x2.data(), s.data(), n);
+    ac.vec_sub(x1.data(), x2.data(), v.data(), n);
+    expect_eq(s, v, "vec_sub");
+
+    sc.vec_mul(x1.data(), x2.data(), s.data(), n);
+    ac.vec_mul(x1.data(), x2.data(), v.data(), n);
+    expect_eq(s, v, "vec_mul");
+
+    sc.vec_scale(a, x1.data(), s.data(), n);
+    ac.vec_scale(a, x1.data(), v.data(), n);
+    expect_eq(s, v, "vec_scale");
+
+    sc.vec_div_scalar(a, x2.data(), s.data(), n);
+    ac.vec_div_scalar(a, x2.data(), v.data(), n);
+    expect_eq(s, v, "vec_div_scalar");
+  }
+}
+
+TEST(EwForwardKernelTest, CrossTableBitwiseAndFormulaExact) {
+  Rng rng(41);
+  const KernelSet& sc = ScalarKernels();
+  const KernelSet& ac = Kernels();
+  for (int n : kSizes) {
+    for (EwFwd op : {EwFwd::kReciprocal, EwFwd::kRelu, EwFwd::kSqrt,
+                     EwFwd::kSquare, EwFwd::kAbs}) {
+      // Positive inputs where the formula needs them (1/x, sqrt).
+      const bool positive = op == EwFwd::kReciprocal || op == EwFwd::kSqrt;
+      const std::vector<double> x =
+          RandomVec(&rng, n, positive ? 0.1 : -2.0, 2.0);
+      std::vector<double> s(n), v(n);
+      sc.ew_forward(static_cast<int>(op), x.data(), s.data(), n);
+      ac.ew_forward(static_cast<int>(op), x.data(), v.data(), n);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(s[i], v[i])
+            << "ew_forward op=" << static_cast<int>(op) << " n=" << n;
+        // Spot-check the documented formula against plain C++.
+        double ref = 0.0;
+        switch (op) {
+          case EwFwd::kReciprocal: ref = 1.0 / x[i]; break;
+          case EwFwd::kRelu: ref = x[i] > 0.0 ? x[i] : 0.0; break;
+          case EwFwd::kSqrt: ref = std::sqrt(x[i]); break;
+          case EwFwd::kSquare: ref = x[i] * x[i]; break;
+          case EwFwd::kAbs: ref = std::fabs(x[i]); break;
+        }
+        EXPECT_EQ(s[i], ref)
+            << "ew_forward formula op=" << static_cast<int>(op);
+      }
+    }
+  }
+}
+
+TEST(EwBackwardKernelTest, CrossTableBitwiseIdenticalAllOps) {
+  Rng rng(43);
+  const KernelSet& sc = ScalarKernels();
+  const KernelSet& ac = Kernels();
+  const EwGrad ops[] = {EwGrad::kReciprocal, EwGrad::kRelu, EwGrad::kElu,
+                        EwGrad::kTanh,       EwGrad::kSigmoid, EwGrad::kExp,
+                        EwGrad::kLog,        EwGrad::kSqrt,   EwGrad::kSquare,
+                        EwGrad::kAbs};
+  for (int n : kSizes) {
+    for (EwGrad op : ops) {
+      const bool positive = op == EwGrad::kLog || op == EwGrad::kSqrt ||
+                            op == EwGrad::kReciprocal;
+      const std::vector<double> x =
+          RandomVec(&rng, n, positive ? 0.1 : -2.0, 2.0);
+      const std::vector<double> g = RandomVec(&rng, n, -1.0, 1.0);
+      std::vector<double> y(n);
+      for (int i = 0; i < n; ++i) {
+        switch (op) {  // y = forward(x), as autodiff records it.
+          case EwGrad::kReciprocal: y[i] = 1.0 / x[i]; break;
+          case EwGrad::kRelu: y[i] = x[i] > 0.0 ? x[i] : 0.0; break;
+          case EwGrad::kElu: y[i] = x[i] > 0.0 ? x[i] : std::expm1(x[i]); break;
+          case EwGrad::kTanh: y[i] = std::tanh(x[i]); break;
+          case EwGrad::kSigmoid: y[i] = 1.0 / (1.0 + std::exp(-x[i])); break;
+          case EwGrad::kExp: y[i] = std::exp(x[i]); break;
+          case EwGrad::kLog: y[i] = std::log(x[i]); break;
+          case EwGrad::kSqrt: y[i] = std::sqrt(x[i]); break;
+          case EwGrad::kSquare: y[i] = x[i] * x[i]; break;
+          case EwGrad::kAbs: y[i] = std::fabs(x[i]); break;
+        }
+      }
+      const std::vector<double> ga0 = RandomVec(&rng, n, -0.5, 0.5);
+      std::vector<double> s = ga0, v = ga0;
+      sc.ew_backward(static_cast<int>(op), g.data(), x.data(), y.data(),
+                     s.data(), n);
+      ac.ew_backward(static_cast<int>(op), g.data(), x.data(), y.data(),
+                     v.data(), n);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(s[i], v[i])
+            << "ew_backward op=" << static_cast<int>(op) << " n=" << n
+            << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BroadcastKernelTest, CrossTableBitwiseIdentical) {
+  Rng rng(47);
+  const KernelSet& sc = ScalarKernels();
+  const KernelSet& ac = Kernels();
+  for (int rows : {1, 2, 3, 5, 8}) {
+    for (int cols : {1, 2, 3, 4, 5, 7, 16, 33}) {
+      const std::vector<double> a = RandomVec(&rng, rows * cols, -2.0, 2.0);
+      const std::vector<double> bias = RandomVec(&rng, cols, -1.0, 1.0);
+      const std::vector<double> scale = RandomVec(&rng, rows, -1.0, 1.0);
+      std::vector<double> s(rows * cols), v(rows * cols);
+      sc.add_row_broadcast(a.data(), bias.data(), rows, cols, s.data());
+      ac.add_row_broadcast(a.data(), bias.data(), rows, cols, v.data());
+      for (int i = 0; i < rows * cols; ++i) {
+        EXPECT_EQ(s[i], v[i]) << "add_row_broadcast " << rows << "x" << cols;
+      }
+      sc.mul_col_broadcast(a.data(), scale.data(), rows, cols, s.data());
+      ac.mul_col_broadcast(a.data(), scale.data(), rows, cols, v.data());
+      for (int i = 0; i < rows * cols; ++i) {
+        EXPECT_EQ(s[i], v[i]) << "mul_col_broadcast " << rows << "x" << cols;
+      }
+    }
+  }
+}
+
+// --- mat_vec / mat_tvec_accum panels -------------------------------------
+
+// Each mat_vec output row must be bitwise the row_dot of the SAME table —
+// this pins the row-interleaved AVX2 implementation (including its
+// rows % 4 remainder) to the single-row kernel it replays.
+TEST(MatVecKernelTest, EachRowBitwiseEqualsRowDotSameTable) {
+  Rng rng(53);
+  const KernelSet* sets[] = {&Kernels(), &ScalarKernels()};
+  for (const KernelSet* ks : sets) {
+    for (int rows : {1, 2, 3, 4, 5, 7, 8, 9}) {
+      for (int cols : {1, 3, 4, 5, 8, 17, 44}) {
+        const std::vector<double> mat =
+            RandomVec(&rng, rows * cols, -2.0, 2.0);
+        const std::vector<double> x = RandomVec(&rng, cols, -2.0, 2.0);
+        std::vector<double> out(rows);
+        ks->mat_vec(mat.data(), cols, x.data(), rows, cols, out.data());
+        for (int r = 0; r < rows; ++r) {
+          const double solo = ks->row_dot(mat.data() + r * cols, x.data(),
+                                          cols);
+          EXPECT_EQ(out[r], solo)
+              << ks->name << " rows=" << rows << " cols=" << cols
+              << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(MatVecKernelTest, Avx2MatchesScalarWithinRelativeTolerance) {
+  if (!ActiveIsAvx2()) GTEST_SKIP() << "AVX2 table not active";
+  Rng rng(59);
+  for (int rows : {1, 3, 5, 9}) {
+    for (int cols : {4, 7, 31, 100}) {
+      const std::vector<double> mat = RandomVec(&rng, rows * cols, -2.0, 2.0);
+      const std::vector<double> x = RandomVec(&rng, cols, -2.0, 2.0);
+      std::vector<double> s(rows), v(rows);
+      ScalarKernels().mat_vec(mat.data(), cols, x.data(), rows, cols,
+                              s.data());
+      Kernels().mat_vec(mat.data(), cols, x.data(), rows, cols, v.data());
+      for (int r = 0; r < rows; ++r) {
+        long double ref = 0.0L;
+        for (int c = 0; c < cols; ++c) {
+          ref += static_cast<long double>(mat[r * cols + c]) * x[c];
+        }
+        const double scale = std::max(1.0, std::fabs(static_cast<double>(ref)));
+        EXPECT_NEAR(s[r], v[r], 1e-13 * scale) << rows << "x" << cols;
+      }
+    }
+  }
+}
+
+// mat_tvec_accum uses correctly-rounded fma with r strictly ascending in
+// both tables: bitwise cross-table, bitwise equal to the reference loop,
+// and independent of column-range splits (the Sinkhorn K^T u ParallelFor).
+TEST(MatTVecAccumKernelTest, CrossTableReferenceAndColumnSplitExact) {
+  Rng rng(61);
+  for (int rows : {1, 2, 3, 4, 5, 9, 21}) {
+    for (int cols : {1, 2, 4, 5, 7, 16, 44}) {
+      const std::vector<double> mat = RandomVec(&rng, rows * cols, -2.0, 2.0);
+      const std::vector<double> u = RandomVec(&rng, rows, -2.0, 2.0);
+      std::vector<double> ref(cols, 0.0);
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          ref[c] = std::fma(u[r], mat[r * cols + c], ref[c]);
+        }
+      }
+      std::vector<double> s(cols), v(cols);
+      ScalarKernels().mat_tvec_accum(mat.data(), cols, u.data(), rows, cols,
+                                     s.data());
+      Kernels().mat_tvec_accum(mat.data(), cols, u.data(), rows, cols,
+                               v.data());
+      for (int c = 0; c < cols; ++c) {
+        EXPECT_EQ(ref[c], s[c]) << "scalar " << rows << "x" << cols;
+        EXPECT_EQ(ref[c], v[c]) << "active " << rows << "x" << cols;
+      }
+      // Column-split invariance at every boundary (mid-vector included).
+      for (int split = 1; split < cols; ++split) {
+        std::vector<double> part(cols);
+        Kernels().mat_tvec_accum(mat.data(), cols, u.data(), rows, split,
+                                 part.data());
+        Kernels().mat_tvec_accum(mat.data() + split, cols, u.data(), rows,
+                                 cols - split, part.data() + split);
+        for (int c = 0; c < cols; ++c) {
+          EXPECT_EQ(ref[c], part[c])
+              << "split=" << split << " " << rows << "x" << cols;
+        }
+      }
+    }
+  }
+}
+
+// --- lane4 whole-sweep kernels -------------------------------------------
+//
+// The fused micro-solver's guarantee rests on every lane kernel replaying
+// the solo kernel of the SAME table bit-for-bit on deinterleaved data.
+
+TEST(Lane4SweepKernelTest, MatVecAndKtuReplaySoloKernelsPerLane) {
+  Rng rng(67);
+  const KernelSet* sets[] = {&Kernels(), &ScalarKernels()};
+  for (const KernelSet* ks : sets) {
+    for (int n1 : {1, 2, 3, 5, 12}) {
+      for (int n2 : {1, 2, 4, 7, 9}) {
+        const std::vector<double> k4 =
+            RandomVec(&rng, n1 * n2 * 4, 0.01, 2.0);
+        const std::vector<double> u4 = RandomVec(&rng, n1 * 4, 0.1, 2.0);
+        const std::vector<double> v4 = RandomVec(&rng, n2 * 4, 0.1, 2.0);
+        std::vector<double> kv4(n1 * 4), ktu4(n2 * 4);
+        ks->lane4_matvec(k4.data(), v4.data(), n1, n2, kv4.data());
+        ks->lane4_ktu(k4.data(), u4.data(), n1, n2, ktu4.data());
+        for (int p = 0; p < 4; ++p) {
+          std::vector<double> kmat(n1 * n2), u(n1), v(n2);
+          for (int i = 0; i < n1; ++i) u[i] = u4[i * 4 + p];
+          for (int j = 0; j < n2; ++j) v[j] = v4[j * 4 + p];
+          for (int i = 0; i < n1; ++i) {
+            for (int j = 0; j < n2; ++j) {
+              kmat[i * n2 + j] = k4[(i * n2 + j) * 4 + p];
+            }
+          }
+          std::vector<double> kv(n1), ktu(n2);
+          ks->mat_vec(kmat.data(), n2, v.data(), n1, n2, kv.data());
+          ks->mat_tvec_accum(kmat.data(), n2, u.data(), n1, n2, ktu.data());
+          for (int i = 0; i < n1; ++i) {
+            EXPECT_EQ(kv4[i * 4 + p], kv[i])
+                << ks->name << " lane4_matvec lane=" << p;
+          }
+          for (int j = 0; j < n2; ++j) {
+            EXPECT_EQ(ktu4[j * 4 + p], ktu[j])
+                << ks->name << " lane4_ktu lane=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Lane4SweepKernelTest, DivMaskedFreezesLanesAndMatchesVecDiv) {
+  Rng rng(71);
+  const KernelSet* sets[] = {&Kernels(), &ScalarKernels()};
+  for (const KernelSet* ks : sets) {
+    for (int n : {1, 2, 3, 5, 8, 13}) {
+      const std::vector<double> x4 = RandomVec(&rng, n * 4, 0.1, 2.0);
+      const std::vector<double> before = RandomVec(&rng, n * 4, -9.0, 9.0);
+      const unsigned char mask[4] = {1, 0, 1, 0};
+      const double a = 0.37;
+      std::vector<double> out4 = before;
+      ks->lane4_div_masked(a, x4.data(), mask, n, out4.data());
+      for (int p = 0; p < 4; ++p) {
+        std::vector<double> x(n), expect(n);
+        for (int i = 0; i < n; ++i) x[i] = x4[i * 4 + p];
+        ks->vec_div_scalar(a, x.data(), expect.data(), n);
+        for (int i = 0; i < n; ++i) {
+          if (mask[p]) {
+            EXPECT_EQ(out4[i * 4 + p], expect[i])
+                << ks->name << " active lane=" << p;
+          } else {
+            EXPECT_EQ(out4[i * 4 + p], before[i * 4 + p])
+                << ks->name << " frozen lane=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Lane4SweepKernelTest, ViolationMatchesSoloReductionPerLane) {
+  Rng rng(73);
+  const KernelSet* sets[] = {&Kernels(), &ScalarKernels()};
+  for (const KernelSet* ks : sets) {
+    for (int n : {1, 2, 3, 5, 8, 21}) {
+      const std::vector<double> u4 = RandomVec(&rng, n * 4, 0.1, 2.0);
+      const std::vector<double> x4 = RandomVec(&rng, n * 4, 0.1, 2.0);
+      const double a = 0.25;
+      double out[4];
+      ks->lane4_violation(u4.data(), x4.data(), n, a, out);
+      for (int p = 0; p < 4; ++p) {
+        // The solo Row/ColViolation loop, i ascending.
+        double expect = 0.0;
+        for (int i = 0; i < n; ++i) {
+          expect += std::fabs(u4[i * 4 + p] * x4[i * 4 + p] - a);
+        }
+        EXPECT_EQ(out[p], expect) << ks->name << " lane=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Lane4SweepKernelTest, PlanReplaysAssemblyOrderPerLane) {
+  Rng rng(79);
+  const KernelSet* sets[] = {&Kernels(), &ScalarKernels()};
+  for (const KernelSet* ks : sets) {
+    for (int n1 : {1, 2, 3, 5}) {
+      for (int n2 : {1, 2, 3, 4, 7, 10}) {
+        const std::vector<double> u4 = RandomVec(&rng, n1 * 4, 0.1, 2.0);
+        const std::vector<double> v4 = RandomVec(&rng, n2 * 4, 0.1, 2.0);
+        const std::vector<double> k4 =
+            RandomVec(&rng, n1 * n2 * 4, 0.01, 1.0);
+        const std::vector<double> c4 =
+            RandomVec(&rng, n1 * n2 * 4, 0.0, 4.0);
+        std::vector<double> p4(n1 * n2 * 4), rows4(n1 * 4);
+        ks->lane4_plan(u4.data(), k4.data(), c4.data(), v4.data(), n1, n2,
+                       p4.data(), rows4.data());
+        for (int p = 0; p < 4; ++p) {
+          for (int i = 0; i < n1; ++i) {
+            // AssemblePlanCost's row order: paired s0/s1 accumulators over
+            // even/odd j, combined as s0 + s1.
+            const double ui = u4[i * 4 + p];
+            double s0 = 0.0, s1 = 0.0;
+            int j = 0;
+            for (; j + 2 <= n2; j += 2) {
+              const int e0 = (i * n2 + j) * 4 + p;
+              const int e1 = (i * n2 + j + 1) * 4 + p;
+              const double p0 = ui * k4[e0] * v4[j * 4 + p];
+              const double p1 = ui * k4[e1] * v4[(j + 1) * 4 + p];
+              EXPECT_EQ(p4[e0], p0) << ks->name << " plan elem";
+              EXPECT_EQ(p4[e1], p1) << ks->name << " plan elem";
+              s0 += p0 * c4[e0];
+              s1 += p1 * c4[e1];
+            }
+            for (; j < n2; ++j) {
+              const int e = (i * n2 + j) * 4 + p;
+              const double pe = ui * k4[e] * v4[j * 4 + p];
+              EXPECT_EQ(p4[e], pe) << ks->name << " plan tail elem";
+              s0 += pe * c4[e];
+            }
+            EXPECT_EQ(rows4[i * 4 + p], s0 + s1)
+                << ks->name << " lane=" << p << " row=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- determinism ---------------------------------------------------------
+
+// Same build, same process: repeated invocations of every dispatched kernel
+// are bitwise stable (the dispatch is resolved once and each kernel is a
+// pure function of its inputs).
+TEST(SimdDeterminismTest, RepeatedCallsAreBitwiseStable) {
+  Rng rng(31);
+  const int n = 129;
+  const std::vector<double> in = RandomVec(&rng, n, -50.0, 50.0);
+  const std::vector<double> x = RandomVec(&rng, n, -2.0, 2.0);
+  const KernelSet& ks = Kernels();
+  std::vector<double> out1(n), out2(n);
+  ks.vec_exp(in.data(), out1.data(), n);
+  ks.vec_exp(in.data(), out2.data(), n);
+  EXPECT_EQ(0, std::memcmp(out1.data(), out2.data(), n * sizeof(double)));
+  const double d1 = ks.row_dot(in.data(), x.data(), n);
+  const double d2 = ks.row_dot(in.data(), x.data(), n);
+  EXPECT_EQ(d1, d2);
+}
+
+}  // namespace
+}  // namespace cerl::linalg::simd

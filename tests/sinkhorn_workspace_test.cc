@@ -159,9 +159,53 @@ TEST(SinkhornWorkspaceTest, ShapesBelowHighWaterReuseBuffers) {
     Matrix b = RandomMatrix(&rng, n2, 6, 0.3);
     auto info = SolveSinkhorn(CostOf(a, b), config, &ws);
     ASSERT_TRUE(info.ok());
-    // Shape changed => no warm start, but also no new buffers.
-    EXPECT_FALSE(info.value().warm_started);
+    // Shape changed => duals are adapted (truncate / pad-with-1.0), so the
+    // solve still counts as warm-started, and no new buffers appear.
+    EXPECT_TRUE(info.value().warm_started);
     EXPECT_EQ(ws.allocations(), high_water);
+  }
+}
+
+TEST(SinkhornWorkspaceTest, AdaptiveWarmStartOffGoesColdOnShapeChange) {
+  Rng rng(5);
+  SinkhornConfig config;
+  config.adaptive_warm_start = false;
+  SinkhornWorkspace ws;
+  Matrix big_a = RandomMatrix(&rng, 24, 6);
+  Matrix big_b = RandomMatrix(&rng, 20, 6, 0.3);
+  ASSERT_TRUE(SolveSinkhorn(CostOf(big_a, big_b), config, &ws).ok());
+  // With adaptation disabled, a shape change must fall back to a cold
+  // start (the pre-adaptive contract).
+  Matrix a = RandomMatrix(&rng, 12, 6);
+  Matrix b = RandomMatrix(&rng, 16, 6, 0.3);
+  auto info = SolveSinkhorn(CostOf(a, b), config, &ws);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().warm_started);
+}
+
+TEST(SinkhornWorkspaceTest, AdaptedWarmStartMatchesReferenceSolution) {
+  Rng rng(13);
+  SinkhornConfig config;
+  Matrix big_a = RandomMatrix(&rng, 26, 5);
+  Matrix big_b = RandomMatrix(&rng, 22, 5, 0.4);
+  SinkhornWorkspace ws;
+  ASSERT_TRUE(SolveSinkhorn(CostOf(big_a, big_b), config, &ws).ok());
+  // Shrinking and growing both dimensions across solves: every adapted
+  // solve must land on the same plan as a cold-started workspace within
+  // the solver tolerance (adaptation may only change the starting point).
+  const int shapes[][2] = {{12, 30}, {30, 12}, {26, 22}};
+  for (const auto& s : shapes) {
+    Matrix a = RandomMatrix(&rng, s[0], 5);
+    Matrix b = RandomMatrix(&rng, s[1], 5, 0.4);
+    Matrix cost = CostOf(a, b);
+    auto adapted = SolveSinkhorn(cost, config, &ws);
+    SinkhornWorkspace cold_ws;
+    auto cold = SolveSinkhorn(cost, config, &cold_ws);
+    ASSERT_TRUE(adapted.ok());
+    ASSERT_TRUE(cold.ok());
+    EXPECT_TRUE(adapted.value().warm_started);
+    EXPECT_NEAR(adapted.value().cost, cold.value().cost,
+                1e-4 * std::max(1.0, std::fabs(cold.value().cost)));
   }
 }
 
@@ -272,9 +316,11 @@ TEST(SinkhornWorkspacePoolTest, WarmStartsFireAcrossHeterogeneousShapes) {
     ASSERT_TRUE(pooled_info.ok());
     pool_warm += pooled_info.value().warm_started ? 1 : 0;
   }
-  // The single workspace alternates shapes => never warm.
-  EXPECT_EQ(single_warm, 0);
-  // The pool warm-starts every solve after each shape's first visit.
+  // The single workspace alternates shapes: every solve after the first is
+  // shape-adapted rather than cold (exact-shape warm starts never fire).
+  EXPECT_EQ(single_warm, kSteps - 1);
+  // The pool warm-starts every solve after each shape's first visit, with
+  // exact-shape duals (no adaptation needed).
   EXPECT_EQ(pool_warm, kSteps - 2);
   EXPECT_GT(pool.warm_acquires(), 0);
   EXPECT_GT(pool.warm_hit_rate(), 0.0);
