@@ -415,7 +415,7 @@ core::CerlConfig BenchCerlConfig(uint64_t seed) {
 // rate for the multiplexing win (the engine is bit-identical to serial
 // per-stream, so only scheduling differs). On a single hardware thread the
 // rates match; the concurrency gain needs multicore.
-void BM_StreamEngineIngest(benchmark::State& state) {
+void StreamEngineIngestBody(benchmark::State& state, bool health_guards) {
   const int streams = static_cast<int>(state.range(0));
   const int kDomains = 2;
   const int kUnits = 240;
@@ -434,13 +434,15 @@ void BM_StreamEngineIngest(benchmark::State& state) {
   config.train.async_validation = true;
   config.memory_capacity = 80;
 
+  stream::StreamEngineOptions options;
+  options.health_guards = health_guards;
   for (auto _ : state) {
-    stream::StreamEngine engine;
+    stream::StreamEngine engine(options);
     for (int s = 0; s < streams; ++s) {
       config.train.seed = 50 + s;
       const int id = engine.AddStream("bench", config, kFeatures);
       for (const data::DataSplit& split : domains[s]) {
-        engine.PushDomain(id, split);
+        CERL_CHECK(engine.PushDomain(id, split).ok());
       }
     }
     engine.Drain();
@@ -448,6 +450,24 @@ void BM_StreamEngineIngest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * streams * kDomains);
   state.SetLabel(std::to_string(streams) + "_streams");
 }
+
+void BM_StreamEngineIngest(benchmark::State& state) {
+  StreamEngineIngestBody(state, /*health_guards=*/true);
+}
+
+// Same workload with the fault-isolation plane off: no finite-ness sweep of
+// parameters/memory after each domain, no last-good checkpoint capture.
+// Paired against BM_StreamEngineIngest/4 by the CI gate
+// (tools/compare_bench.py --pair) to keep the guard overhead under a few
+// percent of ingest cost — measured ~1-2% (the sweep and serialize are tiny
+// next to a TrainStage).
+void BM_StreamEngineIngestNoGuards(benchmark::State& state) {
+  StreamEngineIngestBody(state, /*health_guards=*/false);
+}
+BENCHMARK(BM_StreamEngineIngestNoGuards)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // Checkpoint substrate: in-memory serialize/deserialize of a trained
 // trainer (the per-stream cost inside an engine snapshot) and a full

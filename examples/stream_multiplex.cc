@@ -116,7 +116,14 @@ int main() {
   }
   for (size_t i = 0; i < scenarios.size(); ++i) {
     for (const data::DataSplit& split : scenarios[i].domains) {
-      engine.PushDomain(ids[i], split);  // copies; real feeds would move
+      // Copies; real feeds would move. A push can shed with a typed reject
+      // (quarantined tenant, full queue) — e.g. under a CERL_FAULTS chaos
+      // spec — and the fleet keeps serving.
+      Status pushed = engine.PushDomain(ids[i], split);
+      if (!pushed.ok()) {
+        std::printf("stream '%s': push shed (%s)\n", scenarios[i].name,
+                    pushed.ToString().c_str());
+      }
     }
   }
 
@@ -139,9 +146,18 @@ int main() {
               "sqrt(PEHE)", "memory units");
   for (size_t i = 0; i < scenarios.size(); ++i) {
     for (const stream::DomainResult& r : engine.results(ids[i])) {
+      if (!r.status.ok()) {
+        std::printf("%-11s %7d   dropped: %s\n", scenarios[i].name,
+                    r.domain_index, r.status.ToString().c_str());
+        continue;
+      }
       std::printf("%-11s %7d %9d %12.3f %14d\n", scenarios[i].name,
                   r.domain_index, r.stats.epochs_run,
                   r.has_metrics ? r.metrics.pehe : -1.0, r.memory_units);
+    }
+    if (engine.health(ids[i]) != stream::StreamHealth::kHealthy) {
+      std::printf("%-11s         health: %s\n", scenarios[i].name,
+                  stream::StreamHealthName(engine.health(ids[i])));
     }
   }
 
@@ -159,6 +175,12 @@ int main() {
   resumed.Drain();  // journal replays: queued domains train in push order
   double max_restart_diff = 0.0;
   for (size_t i = 0; i < scenarios.size(); ++i) {
+    // A stream with no trained stage (e.g. quarantined before its first
+    // domain completed under fault injection) has no model to query.
+    if (engine.trainer(ids[i]).stages_seen() == 0 ||
+        resumed.trainer(static_cast<int>(i)).stages_seen() == 0) {
+      continue;
+    }
     const linalg::Matrix& probe = scenarios[i].domains[0].test.x;
     const linalg::Vector a = engine.trainer(ids[i]).PredictIte(probe);
     const linalg::Vector b =

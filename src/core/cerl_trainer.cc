@@ -4,10 +4,13 @@
 #include <cmath>
 #include <string>
 
+#include <limits>
+
 #include "autodiff/composite.h"
 #include "autodiff/ops.h"
 #include "ot/workspace_pool.h"
 #include "train/train_loop.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace cerl::core {
@@ -72,6 +75,33 @@ CerlTrainer::CerlTrainer(const CerlConfig& config, int input_dim)
 causal::RepOutcomeNet* CerlTrainer::current_net() {
   CERL_CHECK(model_ != nullptr);
   return &model_->net();
+}
+
+void CerlTrainer::Reset() {
+  model_.reset();
+  old_model_.reset();
+  memory_.Clear();
+  stages_seen_ = 0;
+  rng_ = Rng(config_.train.seed ^ 0xCE51);
+}
+
+Status CerlTrainer::CheckNumericalHealth() {
+  if (model_ == nullptr) return Status::Ok();
+  for (const autodiff::Parameter* p : model_->net().Parameters()) {
+    const linalg::Matrix& value = p->value;
+    for (int64_t i = 0; i < value.size(); ++i) {
+      if (!std::isfinite(value.data()[i])) {
+        return Status::NumericalError("non-finite parameter " + p->name);
+      }
+    }
+  }
+  const linalg::Matrix& reps = memory_.reps();
+  for (int64_t i = 0; i < reps.size(); ++i) {
+    if (!std::isfinite(reps.data()[i])) {
+      return Status::NumericalError("non-finite memory representation");
+    }
+  }
+  return Status::Ok();
 }
 
 Status CerlTrainer::ValidateDomain(const data::DataSplit& split,
@@ -393,6 +423,14 @@ TrainStats CerlTrainer::TrainContinualStage(StageContext* ctx) {
     if (stage_train.lambda > 0.0) {
       Var w1 = tape->Param(&net.FirstLayerWeight());
       loss = Add(loss, ScalarMul(ElasticNetPenalty(w1), stage_train.lambda));
+    }
+    // Fault-injection hook: a NaN summand poisons the loss and, through
+    // Backward, every gradient — the same signature as a genuine numerical
+    // blow-up. TrainLoop's finite-loss guard converts it into a typed
+    // NumericalError before the optimizer steps.
+    if (CERL_FAULT_POINT(FaultPoint::kNanGradient)) {
+      loss = Add(loss, tape->Constant(linalg::Matrix(
+                           1, 1, std::numeric_limits<double>::quiet_NaN())));
     }
     return loss;
   };

@@ -140,6 +140,19 @@ class CerlTrainer {
   /// touched, so a failed load leaves the trainer exactly as it was.
   Status DeserializeCheckpoint(std::string_view payload);
 
+  /// Returns the trainer to its freshly-constructed state (no model, empty
+  /// memory, stage counter 0, re-seeded RNG). DeserializeCheckpoint requires
+  /// a fresh trainer, so Reset + Deserialize is the rollback idiom the
+  /// stream engine uses to restore a stream's last-good state in place
+  /// (CerlTrainer is intentionally not movable: MemoryBank carries a mutex).
+  void Reset();
+
+  /// Post-stage numerical health guard: every current-model parameter and
+  /// every memory-bank representation must be finite. A trainer that fails
+  /// this check has been poisoned by a numerical excursion and must be
+  /// rolled back (Reset + DeserializeCheckpoint) before further stages.
+  Status CheckNumericalHealth();
+
  private:
   causal::TrainStats TrainContinualStage(StageContext* ctx);
   void SeedMemoryFromCurrent(const data::CausalDataset& train);

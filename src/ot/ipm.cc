@@ -7,6 +7,7 @@
 #include "linalg/gemm.h"
 #include "linalg/simd.h"
 #include "util/check.h"
+#include "util/status.h"
 
 namespace cerl::ot {
 
@@ -111,14 +112,18 @@ Var WassersteinPenalty(Var rep_treated, Var rep_control,
   // theorem / CFR practice): solve on detached values.
   if (workspace != nullptr) {
     auto solved = SolveSinkhorn(cost.value(), config, workspace);
-    CERL_CHECK_MSG(solved.ok(), solved.status().ToString().c_str());
+    // Solver failure is data-dependent (degenerate batch, injected
+    // divergence), not a programming error: surface it as a typed exception
+    // so the stage pipeline can roll the stream back instead of aborting
+    // the process.
+    if (!solved.ok()) throw StatusError(solved.status());
     // The plan stays in the workspace until the next solve, so the tape
     // aliases it instead of copying (see the header's lifetime contract).
     Var plan = tape->ConstantView(&workspace->plan());
     return autodiff::Sum(autodiff::Mul(plan, cost));
   }
   auto solved = SolveSinkhorn(cost.value(), config);
-  CERL_CHECK_MSG(solved.ok(), solved.status().ToString().c_str());
+  if (!solved.ok()) throw StatusError(solved.status());
   Var plan = tape->Constant(std::move(solved.value().plan));
   return autodiff::Sum(autodiff::Mul(plan, cost));
 }

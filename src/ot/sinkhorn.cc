@@ -9,6 +9,7 @@
 #include "linalg/simd.h"
 #include "ot/fused_micro_solver.h"
 #include "ot/sinkhorn_internal.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace cerl::ot {
@@ -384,6 +385,12 @@ Result<SinkhornSolveInfo> SolveSinkhorn(const linalg::Matrix& cost,
   const int n2 = cost.cols();
   if (n1 == 0 || n2 == 0) {
     return Status::InvalidArgument("empty cost matrix");
+  }
+  // Fault-injection hook: the calling thread is the stream's stage worker
+  // (even fused-batcher solves eject to the submitter), so a thread-local
+  // FaultScope correctly confines the fault to one tenant.
+  if (CERL_FAULT_POINT(FaultPoint::kSinkhornDiverge)) {
+    return Status::NumericalError("injected sinkhorn non-convergence");
   }
   // Shape-adapted warm starts happen before the solo/fused routing so both
   // paths observe the identical dual state (the batcher gathers duals from

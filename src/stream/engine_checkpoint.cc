@@ -8,27 +8,38 @@
 // not been consumed yet (they are current, not past-domain, data), and
 // nothing else in the container is raw covariates.
 //
-// Format CERLENG1 (frozen; golden fixtures under tests/testdata/):
-//   magic "CERLENG1",
+// Format CERLENG2 (writes; CERLENG1 still reads — golden fixtures under
+// tests/testdata/ pin the v1 layout):
+//   magic "CERLENG2",
 //   u32 num_workers, u8 validate_on_push          (informational),
 //   u32 num_streams, then per stream:
 //     u32 name_len, name bytes,
 //     u32 input_dim,
 //     CerlConfig block (fixed field order, see WriteConfig),
 //     u32 completed_domains                        (resumes domain indices),
+//     u8 health, u32 consecutive_failures, u32 failed_domains
+//                                    (v2 only; v1 restores as healthy/0/0),
 //     u8 has_trainer, [u64 blob_len, CERLCKP1 payload incl. its checksum],
 //     u32 journal_count, then per queued domain a DataSplit
 //       (train/valid/test, each: u32 rows, u32 cols, f64 x[], u8 t[],
 //        u32 n + f64 y[], u32 n + f64 mu0[], u32 n + f64 mu1[]),
 //   u64 FNV-1a checksum of all preceding bytes.
 //
+// The last-good rollback blob is NOT a separate field: at the snapshot
+// fence every trainer sits at a domain boundary, so its serialized
+// checkpoint IS the last-good state — LoadSnapshot re-seeds each stream's
+// rollback target from the embedded trainer blob.
+//
 // Every read is bounds-checked against the remaining payload before
 // allocating, and LoadSnapshot stages the entire engine (streams, trainers,
 // journal) before publishing anything — a corrupt snapshot leaves the
 // target engine with zero streams.
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -39,7 +50,8 @@
 namespace cerl::stream {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '1'};
+constexpr char kMagicV1[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '1'};
+constexpr char kMagicV2[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '2'};
 
 // Decode-time sanity caps: generous for any real deployment, small enough
 // that a corrupted count fails fast with a descriptive error instead of an
@@ -286,7 +298,7 @@ Status ReadSplit(BoundedReader* r, data::DataSplit* split) {
 
 Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
   out->clear();
-  out->append(kMagic, sizeof(kMagic));
+  out->append(kMagicV2, sizeof(kMagicV2));
   WritePod(out, static_cast<uint32_t>(pool_.num_threads()));
   WritePod(out, static_cast<uint8_t>(options_.validate_on_push ? 1 : 0));
   WritePod(out, static_cast<uint32_t>(streams_.size()));
@@ -301,6 +313,12 @@ Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
     const uint32_t completed =
         static_cast<uint32_t>(s->pushed - static_cast<int>(s->queue.size()));
     WritePod(out, completed);
+    // Health block (v2): a restored engine must keep honoring a quarantine
+    // and must resume a failure streak where it left off — otherwise a
+    // restart would hand a poisoned tenant a fresh error budget.
+    WritePod(out, static_cast<uint8_t>(s->health));
+    WritePod(out, static_cast<uint32_t>(s->consecutive_failures));
+    WritePod(out, static_cast<uint32_t>(s->failed_domains));
     const bool has_trainer = s->trainer.stages_seen() > 0;
     WritePod(out, static_cast<uint8_t>(has_trainer ? 1 : 0));
     if (has_trainer) {
@@ -359,7 +377,21 @@ Status StreamEngine::SaveSnapshot(const std::string& path,
   }
   // The engine state is captured; the (slow) disk write proceeds without the
   // lock, then dispatch resumes whether or not the write succeeded.
+  // Transient IO failures (full disk being cleaned up, a flaky network
+  // filesystem, the injected kIoWrite fault) are retried with bounded
+  // exponential backoff — the payload is already immutable, so a retry can
+  // never observe different engine state.
   Status written = WriteFileAtomic(path, payload);
+  for (int retry = 1; !written.ok() && retry <= options_.snapshot_io_retries;
+       ++retry) {
+    if (options_.snapshot_retry_backoff_ms > 0) {
+      const int shift = std::min(retry - 1, 6);
+      const int ms =
+          std::min(100, options_.snapshot_retry_backoff_ms << shift);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+    written = WriteFileAtomic(path, payload);
+  }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     paused_ = false;
@@ -389,7 +421,8 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   BoundedReader r(&in, payload.size());
   char magic[8];
   CERL_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
     return Status::IoError("bad engine snapshot magic");
   }
   uint32_t saved_workers = 0;
@@ -440,9 +473,30 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
       return Status::IoError("implausible completed-domain count " +
                              std::to_string(completed));
     }
+    // Health block: v1 snapshots predate per-stream health, so their
+    // streams restore as healthy with clean counters.
+    uint8_t health = 0;
+    uint32_t consecutive_failures = 0;
+    uint32_t failed_domains = 0;
+    if (v2) {
+      CERL_RETURN_IF_ERROR(r.ReadPod(&health, "stream health"));
+      if (health > static_cast<uint8_t>(StreamHealth::kQuarantined)) {
+        return Status::IoError("unknown stream health code " +
+                               std::to_string(health));
+      }
+      CERL_RETURN_IF_ERROR(
+          r.ReadPod(&consecutive_failures, "consecutive failures"));
+      CERL_RETURN_IF_ERROR(r.ReadPod(&failed_domains, "failed domains"));
+      if (consecutive_failures > (1u << 30) || failed_domains > (1u << 30)) {
+        return Status::IoError("implausible failure counter");
+      }
+    }
 
     auto state = std::make_unique<StreamState>(
         std::move(stream_name), config, static_cast<int>(input_dim), &pool_);
+    state->health = static_cast<StreamHealth>(health);
+    state->consecutive_failures = static_cast<int>(consecutive_failures);
+    state->failed_domains = static_cast<int>(failed_domains);
     uint8_t has_trainer = 0;
     CERL_RETURN_IF_ERROR(r.ReadPod(&has_trainer, "trainer flag"));
     if (has_trainer > 1) {
@@ -455,6 +509,9 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
       std::string blob(static_cast<size_t>(blob_len), '\0');
       CERL_RETURN_IF_ERROR(r.ReadRaw(blob.data(), blob_len, "trainer blob"));
       CERL_RETURN_IF_ERROR(state->trainer.DeserializeCheckpoint(blob));
+      // The fence guarantees the blob is a domain-boundary state, so it
+      // doubles as the restored stream's last-good rollback target.
+      if (options_.health_guards) state->last_good = std::move(blob);
     }
     state->pushed = static_cast<int>(completed);
 
@@ -484,10 +541,14 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
     streams_ = std::move(staged);
   }
   // Replay the journal: queued-but-untrained work resumes exactly where the
-  // saved engine left it (PushDomain re-validates and dispatches normally).
+  // saved engine left it (re-validated and dispatched normally). The
+  // admission-free internal push is deliberate — these domains were already
+  // admitted by the saved engine, so queue bounds do not re-apply, and a
+  // quarantined stream's journal drains through the pipeline as
+  // kUnavailable drops instead of being silently lost here.
   for (uint32_t i = 0; i < num_streams; ++i) {
     for (data::DataSplit& split : journals[i]) {
-      PushDomain(static_cast<int>(i), std::move(split));
+      PushDomainInternal(streams_[i].get(), std::move(split));
     }
   }
   return Status::Ok();

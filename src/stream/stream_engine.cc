@@ -1,11 +1,14 @@
 #include "stream/stream_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <thread>
 #include <utility>
 
 #include "stream/stream_internal.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace cerl::stream {
@@ -17,10 +20,39 @@ int ResolveWorkers(int requested) {
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
+// Exponential backoff for attempt `attempt` (1-based retry counter), capped
+// at 100ms so a misconfigured base can never stall a stream's worker for
+// long (the sleep runs on the stream's group task; other streams' groups
+// keep the pool busy meanwhile).
+void BackoffSleep(int base_ms, int attempt) {
+  if (base_ms <= 0) return;
+  const int shift = std::min(attempt - 1, 6);
+  const int ms = std::min(100, base_ms << shift);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 }  // namespace
 
+const char* StreamHealthName(StreamHealth health) {
+  switch (health) {
+    case StreamHealth::kHealthy: return "healthy";
+    case StreamHealth::kDegraded: return "degraded";
+    case StreamHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
 StreamEngine::StreamEngine(const StreamEngineOptions& options)
-    : options_(options), pool_(ResolveWorkers(options.num_workers)) {}
+    : options_(options), pool_(ResolveWorkers(options.num_workers)) {
+  // Honor the CERL_FAULTS chaos spec in any binary that hosts an engine.
+  // Once per process: arming is cumulative, and a second engine must not
+  // duplicate every rule's fire budget.
+  static const bool armed = [] {
+    FaultInjector::ArmFromEnv();
+    return true;
+  }();
+  (void)armed;
+}
 
 StreamEngine::~StreamEngine() { Drain(); }
 
@@ -47,21 +79,48 @@ int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
   return num_streams() - 1;
 }
 
-void StreamEngine::PushDomain(int id, data::DataSplit split) {
-  StreamState& s = stream(id);
+Status StreamEngine::PushDomain(int id, data::DataSplit split) {
+  if (id < 0 || id >= num_streams()) {
+    return Status::NotFound("no stream with id " + std::to_string(id));
+  }
+  StreamState& s = *streams_[id];
   auto owned = std::make_unique<PendingDomain>();
-  PendingDomain* d = owned.get();
-  d->split = std::move(split);
+  owned->split = std::move(split);
 
-  const int input_dim = s.input_dim;
   std::lock_guard<std::mutex> lock(state_mutex_);
-  d->domain_index = s.pushed++;
-  s.queue.push_back(std::move(owned));
+  // Admission control: both rejects are evaluated under the same lock that
+  // admits, so concurrent pushes can never overshoot the queue bound.
+  if (s.health == StreamHealth::kQuarantined) {
+    return Status::Unavailable("stream '" + s.name + "' is quarantined");
+  }
+  if (options_.max_queued_domains > 0 &&
+      static_cast<int>(s.queue.size()) >= options_.max_queued_domains) {
+    return Status::ResourceExhausted(
+        "stream '" + s.name + "' queue is full (" +
+        std::to_string(s.queue.size()) + " domains queued)");
+  }
+  EnqueueLocked(&s, std::move(owned));
+  return Status::Ok();
+}
+
+void StreamEngine::PushDomainInternal(StreamState* s, data::DataSplit split) {
+  auto owned = std::make_unique<PendingDomain>();
+  owned->split = std::move(split);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  EnqueueLocked(s, std::move(owned));
+}
+
+void StreamEngine::EnqueueLocked(StreamState* s,
+                                 std::unique_ptr<PendingDomain> domain) {
+  PendingDomain* d = domain.get();
+  d->domain_index = s->pushed++;
+  s->queue.push_back(std::move(domain));
   // Pre-flight validation: pure, so it runs as a free pool task right away
   // and overlaps whatever stage any stream is currently in. It is submitted
   // before the domain's ingest task can be (dispatch happens at or after
   // this push), so the ingest wait can never starve it of a worker.
   if (options_.validate_on_push) {
+    const int input_dim = s->input_dim;
     pool_.Submit([d, input_dim] {
       Status status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
       std::lock_guard<std::mutex> lock(d->mutex);
@@ -74,37 +133,126 @@ void StreamEngine::PushDomain(int id, data::DataSplit split) {
       d->cv.notify_all();
     });
   }
-  MaybeDispatchLocked(&s);
+  MaybeDispatchLocked(s);
 }
 
 void StreamEngine::MaybeDispatchLocked(StreamState* s) {
   if (paused_ || s->in_flight != nullptr || s->queue.empty()) return;
   s->in_flight = std::move(s->queue.front());
   s->queue.pop_front();
+  SubmitAttemptLocked(s);
+}
+
+void StreamEngine::SubmitAttemptLocked(StreamState* s) {
   PendingDomain* d = s->in_flight.get();
   StreamState* sp = s;
-
   const int input_dim = s->input_dim;
   const bool validate_inline = !options_.validate_on_push;
+
   // Stage pipeline, serialized per stream by the task group; unrelated
-  // streams' groups interleave on the same workers.
-  s->group.Submit([sp, d, validate_inline, input_dim] {
-    if (validate_inline) {
-      d->status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
-    } else {
-      std::unique_lock<std::mutex> lock(d->mutex);
-      d->cv.wait(lock, [d] { return d->validated; });
+  // streams' groups interleave on the same workers. Every stage body is
+  // exception-fenced: a data-dependent failure (thrown StatusError from the
+  // trainer/OT layers, or any std::exception) lands in d->failure and the
+  // finish task routes it to HandleFailure — nothing data-dependent may
+  // escape into the pool worker (that would std::terminate the process).
+
+  // Ingest: resolve the pre-flight verdict, shed quarantined work, then
+  // BeginStage.
+  s->group.Submit([this, sp, d, validate_inline, input_dim] {
+    if (d->attempt == 0) {
+      // Resolve the validation rendezvous exactly once (retries reuse the
+      // verdict). This must complete before the PendingDomain can be
+      // destroyed, even on the shed path below — it is what keeps the
+      // free-pool validation task's pointer alive.
+      if (validate_inline) {
+        d->status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
+      } else {
+        std::unique_lock<std::mutex> lock(d->mutex);
+        d->cv.wait(lock, [d] { return d->validated; });
+      }
     }
-    CERL_CHECK_MSG(d->status.ok(), d->status.ToString().c_str());
-    d->ctx = sp->trainer.BeginStage(d->split);
+    {
+      // A stream quarantined while this domain sat queued sheds it here,
+      // through the normal pipeline (rather than clearing the queue in
+      // place, which could race the validation rendezvous above).
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (sp->health == StreamHealth::kQuarantined) {
+        d->failure =
+            Status::Unavailable("stream '" + sp->name + "' is quarantined");
+        d->terminal = true;
+        return;
+      }
+    }
+    if (!d->status.ok()) {
+      // Malformed domain: deterministic data error, dropped without retry
+      // (the serial path's CheckConsistent contract, minus the abort).
+      d->failure = d->status;
+      d->terminal = true;
+      return;
+    }
+    try {
+      FaultScope scope(sp->name);
+      if (CERL_FAULT_POINT(FaultPoint::kStageThrow)) {
+        throw StatusError(Status::Internal("injected stage failure"));
+      }
+      d->ctx = sp->trainer.BeginStage(d->split);
+    } catch (const StatusError& e) {
+      d->failure = e.status();
+    } catch (const std::exception& e) {
+      d->failure = Status::Internal(e.what());
+    }
   });
-  s->group.Submit([sp, d] { sp->trainer.TrainStage(d->ctx.get()); });
+
+  // Train, then the post-train numerical guard: a non-finite validation
+  // loss means the surviving best snapshot was never beaten by a finite
+  // score — the stage trained on garbage.
   s->group.Submit([this, sp, d] {
-    sp->trainer.MigrateStage(d->ctx.get());
+    if (!d->failure.ok()) return;
+    try {
+      FaultScope scope(sp->name);
+      sp->trainer.TrainStage(d->ctx.get());
+      if (options_.health_guards &&
+          !std::isfinite(d->ctx->stats.best_valid_loss)) {
+        throw StatusError(
+            Status::NumericalError("non-finite stage validation loss"));
+      }
+    } catch (const StatusError& e) {
+      d->failure = e.status();
+    } catch (const std::exception& e) {
+      d->failure = Status::Internal(e.what());
+    }
+  });
+
+  // Migrate + finish: success bookkeeping or the failure epilogue.
+  s->group.Submit([this, sp, d] {
+    if (d->failure.ok()) {
+      try {
+        FaultScope scope(sp->name);
+        sp->trainer.MigrateStage(d->ctx.get());
+        // Post-migrate guard covers the whole durable state: migration just
+        // rewrote the memory bank through phi, so params AND memory
+        // representations must be finite before this boundary is declared
+        // good.
+        if (options_.health_guards) {
+          Status health = sp->trainer.CheckNumericalHealth();
+          if (!health.ok()) throw StatusError(health);
+        }
+      } catch (const StatusError& e) {
+        d->failure = e.status();
+      } catch (const std::exception& e) {
+        d->failure = Status::Internal(e.what());
+      }
+    }
+    if (!d->failure.ok()) {
+      HandleFailure(sp, d);
+      return;
+    }
+
     DomainResult result;
     result.domain_index = d->domain_index;
     result.stats = d->ctx->stats;
     result.memory_units = sp->trainer.memory().size();
+    result.attempts = d->attempt + 1;
     // Score only when the test split carries counterfactual ground truth
     // (semi-synthetic benchmarks); production domains without mu0/mu1 pass
     // validation and simply skip the PEHE/ATE readout.
@@ -114,9 +262,23 @@ void StreamEngine::MaybeDispatchLocked(StreamState* s) {
       result.has_metrics = true;
       result.metrics = sp->trainer.Evaluate(test);
     }
+    // Capture the new last-good rollback boundary outside the engine lock
+    // (the group serializes all trainer access). On the vanishingly
+    // unlikely serialize failure the previous boundary stays in place —
+    // a stale rollback target beats none.
+    std::string last_good;
+    if (options_.health_guards) {
+      Status serialized = sp->trainer.SerializeCheckpoint(&last_good);
+      if (!serialized.ok()) last_good.clear();
+    }
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
       sp->results.push_back(result);
+      sp->consecutive_failures = 0;
+      if (sp->health == StreamHealth::kDegraded) {
+        sp->health = StreamHealth::kHealthy;
+      }
+      if (!last_good.empty()) sp->last_good = std::move(last_good);
       // Raw domain data and stage scratch are dead weight once migrated —
       // long-lived tenant streams must not accumulate covariates (the same
       // accessibility criterion the trainer upholds for its memory). The
@@ -132,6 +294,82 @@ void StreamEngine::MaybeDispatchLocked(StreamState* s) {
   });
 }
 
+void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
+  // The attempt is over; drop its stage context before any rollback.
+  const bool trainer_touched = d->ctx != nullptr;
+  d->ctx.reset();
+
+  if (!d->terminal && trainer_touched && options_.health_guards) {
+    // Roll the trainer back to its last-good domain boundary. BeginStage
+    // advanced stages_seen_ (and TrainStage may have poisoned parameters),
+    // so the restore is what makes a retry replay the IDENTICAL stage:
+    // stage seeds derive from stages_seen_, which the rollback rewinds.
+    // last_good is only written at domain boundaries under state_mutex_ and
+    // only read here on the stream's serialized group, so the read is safe.
+    sp->trainer.Reset();
+    if (!sp->last_good.empty()) {
+      Status restored = sp->trainer.DeserializeCheckpoint(sp->last_good);
+      if (!restored.ok()) {
+        // The rollback target itself failed to restore: the stream's state
+        // is unrecoverable in place. Drop the domain and let the health
+        // machine quarantine below (the trainer is left freshly reset).
+        CERL_LOG(Error) << "stream '" << sp->name
+                        << "': rollback failed: " << restored.ToString();
+        d->failure = Status::Internal("rollback restore failed: " +
+                                      restored.message());
+        d->terminal = true;
+      }
+    }
+  }
+
+  // Bounded retry (health_guards only: without rollback a replay would run
+  // on a dirty trainer and could not be bit-identical).
+  if (!d->terminal && options_.health_guards &&
+      d->attempt < options_.max_domain_retries) {
+    const Status failure = d->failure;
+    ++d->attempt;
+    d->failure = Status::Ok();
+    BackoffSleep(options_.retry_backoff_ms, d->attempt);
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (sp->health == StreamHealth::kHealthy) {
+      sp->health = StreamHealth::kDegraded;
+    }
+    CERL_LOG(Warning) << "stream '" << sp->name << "' domain "
+                      << d->domain_index << " attempt " << d->attempt
+                      << " after rollback: " << failure.ToString();
+    SubmitAttemptLocked(sp);
+    return;
+  }
+
+  // Drop the domain and advance the health state machine.
+  DomainResult result;
+  result.domain_index = d->domain_index;
+  result.status = d->failure;
+  result.attempts = d->attempt + 1;
+  // Quarantine-shed domains do not re-count toward the failure streak (the
+  // stream is already quarantined; the streak recorded how it got there).
+  const bool shed = d->terminal &&
+                    d->failure.code() == StatusCode::kUnavailable;
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  sp->results.push_back(std::move(result));
+  ++sp->failed_domains;
+  if (!shed) {
+    ++sp->consecutive_failures;
+    if (sp->consecutive_failures >=
+        std::max(1, options_.quarantine_after_failures)) {
+      sp->health = StreamHealth::kQuarantined;
+      CERL_LOG(Warning) << "stream '" << sp->name << "' quarantined after "
+                        << sp->consecutive_failures
+                        << " consecutive dropped domains";
+    } else {
+      sp->health = StreamHealth::kDegraded;
+    }
+  }
+  sp->in_flight.reset();
+  MaybeDispatchLocked(sp);
+  state_cv_.notify_all();
+}
+
 void StreamEngine::Drain() {
   std::unique_lock<std::mutex> lock(state_mutex_);
   state_cv_.wait(lock, [this] {
@@ -143,12 +381,16 @@ void StreamEngine::Drain() {
   });
 }
 
-void StreamEngine::DrainStream(int id) {
-  StreamState& s = stream(id);
+Status StreamEngine::DrainStream(int id) {
+  if (id < 0 || id >= num_streams()) {
+    return Status::NotFound("no stream with id " + std::to_string(id));
+  }
+  StreamState& s = *streams_[id];
   std::unique_lock<std::mutex> lock(state_mutex_);
   state_cv_.wait(lock, [this, &s] {
     return !paused_ && s.in_flight == nullptr && s.queue.empty();
   });
+  return Status::Ok();
 }
 
 const std::string& StreamEngine::name(int id) const {
@@ -160,5 +402,23 @@ const std::vector<DomainResult>& StreamEngine::results(int id) const {
 }
 
 core::CerlTrainer& StreamEngine::trainer(int id) { return stream(id).trainer; }
+
+StreamHealth StreamEngine::health(int id) const {
+  const StreamState& s = stream(id);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return s.health;
+}
+
+int StreamEngine::consecutive_failures(int id) const {
+  const StreamState& s = stream(id);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return s.consecutive_failures;
+}
+
+int StreamEngine::failed_domains(int id) const {
+  const StreamState& s = stream(id);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return s.failed_domains;
+}
 
 }  // namespace cerl::stream

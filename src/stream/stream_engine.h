@@ -65,15 +65,68 @@ struct StreamEngineOptions {
   /// fused_micro_solver.h), so this is a pure scheduling choice — a runtime
   /// option, not durable state (snapshots neither save nor restore it).
   bool fuse_micro_solves = true;
+
+  // --- Fault isolation (per-tenant health; see README "Failure model") ---
+
+  /// Numerical health guards at stage boundaries: a non-finite validation
+  /// loss, parameter, or memory representation rolls the stream's trainer
+  /// back to its last-good domain boundary (in-memory CERLCKP1 blob,
+  /// captured after every successful domain) and retries the domain. Off =
+  /// no guard scans and no last-good capture; a failed domain then leaves
+  /// the trainer wherever the failure left it (the bench's guards-off
+  /// configuration measures the pure pipeline).
+  bool health_guards = true;
+  /// Admission bound: PushDomain returns kResourceExhausted while a
+  /// stream's queued (not yet dispatched) domains are at this count.
+  /// 0 = unbounded.
+  int max_queued_domains = 0;
+  /// Failed-domain retries before the domain is dropped. Each retry rolls
+  /// back (health_guards) and replays the identical stage pipeline, so a
+  /// transient fault recovers bit-identically; a deterministic one fails
+  /// again and falls through to the drop.
+  int max_domain_retries = 2;
+  /// Backoff before retry r is retry_backoff_ms << (r-1) milliseconds,
+  /// capped at 100ms (slept on the stream's worker; other streams proceed).
+  int retry_backoff_ms = 1;
+  /// Consecutive dropped domains after which the stream is quarantined:
+  /// its queue is rejected with kUnavailable, as is every later push.
+  int quarantine_after_failures = 2;
+  /// SaveSnapshot retries transient WriteFileAtomic failures this many
+  /// times with exponential backoff before reporting the IO error.
+  int snapshot_io_retries = 3;
+  /// Backoff before snapshot-write retry r: snapshot_retry_backoff_ms <<
+  /// (r-1) milliseconds, capped at 100ms.
+  int snapshot_retry_backoff_ms = 1;
 };
 
-/// Outcome of one fully processed domain of one stream.
+/// Per-stream health (Healthy -> Degraded -> Quarantined). Degraded means
+/// at least one recent domain attempt failed (rollback/retry in progress or
+/// a domain was dropped); the next fully successful domain returns the
+/// stream to Healthy. Quarantined is terminal for the stream: reached after
+/// `quarantine_after_failures` consecutive dropped domains, it sheds all
+/// queued and future work with kUnavailable while other streams keep
+/// serving.
+enum class StreamHealth : uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kQuarantined = 2,
+};
+
+/// Short human-readable name ("healthy", "degraded", "quarantined").
+const char* StreamHealthName(StreamHealth health);
+
+/// Outcome of one pushed domain of one stream — trained or dropped.
 struct DomainResult {
   int domain_index = 0;          ///< 0-based push order within the stream
   causal::TrainStats stats;      ///< TrainStage statistics
   int memory_units = 0;          ///< bank size right after this migration
   bool has_metrics = false;      ///< test split carried ground truth
   causal::CausalMetrics metrics; ///< PEHE / ATE error on the test split
+  /// OK for a trained domain; the final failure for a dropped one
+  /// (validation reject, exhausted retries, or quarantine shed). Dropped
+  /// domains carry no stats/metrics.
+  Status status;
+  int attempts = 1;              ///< pipeline attempts consumed (1 + retries)
 };
 
 class StreamEngine {
@@ -90,21 +143,38 @@ class StreamEngine {
   int AddStream(std::string name, const core::CerlConfig& config,
                 int input_dim);
 
-  /// Enqueues the next domain of stream `id`. Returns immediately: the
+  /// Enqueues the next domain of stream `id`, or sheds it with a typed
+  /// reject: kNotFound for an unknown stream id, kUnavailable for a
+  /// quarantined stream, kResourceExhausted when the stream's queue is at
+  /// options.max_queued_domains. On OK the call returns immediately: the
   /// domain's pre-flight validation starts on the shared pool, and the
   /// domain joins the stream's queue — its ingest -> train -> migrate
   /// pipeline is dispatched onto the stream's task group as soon as the
   /// previous domain completes (one pipeline in flight per stream, so a
   /// snapshot can fence at a domain boundary and journal the rest).
-  /// Malformed domains abort with the validation message (the same
-  /// contract as the serial path's CheckConsistent).
-  void PushDomain(int id, data::DataSplit split);
+  /// A rejected push leaves no trace: no result slot, no domain index.
+  /// Malformed domains are accepted here and dropped by the pipeline with
+  /// the validation error recorded in their DomainResult — data-dependent
+  /// failures never abort the process.
+  Status PushDomain(int id, data::DataSplit split);
 
-  /// Blocks until every pushed domain of every stream is fully processed.
+  /// Blocks until every pushed domain of every stream is fully processed
+  /// (trained or dropped). A zero-stream engine drains immediately.
   void Drain();
 
   /// Blocks until stream `id` alone is drained (other streams keep going).
-  void DrainStream(int id);
+  /// Returns kNotFound for an unknown id. Safe to call concurrently from
+  /// multiple threads.
+  Status DrainStream(int id);
+
+  // --- Per-stream health (see StreamHealth) -----------------------------
+
+  StreamHealth health(int id) const;
+  /// Dropped domains in a row (resets to 0 on a successful domain).
+  int consecutive_failures(int id) const;
+  /// Total domains dropped over the stream's lifetime (including
+  /// quarantine-shed ones).
+  int failed_domains(int id) const;
 
   int num_streams() const { return static_cast<int>(streams_.size()); }
   const std::string& name(int id) const;
@@ -130,26 +200,33 @@ class StreamEngine {
 
   /// Drain-consistent snapshot of the ENTIRE engine under load: pauses
   /// dispatch, waits for every stream's in-flight domain pipeline to reach
-  /// its domain boundary (workers stay up; queued domains stay queued),
-  /// writes a CERLENG1 container — engine options, per-stream name / config
-  /// / completed-domain counter, each stream's embedded CERLCKP1 trainer
-  /// blob, and a replay journal of the still-queued domains so pushed work
-  /// is never lost — then resumes dispatch. The write is crash-safe (temp
-  /// file + fsync + atomic rename) and the container carries a checksum.
-  /// Concurrent PushDomain is safe: a push lands either in the journal or
-  /// in the resumed queue.
+  /// its domain boundary (workers stay up; queued domains stay queued; a
+  /// domain mid-retry resolves — succeeds or drops — before the fence),
+  /// writes a CERLENG2 container — engine options, per-stream name / config
+  /// / completed-domain counter / health state (health, consecutive
+  /// failures, dropped-domain total), each stream's embedded CERLCKP1
+  /// trainer blob, and a replay journal of the still-queued domains so
+  /// pushed work is never lost — then resumes dispatch. The write is
+  /// crash-safe (temp file + fsync + atomic rename), carries a checksum,
+  /// and transient IO failures are retried with bounded exponential
+  /// backoff (options.snapshot_io_retries). Concurrent PushDomain is safe:
+  /// a push lands either in the journal or in the resumed queue.
   Status SaveSnapshot(const std::string& path, SnapshotInfo* info = nullptr);
 
   /// Rebuilds a saved engine into THIS engine, which must be freshly
   /// constructed (no streams registered): re-creates every stream from its
-  /// serialized config, restores each trainer bit-identically, and
+  /// serialized config, restores each trainer bit-identically (re-seeding
+  /// its last-good rollback blob), restores health/quarantine state, and
   /// re-enqueues the journaled domains in their original order (training
-  /// resumes immediately on the engine's workers). Worker count and
-  /// validate_on_push stay as THIS engine was constructed — they are
-  /// runtime scheduling choices, not durable state. Per-domain results of
-  /// the saved engine are not restored (stats are transient diagnostics);
-  /// domain indices continue from the saved counters. All-or-nothing: on
-  /// any error the engine still has zero streams.
+  /// resumes immediately on the engine's workers; a quarantined stream's
+  /// journal drains through the pipeline as kUnavailable drops, exactly as
+  /// it would have in the saved engine). Reads both CERLENG2 and the older
+  /// CERLENG1 (which predates health state: streams restore as healthy).
+  /// Worker count and validate_on_push stay as THIS engine was constructed
+  /// — they are runtime scheduling choices, not durable state. Per-domain
+  /// results of the saved engine are not restored (stats are transient
+  /// diagnostics); domain indices continue from the saved counters.
+  /// All-or-nothing: on any error the engine still has zero streams.
   Status LoadSnapshot(const std::string& path);
 
  private:
@@ -159,11 +236,32 @@ class StreamEngine {
   StreamState& stream(int id);
   const StreamState& stream(int id) const;
 
+  /// Admission-free push used by LoadSnapshot's journal replay: journaled
+  /// domains were already admitted by the saved engine, so they re-enter
+  /// the queue regardless of queue bounds or quarantine (the pipeline then
+  /// sheds a quarantined stream's domains with kUnavailable).
+  void PushDomainInternal(StreamState* s, data::DataSplit split);
+
+  /// Queues an admitted domain, kicks off its pre-flight validation, and
+  /// dispatches if the stream is idle. Caller holds state_mutex_.
+  void EnqueueLocked(StreamState* s, std::unique_ptr<PendingDomain> domain);
+
   /// Starts the next queued domain's stage pipeline if the stream is idle
   /// and dispatch is not paused. Caller holds state_mutex_.
   void MaybeDispatchLocked(StreamState* s);
 
-  /// Builds the CERLENG1 payload. Caller holds state_mutex_ with dispatch
+  /// Submits the in-flight domain's ingest/train/finish stage tasks onto
+  /// the stream's task group (first attempt and retries). Caller holds
+  /// state_mutex_.
+  void SubmitAttemptLocked(StreamState* s);
+
+  /// Failure epilogue for the in-flight domain, running on the stream's
+  /// task group: rolls the trainer back to its last-good boundary
+  /// (health_guards), then either resubmits the attempt after backoff or
+  /// drops the domain and advances the health state machine.
+  void HandleFailure(StreamState* s, PendingDomain* d);
+
+  /// Builds the CERLENG2 payload. Caller holds state_mutex_ with dispatch
   /// paused and no in-flight domains (SaveSnapshot's boundary wait).
   Status SerializeSnapshotLocked(std::string* out);
 
@@ -175,9 +273,10 @@ class StreamEngine {
   ot::MicroSolveBatcher micro_batcher_;
   std::vector<std::unique_ptr<StreamState>> streams_;
 
-  /// Guards stream queues / in-flight flags / results and the pause state;
-  /// state_cv_ signals pipeline completions and pause transitions.
-  std::mutex state_mutex_;
+  /// Guards stream queues / in-flight flags / results / health and the
+  /// pause state; state_cv_ signals pipeline completions and pause
+  /// transitions. Mutable so the const health accessors can lock it.
+  mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;
   bool paused_ = false;  ///< snapshot in progress: no new dispatches
 };

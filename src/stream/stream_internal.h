@@ -28,6 +28,16 @@ struct StreamEngine::PendingDomain {
   bool validated = false;
   Status status;
 
+  // Failure plumbing between the stage tasks of one attempt (all tasks run
+  // on the stream's serialized group, so no lock is needed): a stage that
+  // fails records `failure`; later stages of the attempt then no-op and the
+  // finish task routes to HandleFailure. `terminal` marks failures that
+  // must not be retried (validation reject, quarantine shed). `attempt`
+  // counts completed attempts (0 on the first run).
+  Status failure;
+  bool terminal = false;
+  int attempt = 0;
+
   std::unique_ptr<core::CerlTrainer::StageContext> ctx;
 };
 
@@ -53,6 +63,19 @@ struct StreamEngine::StreamState {
   std::unique_ptr<PendingDomain> in_flight;
   std::vector<DomainResult> results;
   int pushed = 0;
+
+  // Health state machine (guarded by the engine's state_mutex_; see
+  // StreamHealth in stream_engine.h).
+  StreamHealth health = StreamHealth::kHealthy;
+  int consecutive_failures = 0;  ///< dropped domains in a row
+  int failed_domains = 0;        ///< dropped domains, lifetime total
+
+  // Serialized trainer state (CERLCKP1) at the last successful domain
+  // boundary — the rollback target for health-guard failures. Captured by
+  // the finish task after every successful domain when health_guards is on;
+  // read only by HandleFailure on the same stream's group (serialized), so
+  // access needs no extra lock beyond state_mutex_ for the capture.
+  std::string last_good;
 };
 
 }  // namespace cerl::stream

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <memory>
+#include <string>
 
 #include "nn/optim.h"
 #include "util/check.h"
+#include "util/status.h"
 #include "util/keyed_pool.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -186,6 +189,15 @@ TrainStats TrainLoop::Run(
       tape.Reset();
       Var loss = batch_loss(&tape, span, gathered);
       CERL_CHECK(loss.valid());
+      // A non-finite loss must surface here, before Backward() poisons the
+      // parameters: the early-stopping snapshot would otherwise silently
+      // restore over the excursion (NaN never beats best_valid), leaving
+      // corrupted training invisible to the caller's health guards.
+      if (!std::isfinite(loss.scalar())) {
+        throw StatusError(
+            Status::NumericalError("non-finite training loss at step " +
+                                   std::to_string(stats.steps)));
+      }
       optimizer.ZeroGrad();
       tape.Backward(loss);
       optimizer.Step();

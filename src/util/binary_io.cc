@@ -7,6 +7,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/fault_injection.h"
+
 namespace cerl {
 namespace {
 
@@ -79,6 +81,9 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  if (CERL_FAULT_POINT(FaultPoint::kIoWrite)) {
+    return Status::IoError("injected write failure: " + path);
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

@@ -1,0 +1,169 @@
+#include "util/fault_injection.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cerl {
+
+namespace fault_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace fault_internal
+
+namespace {
+
+thread_local std::string t_scope;
+
+constexpr int kNumPoints = static_cast<int>(FaultPoint::kNumPoints);
+
+struct Rule {
+  std::string scope;  // "" matches every thread
+  double probability = 1.0;
+  int max_fires = 0;  // 0 = unlimited
+  int fired = 0;
+  Rng rng{0};
+};
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kNanGradient: return "nan_gradient";
+    case FaultPoint::kSinkhornDiverge: return "sinkhorn_diverge";
+    case FaultPoint::kIoWrite: return "io_write";
+    case FaultPoint::kStageThrow: return "stage_throw";
+    case FaultPoint::kNumPoints: break;
+  }
+  return "unknown";
+}
+
+FaultScope::FaultScope(std::string scope) : previous_(std::move(t_scope)) {
+  t_scope = std::move(scope);
+}
+
+FaultScope::~FaultScope() { t_scope = std::move(previous_); }
+
+const std::string& FaultScope::Current() { return t_scope; }
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  std::vector<Rule> rules[kNumPoints];
+  int fires[kNumPoints] = {0};
+};
+
+FaultInjector::Impl& FaultInjector::impl() {
+  static Impl* impl = new Impl();  // leaked: outlives all static destructors
+  return *impl;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(FaultPoint point, std::string scope,
+                        double probability, int max_fires, uint64_t seed) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  Rule rule;
+  rule.scope = std::move(scope);
+  rule.probability = probability;
+  rule.max_fires = max_fires;
+  rule.rng = Rng(seed);
+  im.rules[static_cast<int>(point)].push_back(std::move(rule));
+  fault_internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  // Disable first: a concurrent CERL_FAULT_POINT either sees the flag down
+  // (skips) or blocks on the mutex and then sees empty rules.
+  fault_internal::g_enabled.store(false, std::memory_order_relaxed);
+  for (int p = 0; p < kNumPoints; ++p) {
+    im.rules[p].clear();
+    im.fires[p] = 0;
+  }
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  const std::string& scope = FaultScope::Current();
+  for (Rule& rule : im.rules[static_cast<int>(point)]) {
+    if (!rule.scope.empty() && rule.scope != scope) continue;
+    if (rule.max_fires > 0 && rule.fired >= rule.max_fires) continue;
+    if (rule.probability < 1.0 && rule.rng.Uniform() >= rule.probability) {
+      continue;
+    }
+    ++rule.fired;
+    ++im.fires[static_cast<int>(point)];
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::fires(FaultPoint point) const {
+  Impl& im = const_cast<FaultInjector*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  return im.fires[static_cast<int>(point)];
+}
+
+void FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("CERL_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  uint64_t seed = 0;
+  if (const char* s = std::getenv("CERL_FAULTS_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+
+  std::string entry;
+  uint64_t index = 0;
+  for (const char* p = spec;; ++p) {
+    if (*p != ',' && *p != '\0') {
+      entry += *p;
+      if (*p != '\0') continue;
+    }
+    if (!entry.empty()) {
+      // entry = point[@scope][:probability[:max_fires]]
+      std::string scope;
+      double probability = 1.0;
+      int max_fires = 0;
+      std::string head = entry;
+      if (size_t colon = head.find(':'); colon != std::string::npos) {
+        std::string tail = head.substr(colon + 1);
+        head = head.substr(0, colon);
+        if (size_t colon2 = tail.find(':'); colon2 != std::string::npos) {
+          max_fires = std::atoi(tail.substr(colon2 + 1).c_str());
+          tail = tail.substr(0, colon2);
+        }
+        probability = std::atof(tail.c_str());
+      }
+      if (size_t at = head.find('@'); at != std::string::npos) {
+        scope = head.substr(at + 1);
+        head = head.substr(0, at);
+      }
+      bool matched = false;
+      for (int pt = 0; pt < kNumPoints; ++pt) {
+        if (head == FaultPointName(static_cast<FaultPoint>(pt))) {
+          Global().Arm(static_cast<FaultPoint>(pt), scope, probability,
+                       max_fires, seed + 0x9E3779B97F4A7C15ull * index);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        CERL_LOG(Warning) << "CERL_FAULTS: unknown point '" << head
+                          << "', entry skipped";
+      }
+      ++index;
+      entry.clear();
+    }
+    if (*p == '\0') break;
+  }
+}
+
+}  // namespace cerl

@@ -1,0 +1,98 @@
+// Deterministic, seeded fault injection for robustness testing. Call sites
+// name an injection point via CERL_FAULT_POINT(...); tests (or the
+// CERL_FAULTS env var) arm rules against points, optionally scoped to one
+// tenant/stream name carried by a thread-local FaultScope. Disabled cost is
+// one relaxed atomic load and an untaken branch — no lock, no allocation —
+// so production binaries keep the points compiled in.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cerl {
+
+/// Named injection points. Each maps to exactly one call site semantics;
+/// see the point's user for what "firing" means there.
+enum class FaultPoint {
+  kNanGradient = 0,   // poison a training-stage loss with NaN
+  kSinkhornDiverge,   // force a Sinkhorn solve to report non-convergence
+  kIoWrite,           // fail WriteFileAtomic before touching the filesystem
+  kStageThrow,        // throw from inside an engine stage task
+  kNumPoints,         // sentinel, keep last
+};
+
+/// Short stable name ("nan_gradient", ...) used by the CERL_FAULTS spec.
+const char* FaultPointName(FaultPoint point);
+
+/// RAII thread-local scope label, typically the stream/tenant name. Rules
+/// armed with a non-empty scope fire only on threads whose innermost
+/// FaultScope matches. Nests; the destructor restores the outer scope.
+class FaultScope {
+ public:
+  explicit FaultScope(std::string scope);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// Innermost scope on this thread, or "" when none is active.
+  static const std::string& Current();
+
+ private:
+  std::string previous_;
+};
+
+/// Process-global registry of armed fault rules. All methods are
+/// thread-safe; firing decisions are serialized per injector so that a
+/// seeded run replays the same decision sequence for the same arrival
+/// order (single-scope rules on a serialized stream pipeline are fully
+/// deterministic).
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms `point`: it fires with `probability` on threads matching `scope`
+  /// ("" matches every thread), at most `max_fires` times (0 = unlimited).
+  /// `seed` drives the rule's private deterministic Rng. Multiple rules may
+  /// be armed on one point (e.g. one per faulted stream).
+  void Arm(FaultPoint point, std::string scope, double probability,
+           int max_fires, uint64_t seed);
+
+  /// Disarms every rule and zeroes fire counters. Leaves injection disabled.
+  void Reset();
+
+  /// Decision function behind CERL_FAULT_POINT. Prefer the macro: it guards
+  /// the call with the relaxed enabled flag so disarmed runs never get here.
+  bool ShouldFire(FaultPoint point);
+
+  /// Total times `point` has fired since the last Reset().
+  int fires(FaultPoint point) const;
+
+  /// Arms rules from the CERL_FAULTS env var (comma-separated entries of
+  /// the form `point[@scope][:probability[:max_fires]]`, e.g.
+  /// "nan_gradient@tenant3:1:2,io_write:0.5"), seeded by CERL_FAULTS_SEED
+  /// (default 0). Unset/empty CERL_FAULTS is a no-op. Malformed entries are
+  /// skipped with a warning rather than aborting a production binary.
+  static void ArmFromEnv();
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+namespace fault_internal {
+/// True iff at least one rule is armed. Relaxed is sufficient: arming
+/// happens before the faulted work is submitted, and a stale read merely
+/// delays the first fire by one check.
+extern std::atomic<bool> g_enabled;
+}  // namespace fault_internal
+
+/// True when the armed rule set says this execution of `point` should fail.
+/// Zero-cost when disabled (single relaxed load, branch not taken).
+#define CERL_FAULT_POINT(point)                                         \
+  (::cerl::fault_internal::g_enabled.load(std::memory_order_relaxed) && \
+   ::cerl::FaultInjector::Global().ShouldFire(point))
+
+}  // namespace cerl

@@ -4,6 +4,7 @@
 // (I/O, numerically singular inputs); programming contracts use CERL_CHECK.
 #pragma once
 
+#include <exception>
 #include <string>
 #include <utility>
 #include <variant>
@@ -20,6 +21,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kNumericalError,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code.
@@ -33,6 +36,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kNumericalError: return "NUMERICAL_ERROR";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -66,6 +71,12 @@ class Status {
   }
   static Status NumericalError(std::string m) {
     return Status(StatusCode::kNumericalError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -105,6 +116,24 @@ class Result {
 
  private:
   std::variant<T, Status> data_;
+};
+
+/// Exception wrapper for a non-OK Status, for propagating data-dependent
+/// failures through call paths that do not return Status (autodiff losses,
+/// stage lambdas running on pool workers). Catch sites unwrap the Status and
+/// resume typed error handling; the exception never crosses a thread-pool
+/// boundary uncaught.
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 /// Propagates a non-OK Status to the caller.

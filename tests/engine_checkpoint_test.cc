@@ -6,12 +6,14 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/cerl_trainer.h"
 #include "data/dataset.h"
 #include "stream/stream_engine.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace cerl::stream {
@@ -251,6 +253,79 @@ TEST(EngineCheckpointTest, MissingSnapshotFileIsCleanError) {
   Status s = engine.LoadSnapshot("/nonexistent/engine.snap");
   EXPECT_EQ(s.code(), StatusCode::kIoError);
   EXPECT_EQ(engine.num_streams(), 0);
+}
+
+TEST(EngineCheckpointTest, HealthStateRoundTripsThroughSnapshot) {
+  // A quarantined stream must restore quarantined (still rejecting pushes),
+  // and its failure counters must survive the CERLENG2 round trip.
+  const CerlConfig config = FastConfig(121);
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  options.quarantine_after_failures = 2;
+  StreamEngine original(options);
+  const int sick = original.AddStream("sick", config, kFeatures);
+  const int fine = original.AddStream("fine", config, kFeatures);
+
+  Rng rng(7);
+  DataSplit good = data::SplitDataset(ShiftedToy(&rng, 200, 0.0), &rng);
+  DataSplit bad = good;
+  bad.train.x(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  ASSERT_TRUE(original.PushDomain(sick, bad).ok());
+  ASSERT_TRUE(original.PushDomain(sick, bad).ok());
+  ASSERT_TRUE(original.PushDomain(fine, good).ok());
+  original.Drain();
+  ASSERT_EQ(original.health(sick), StreamHealth::kQuarantined);
+  ASSERT_EQ(original.health(fine), StreamHealth::kHealthy);
+
+  const std::string path = ::testing::TempDir() + "/engine_health.snap";
+  ASSERT_TRUE(original.SaveSnapshot(path).ok());
+
+  StreamEngine restored(options);
+  ASSERT_TRUE(restored.LoadSnapshot(path).ok());
+  restored.Drain();
+  EXPECT_EQ(restored.health(0), StreamHealth::kQuarantined);
+  EXPECT_EQ(restored.consecutive_failures(0), 2);
+  EXPECT_EQ(restored.failed_domains(0), 2);
+  EXPECT_EQ(restored.health(1), StreamHealth::kHealthy);
+  EXPECT_EQ(restored.failed_domains(1), 0);
+  // Quarantine is enforced, not just reported, after restore.
+  EXPECT_EQ(restored.PushDomain(0, good).code(), StatusCode::kUnavailable);
+  // The healthy stream keeps serving.
+  ASSERT_TRUE(restored.PushDomain(1, good).ok());
+  restored.Drain();
+  EXPECT_EQ(restored.results(1).size(), 1u);
+}
+
+TEST(EngineCheckpointTest, SaveSnapshotRetriesTransientIoFailure) {
+  const CerlConfig config = FastConfig(131);
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  options.snapshot_io_retries = 3;
+  options.snapshot_retry_backoff_ms = 1;
+  StreamEngine engine(options);
+  engine.AddStream("retry", config, kFeatures);
+
+  // Two injected write failures, then the third attempt lands.
+  FaultInjector::Global().Arm(FaultPoint::kIoWrite, /*scope=*/"",
+                              /*probability=*/1.0, /*max_fires=*/2,
+                              /*seed=*/1);
+  const std::string path = ::testing::TempDir() + "/engine_retry.snap";
+  Status saved = engine.SaveSnapshot(path);
+  const int fires = FaultInjector::Global().fires(FaultPoint::kIoWrite);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  EXPECT_EQ(fires, 2);  // both injected failures were consumed by retries
+
+  StreamEngine restored(options);
+  EXPECT_TRUE(restored.LoadSnapshot(path).ok());
+  EXPECT_EQ(restored.num_streams(), 1);
+
+  // With a budget exceeding the retry allowance the save surfaces IoError.
+  FaultInjector::Global().Arm(FaultPoint::kIoWrite, "", 1.0,
+                              /*max_fires=*/0, /*seed=*/1);
+  Status exhausted = engine.SaveSnapshot(path);
+  FaultInjector::Global().Reset();
+  EXPECT_EQ(exhausted.code(), StatusCode::kIoError);
 }
 
 TEST(EngineCheckpointTest, SnapshotWriteIsAtomic) {

@@ -1,0 +1,171 @@
+// Tests for util/fault_injection: deterministic seeded firing, scope
+// confinement via thread-local FaultScope, max_fires budgets, the
+// CERL_FAULTS env spec, and the wired kIoWrite point in WriteFileAtomic.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+
+namespace cerl {
+namespace {
+
+// Every test leaves the global injector disarmed (it is process-global and
+// this binary's tests share it).
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefaultCostsOneBranch) {
+  // No rule armed: the macro short-circuits on the relaxed flag and the
+  // injector is never consulted.
+  EXPECT_FALSE(fault_internal::g_enabled.load());
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  EXPECT_EQ(FaultInjector::Global().fires(FaultPoint::kStageThrow), 0);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresBoundsTheBudget) {
+  FaultInjector::Global().Arm(FaultPoint::kStageThrow, /*scope=*/"",
+                              /*probability=*/1.0, /*max_fires=*/2,
+                              /*seed=*/1);
+  EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  EXPECT_EQ(FaultInjector::Global().fires(FaultPoint::kStageThrow), 2);
+  // Other points are untouched.
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kNanGradient));
+}
+
+TEST_F(FaultInjectionTest, ScopeConfinesFiringToMatchingThreads) {
+  FaultInjector::Global().Arm(FaultPoint::kNanGradient, "tenant-a", 1.0,
+                              /*max_fires=*/0, /*seed=*/1);
+  // No scope on this thread: the rule does not match.
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kNanGradient));
+  {
+    FaultScope scope("tenant-b");
+    EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kNanGradient));
+    {
+      FaultScope inner("tenant-a");
+      EXPECT_EQ(FaultScope::Current(), "tenant-a");
+      EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kNanGradient));
+    }
+    // Destructor restores the outer scope.
+    EXPECT_EQ(FaultScope::Current(), "tenant-b");
+  }
+  EXPECT_EQ(FaultScope::Current(), "");
+
+  // Scopes are thread-local: another thread without a scope never fires.
+  bool other_thread_fired = true;
+  std::thread other([&other_thread_fired] {
+    other_thread_fired = CERL_FAULT_POINT(FaultPoint::kNanGradient);
+  });
+  other.join();
+  EXPECT_FALSE(other_thread_fired);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityDrawsAreSeedDeterministic) {
+  auto record = [] {
+    FaultInjector::Global().Arm(FaultPoint::kSinkhornDiverge, "", 0.4,
+                                /*max_fires=*/0, /*seed=*/77);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 200; ++i) {
+      decisions.push_back(CERL_FAULT_POINT(FaultPoint::kSinkhornDiverge));
+    }
+    FaultInjector::Global().Reset();
+    return decisions;
+  };
+  const std::vector<bool> first = record();
+  const std::vector<bool> second = record();
+  EXPECT_EQ(first, second);
+  // Sanity: 0.4 probability actually fires sometimes and skips sometimes.
+  int fired = 0;
+  for (bool b : first) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 40);
+  EXPECT_LT(fired, 160);
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndZeroesCounters) {
+  FaultInjector::Global().Arm(FaultPoint::kIoWrite, "", 1.0, 0, 1);
+  EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kIoWrite));
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(fault_internal::g_enabled.load());
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kIoWrite));
+  EXPECT_EQ(FaultInjector::Global().fires(FaultPoint::kIoWrite), 0);
+}
+
+TEST_F(FaultInjectionTest, MultipleRulesOnOnePointMatchByScope) {
+  FaultInjector::Global().Arm(FaultPoint::kStageThrow, "tenant-a", 1.0,
+                              /*max_fires=*/1, /*seed=*/1);
+  FaultInjector::Global().Arm(FaultPoint::kStageThrow, "tenant-b", 1.0,
+                              /*max_fires=*/1, /*seed=*/2);
+  {
+    FaultScope scope("tenant-a");
+    EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+    EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kStageThrow));  // budget spent
+  }
+  {
+    FaultScope scope("tenant-b");
+    EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  }
+  EXPECT_EQ(FaultInjector::Global().fires(FaultPoint::kStageThrow), 2);
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvParsesTheSpec) {
+  ::setenv("CERL_FAULTS",
+           "stage_throw@tenant-x:1:1,io_write:1:2,not_a_point:1", 1);
+  ::setenv("CERL_FAULTS_SEED", "9", 1);
+  FaultInjector::ArmFromEnv();
+  ::unsetenv("CERL_FAULTS");
+  ::unsetenv("CERL_FAULTS_SEED");
+
+  // stage_throw is scoped to tenant-x.
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  {
+    FaultScope scope("tenant-x");
+    EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+    EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kStageThrow));
+  }
+  // io_write is unscoped with a budget of 2; the unknown point was skipped.
+  EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kIoWrite));
+  EXPECT_TRUE(CERL_FAULT_POINT(FaultPoint::kIoWrite));
+  EXPECT_FALSE(CERL_FAULT_POINT(FaultPoint::kIoWrite));
+}
+
+TEST_F(FaultInjectionTest, EmptyEnvSpecIsANoop) {
+  ::unsetenv("CERL_FAULTS");
+  FaultInjector::ArmFromEnv();
+  EXPECT_FALSE(fault_internal::g_enabled.load());
+}
+
+TEST_F(FaultInjectionTest, IoWritePointFailsWriteFileAtomic) {
+  const std::string path = ::testing::TempDir() + "/fault_io.bin";
+  FaultInjector::Global().Arm(FaultPoint::kIoWrite, "", 1.0,
+                              /*max_fires=*/1, /*seed=*/1);
+  Status first = WriteFileAtomic(path, "payload");
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kIoError);
+  // Budget spent: the next write goes through and publishes the payload.
+  ASSERT_TRUE(WriteFileAtomic(path, "payload").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "payload");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, PointNamesAreStable) {
+  // The env spec depends on these strings; renaming one is a breaking
+  // change to every chaos harness out there.
+  EXPECT_STREQ(FaultPointName(FaultPoint::kNanGradient), "nan_gradient");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kSinkhornDiverge),
+               "sinkhorn_diverge");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kIoWrite), "io_write");
+  EXPECT_STREQ(FaultPointName(FaultPoint::kStageThrow), "stage_throw");
+}
+
+}  // namespace
+}  // namespace cerl

@@ -8,6 +8,8 @@
 #include <memory>
 #include <numeric>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "util/binary_io.h"
 #include "util/csv.h"
@@ -43,6 +45,32 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(outer().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusTest, AdmissionControlCodes) {
+  Status exhausted = Status::ResourceExhausted("queue full");
+  EXPECT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_STREQ(StatusCodeName(exhausted.code()), "RESOURCE_EXHAUSTED");
+  EXPECT_EQ(exhausted.ToString(), "RESOURCE_EXHAUSTED: queue full");
+
+  Status unavailable = Status::Unavailable("quarantined");
+  EXPECT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_STREQ(StatusCodeName(unavailable.code()), "UNAVAILABLE");
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: quarantined");
+}
+
+TEST(StatusTest, StatusErrorCarriesTheStatusThroughThrow) {
+  try {
+    throw StatusError(Status::NumericalError("nan loss"));
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kNumericalError);
+    EXPECT_EQ(e.status().message(), "nan loss");
+    EXPECT_STREQ(e.what(), "NUMERICAL_ERROR: nan loss");
+    return;
+  }
+  FAIL() << "StatusError was not caught";
+}
+
 TEST(ResultTest, HoldsValueOrStatus) {
   Result<int> ok(42);
   ASSERT_TRUE(ok.ok());
@@ -50,6 +78,32 @@ TEST(ResultTest, HoldsValueOrStatus) {
   Result<int> err(Status::Internal("boom"));
   ASSERT_FALSE(err.ok());
   EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveSemanticsTransferTheValueWithoutCopying) {
+  // move_only payload: compiles only if Result forwards moves end to end.
+  Result<std::unique_ptr<int>> holder(std::make_unique<int>(7));
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> taken = std::move(holder).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+
+  // Moving the Result itself carries the live value along...
+  Result<std::unique_ptr<int>> source(std::make_unique<int>(9));
+  Result<std::unique_ptr<int>> target(std::move(source));
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target.value(), 9);
+
+  // ...and an error Result moves its Status intact.
+  Result<std::unique_ptr<int>> bad(Status::Unavailable("shed"));
+  Result<std::unique_ptr<int>> moved_bad(std::move(bad));
+  ASSERT_FALSE(moved_bad.ok());
+  EXPECT_EQ(moved_bad.status().code(), StatusCode::kUnavailable);
+
+  // Mutable access through value()& supports in-place rebinding.
+  Result<std::string> text(std::string("abc"));
+  text.value() += "def";
+  EXPECT_EQ(text.value(), "abcdef");
 }
 
 TEST(RngTest, DeterministicForSeed) {

@@ -4,6 +4,7 @@ the committed baseline and fail on slowdowns.
 
 Usage:
   tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25]
+      [--pair NAME BASE MAXRATIO ...]
 
 Rules:
   - benchmarks present in BOTH files are compared by real_time (after
@@ -12,6 +13,12 @@ Rules:
   - benchmarks only in one file are reported but never fail the gate (new
     benches land before their baseline regenerates; retired ones linger in
     old baselines);
+  - each --pair NAME BASE MAXRATIO (repeatable) gates WITHIN the current
+    run: NAME must not be slower than MAXRATIO x BASE. This pins a feature's
+    overhead against its own baseline variant (e.g. the stream engine's
+    health guards vs the guards-off run) independent of machine speed;
+    a pair whose members are missing from the current run is a hard error —
+    a silently skipped overhead gate is worse than a failing one;
   - exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 
 CI runners are noisy; the default 25% threshold is deliberately loose — it
@@ -55,6 +62,10 @@ def main():
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="fail when current > threshold * baseline "
                              "(default 1.25 = 25%% slowdown)")
+    parser.add_argument("--pair", nargs=3, action="append", default=[],
+                        metavar=("NAME", "BASE", "MAXRATIO"),
+                        help="within the CURRENT run, fail when "
+                             "NAME > MAXRATIO * BASE (repeatable)")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
@@ -83,14 +94,40 @@ def main():
     for name in only_baseline:
         print(f"{name:44s} {baseline[name]:10.0f}ns {'--':>12s}    retired")
 
+    pair_failures = []
+    for name, base, max_ratio_str in args.pair:
+        try:
+            max_ratio = float(max_ratio_str)
+        except ValueError:
+            print(f"error: --pair ratio is not a number: {max_ratio_str}",
+                  file=sys.stderr)
+            sys.exit(2)
+        missing = [n for n in (name, base) if n not in current]
+        if missing:
+            print(f"error: --pair benchmark(s) missing from current run: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        ratio = current[name] / current[base] if current[base] > 0 else 1.0
+        flag = ""
+        if ratio > max_ratio:
+            pair_failures.append((name, base, ratio, max_ratio))
+            flag = "  << OVER BUDGET"
+        print(f"pair {name} / {base}: {ratio:.3f}x "
+              f"(budget {max_ratio:.2f}x){flag}")
+
     print(f"\ncompared {len(shared)} benchmarks "
           f"({len(only_current)} new, {len(only_baseline)} retired), "
-          f"threshold {args.threshold:.2f}x")
+          f"threshold {args.threshold:.2f}x, {len(args.pair)} pair gate(s)")
+    for name, base, ratio, max_ratio in pair_failures:
+        print(f"FAIL: {name} is {ratio:.3f}x of {base} "
+              f"(budget {max_ratio:.2f}x)", file=sys.stderr)
     if regressions:
         print(f"FAIL: {len(regressions)} regression(s) over "
               f"{args.threshold:.2f}x:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x slower", file=sys.stderr)
+        sys.exit(1)
+    if pair_failures:
         sys.exit(1)
     print("PASS: no benchmark regressed past the threshold")
 
