@@ -1,0 +1,115 @@
+#include "stream/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/binary_io.h"
+#include "util/check.h"
+
+namespace cerl::stream {
+
+namespace {
+
+// EWMA smoothing for the per-unit rates: heavy enough that one outlier stage
+// (first-touch page faults, a CPU migration) does not swing the schedule,
+// light enough that the rate converges within a handful of stages — the
+// EWMA-convergence test pins this.
+constexpr double kRateAlpha = 0.3;
+// Plain wall-time EWMA (stats surface only) reacts a bit faster: it answers
+// "how long does this stage take lately", not "what should I predict".
+constexpr double kWallAlpha = 0.4;
+// Cold-start rate: nothing observed yet, so every stream prices work at the
+// same per-unit rate and cold priorities reduce to submitted work units
+// (n_units x epochs for training). The absolute value is irrelevant for
+// ordering cold streams among themselves; it only has to be small enough
+// that one real observation (alpha 0.3) pulls the rate to the right decade.
+constexpr double kColdRateMsPerUnit = 0.01;
+
+}  // namespace
+
+int64_t StageWorkUnits(StageKind stage, const DomainShape& shape) {
+  const int64_t units = std::max<int64_t>(1, shape.n_units);
+  if (stage == StageKind::kTrain) {
+    return units * std::max(1, shape.epochs);
+  }
+  return units;
+}
+
+double StageCostModel::PredictMs(StageKind stage,
+                                 const DomainShape& shape) const {
+  const Stage& s = stages_[static_cast<int>(stage)];
+  const double rate = s.count > 0 ? s.rate_ms_per_unit : kColdRateMsPerUnit;
+  return rate * static_cast<double>(StageWorkUnits(stage, shape));
+}
+
+double StageCostModel::PredictDomainMs(const DomainShape& shape) const {
+  return PredictMs(StageKind::kIngest, shape) +
+         PredictMs(StageKind::kTrain, shape) +
+         PredictMs(StageKind::kMigrate, shape);
+}
+
+void StageCostModel::Observe(StageKind stage, const DomainShape& shape,
+                             double ms) {
+  if (!(ms >= 0.0)) ms = 0.0;  // also catches NaN
+  Stage& s = stages_[static_cast<int>(stage)];
+  // Score the prediction BEFORE folding the observation in — the error
+  // metric must measure what the scheduler actually used. Only warm
+  // predictions are scored (cold ones measure the arbitrary seed rate), and
+  // near-zero stages are skipped (percentage error is meaningless there).
+  if (s.count > 0 && ms > 1e-3) {
+    const double predicted = PredictMs(stage, shape);
+    abs_pct_error_sum_ += std::abs(predicted - ms) / ms;
+    ++scored_predictions_;
+  }
+  const double rate =
+      ms / static_cast<double>(StageWorkUnits(stage, shape));
+  if (s.count == 0) {
+    s.rate_ms_per_unit = rate;
+    s.ewma_ms = ms;
+  } else {
+    s.rate_ms_per_unit += kRateAlpha * (rate - s.rate_ms_per_unit);
+    s.ewma_ms += kWallAlpha * (ms - s.ewma_ms);
+  }
+  ++s.count;
+  ++observations_;
+}
+
+double StageCostModel::ewma_stage_ms(StageKind stage) const {
+  return stages_[static_cast<int>(stage)].ewma_ms;
+}
+
+double StageCostModel::mean_abs_pct_error() const {
+  if (scored_predictions_ == 0) return 0.0;
+  return abs_pct_error_sum_ / static_cast<double>(scored_predictions_);
+}
+
+void StageCostModel::Serialize(std::string* out) const {
+  for (const Stage& s : stages_) {
+    WritePod(out, s.rate_ms_per_unit);
+    WritePod(out, static_cast<int64_t>(s.count));
+  }
+}
+
+Status StageCostModel::Deserialize(BoundedReader* r) {
+  for (Stage& s : stages_) {
+    double rate = 0.0;
+    int64_t count = 0;
+    CERL_RETURN_IF_ERROR(r->ReadPod(&rate, "cost-model rate"));
+    CERL_RETURN_IF_ERROR(r->ReadPod(&count, "cost-model count"));
+    if (!std::isfinite(rate) || rate < 0.0) {
+      return Status::IoError("implausible cost-model rate");
+    }
+    if (count < 0 || count > (int64_t{1} << 40)) {
+      return Status::IoError("implausible cost-model count");
+    }
+    s.rate_ms_per_unit = rate;
+    s.count = count;
+    s.ewma_ms = 0.0;  // transient diagnostic; restores cold
+  }
+  observations_ = stages_[0].count + stages_[1].count + stages_[2].count;
+  abs_pct_error_sum_ = 0.0;
+  scored_predictions_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace cerl::stream

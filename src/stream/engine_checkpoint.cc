@@ -8,9 +8,9 @@
 // not been consumed yet (they are current, not past-domain, data), and
 // nothing else in the container is raw covariates.
 //
-// Format CERLENG2 (writes; CERLENG1 still reads — golden fixtures under
-// tests/testdata/ pin the v1 layout):
-//   magic "CERLENG2",
+// Format CERLENG3 (writes; CERLENG2 and CERLENG1 still read — golden
+// fixtures under tests/testdata/ pin the old layouts):
+//   magic "CERLENG3",
 //   u32 num_workers, u8 validate_on_push          (informational),
 //   u32 num_streams, then per stream:
 //     u32 name_len, name bytes,
@@ -18,7 +18,11 @@
 //     CerlConfig block (fixed field order, see WriteConfig),
 //     u32 completed_domains                        (resumes domain indices),
 //     u8 health, u32 consecutive_failures, u32 failed_domains
-//                                    (v2 only; v1 restores as healthy/0/0),
+//                                    (v2+ only; v1 restores as healthy/0/0),
+//     3 x { f64 rate_ms_per_unit, i64 count }      (v3 only: the stream's
+//       learned StageCostModel rates; v1/v2 restore with COLD cost models —
+//       the scheduler re-learns rates within a few stages, so older
+//       snapshots stay fully loadable),
 //     u8 has_trainer, [u64 blob_len, CERLCKP1 payload incl. its checksum],
 //     u32 journal_count, then per queued domain a DataSplit
 //       (train/valid/test, each: u32 rows, u32 cols, f64 x[], u8 t[],
@@ -52,6 +56,7 @@ namespace {
 
 constexpr char kMagicV1[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '1'};
 constexpr char kMagicV2[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '2'};
+constexpr char kMagicV3[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '3'};
 
 // Decode-time sanity caps: generous for any real deployment, small enough
 // that a corrupted count fails fast with a descriptive error instead of an
@@ -298,7 +303,7 @@ Status ReadSplit(BoundedReader* r, data::DataSplit* split) {
 
 Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
   out->clear();
-  out->append(kMagicV2, sizeof(kMagicV2));
+  out->append(kMagicV3, sizeof(kMagicV3));
   WritePod(out, static_cast<uint32_t>(pool_.num_threads()));
   WritePod(out, static_cast<uint8_t>(options_.validate_on_push ? 1 : 0));
   WritePod(out, static_cast<uint32_t>(streams_.size()));
@@ -319,6 +324,10 @@ Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
     WritePod(out, static_cast<uint8_t>(s->health));
     WritePod(out, static_cast<uint32_t>(s->consecutive_failures));
     WritePod(out, static_cast<uint32_t>(s->failed_domains));
+    // Cost-model block (v3): the learned per-stage rates. Persisting them
+    // means a restored backlogged engine schedules with warm estimates from
+    // the first dispatch instead of re-learning under load.
+    s->cost_model.Serialize(out);
     const bool has_trainer = s->trainer.stages_seen() > 0;
     WritePod(out, static_cast<uint8_t>(has_trainer ? 1 : 0));
     if (has_trainer) {
@@ -421,8 +430,14 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   BoundedReader r(&in, payload.size());
   char magic[8];
   CERL_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
-  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
-  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+  int version = 0;
+  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    version = 3;
+  } else if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    version = 2;
+  } else if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    version = 1;
+  } else {
     return Status::IoError("bad engine snapshot magic");
   }
   uint32_t saved_workers = 0;
@@ -478,7 +493,7 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
     uint8_t health = 0;
     uint32_t consecutive_failures = 0;
     uint32_t failed_domains = 0;
-    if (v2) {
+    if (version >= 2) {
       CERL_RETURN_IF_ERROR(r.ReadPod(&health, "stream health"));
       if (health > static_cast<uint8_t>(StreamHealth::kQuarantined)) {
         return Status::IoError("unknown stream health code " +
@@ -497,6 +512,14 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
     state->health = static_cast<StreamHealth>(health);
     state->consecutive_failures = static_cast<int>(consecutive_failures);
     state->failed_domains = static_cast<int>(failed_domains);
+    // Home workers are runtime scheduling state: reassigned round-robin for
+    // THIS engine's worker count, exactly as AddStream would.
+    state->home = static_cast<int>(i) % pool_.num_threads();
+    if (version >= 3) {
+      // Learned stage cost rates. Pre-v3 snapshots predate the cost model:
+      // their streams restore cold and re-learn within a few stages.
+      CERL_RETURN_IF_ERROR(state->cost_model.Deserialize(&r));
+    }
     uint8_t has_trainer = 0;
     CERL_RETURN_IF_ERROR(r.ReadPod(&has_trainer, "trainer flag"));
     if (has_trainer > 1) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <thread>
+#include <limits>
 #include <utility>
 
 #include "stream/stream_internal.h"
@@ -15,20 +15,13 @@ namespace cerl::stream {
 
 namespace {
 
-int ResolveWorkers(int requested) {
-  if (requested > 0) return requested;
-  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-}
-
-// Exponential backoff for attempt `attempt` (1-based retry counter), capped
-// at 100ms so a misconfigured base can never stall a stream's worker for
-// long (the sleep runs on the stream's group task; other streams' groups
-// keep the pool busy meanwhile).
-void BackoffSleep(int base_ms, int attempt) {
-  if (base_ms <= 0) return;
+// Exponential backoff before retry `attempt` (1-based), capped at 100ms so
+// a misconfigured base can never park a domain for long. The delay is spent
+// on the pool's timer heap, not on a worker.
+int BackoffMs(int base_ms, int attempt) {
+  if (base_ms <= 0) return 0;
   const int shift = std::min(attempt - 1, 6);
-  const int ms = std::min(100, base_ms << shift);
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  return std::min(100, base_ms << shift);
 }
 
 }  // namespace
@@ -43,7 +36,10 @@ const char* StreamHealthName(StreamHealth health) {
 }
 
 StreamEngine::StreamEngine(const StreamEngineOptions& options)
-    : options_(options), pool_(ResolveWorkers(options.num_workers)) {
+    : options_(options),
+      pool_(WorkStealingPoolOptions{
+          options.num_workers,
+          options.schedule_policy == SchedulePolicy::kCostAware}) {
   // Honor the CERL_FAULTS chaos spec in any binary that hosts an engine.
   // Once per process: arming is cumulative, and a second engine must not
   // duplicate every rule's fire budget.
@@ -76,7 +72,15 @@ int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
       options_.fuse_micro_solves ? &micro_batcher_ : nullptr;
   streams_.push_back(std::make_unique<StreamState>(
       std::move(name), stream_config, input_dim, &pool_));
-  return num_streams() - 1;
+  const int id = num_streams() - 1;
+  // Home worker by round-robin over the stream id: streams spread evenly,
+  // and the assignment is deterministic so the steal tests can pin it.
+  StreamState& s = *streams_[id];
+  s.home = id % pool_.num_threads();
+  ExecOptions opts;
+  opts.home = s.home;
+  s.group.SetExecOptions(opts);
+  return id;
 }
 
 Status StreamEngine::PushDomain(int id, data::DataSplit split) {
@@ -114,14 +118,21 @@ void StreamEngine::EnqueueLocked(StreamState* s,
                                  std::unique_ptr<PendingDomain> domain) {
   PendingDomain* d = domain.get();
   d->domain_index = s->pushed++;
+  d->shape.n_units = d->split.train.num_units();
+  d->shape.epochs = s->trainer.config().train.epochs;
+  d->pushed_at = std::chrono::steady_clock::now();
   s->queue.push_back(std::move(domain));
   // Pre-flight validation: pure, so it runs as a free pool task right away
   // and overlaps whatever stage any stream is currently in. It is submitted
   // before the domain's ingest task can be (dispatch happens at or after
   // this push), so the ingest wait can never starve it of a worker.
+  // Infinite priority: a validation verdict is microseconds of work that an
+  // ingest stage may be blocked on — it must never queue behind stage work.
   if (options_.validate_on_push) {
     const int input_dim = s->input_dim;
-    pool_.Submit([d, input_dim] {
+    ExecOptions opts;
+    opts.priority = std::numeric_limits<double>::infinity();
+    pool_.Execute([d, input_dim] {
       Status status = core::CerlTrainer::ValidateDomain(d->split, input_dim);
       std::lock_guard<std::mutex> lock(d->mutex);
       d->status = status;
@@ -131,8 +142,9 @@ void StreamEngine::EnqueueLocked(StreamState* s,
       // PendingDomain — the held mutex is what keeps `d` alive until the
       // notify call has returned.
       d->cv.notify_all();
-    });
+    }, opts);
   }
+  UpdateScheduleLocked(s);
   MaybeDispatchLocked(s);
 }
 
@@ -143,18 +155,56 @@ void StreamEngine::MaybeDispatchLocked(StreamState* s) {
   SubmitAttemptLocked(s);
 }
 
+template <typename Body>
+void StreamEngine::RunStageTimed(StreamState* s, PendingDomain* d,
+                                 StageKind stage, Body&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    FaultScope scope(s->name);
+    body();
+  } catch (const StatusError& e) {
+    d->failure = e.status();
+  } catch (const std::exception& e) {
+    d->failure = Status::Internal(e.what());
+  }
+  // A failed stage ran partially — its wall time is not the stage's cost,
+  // so only successful stages feed the model. The worker id is read before
+  // taking the engine lock purely for tidiness (it is a thread-local).
+  if (!d->failure.ok()) return;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  const int worker = pool_.current_worker();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  s->cost_model.Observe(stage, d->shape, ms);
+  d->stages_done = static_cast<int>(stage) + 1;
+  if (options_.schedule_policy == SchedulePolicy::kCostAware && worker >= 0 &&
+      worker != s->home) {
+    ++s->stolen_stages;
+  }
+  // The next pump submission (this stage's completion re-submits it) must
+  // carry the refreshed expectation: the stream just got cheaper by one
+  // stage, and the rate EWMA may have moved.
+  UpdateScheduleLocked(s);
+}
+
 void StreamEngine::SubmitAttemptLocked(StreamState* s) {
   PendingDomain* d = s->in_flight.get();
   StreamState* sp = s;
   const int input_dim = s->input_dim;
   const bool validate_inline = !options_.validate_on_push;
+  d->stages_done = 0;
 
   // Stage pipeline, serialized per stream by the task group; unrelated
   // streams' groups interleave on the same workers. Every stage body is
-  // exception-fenced: a data-dependent failure (thrown StatusError from the
-  // trainer/OT layers, or any std::exception) lands in d->failure and the
-  // finish task routes it to HandleFailure — nothing data-dependent may
-  // escape into the pool worker (that would std::terminate the process).
+  // exception-fenced (RunStageTimed): a data-dependent failure (thrown
+  // StatusError from the trainer/OT layers, or any std::exception) lands in
+  // d->failure and the finish task routes it to HandleFailure — nothing
+  // data-dependent may escape into the pool worker (that would
+  // std::terminate the process). RunStageTimed also feeds each successful
+  // stage's wall time to the stream's cost model: timing never feeds back
+  // into WHAT a stage computes, only into who gets a worker next, so the
+  // bit-identity contract is untouched.
 
   // Ingest: resolve the pre-flight verdict, shed quarantined work, then
   // BeginStage.
@@ -190,17 +240,12 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       d->terminal = true;
       return;
     }
-    try {
-      FaultScope scope(sp->name);
+    RunStageTimed(sp, d, StageKind::kIngest, [sp, d] {
       if (CERL_FAULT_POINT(FaultPoint::kStageThrow)) {
         throw StatusError(Status::Internal("injected stage failure"));
       }
       d->ctx = sp->trainer.BeginStage(d->split);
-    } catch (const StatusError& e) {
-      d->failure = e.status();
-    } catch (const std::exception& e) {
-      d->failure = Status::Internal(e.what());
-    }
+    });
   });
 
   // Train, then the post-train numerical guard: a non-finite validation
@@ -208,26 +253,20 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
   // score — the stage trained on garbage.
   s->group.Submit([this, sp, d] {
     if (!d->failure.ok()) return;
-    try {
-      FaultScope scope(sp->name);
+    RunStageTimed(sp, d, StageKind::kTrain, [this, sp, d] {
       sp->trainer.TrainStage(d->ctx.get());
       if (options_.health_guards &&
           !std::isfinite(d->ctx->stats.best_valid_loss)) {
         throw StatusError(
             Status::NumericalError("non-finite stage validation loss"));
       }
-    } catch (const StatusError& e) {
-      d->failure = e.status();
-    } catch (const std::exception& e) {
-      d->failure = Status::Internal(e.what());
-    }
+    });
   });
 
   // Migrate + finish: success bookkeeping or the failure epilogue.
   s->group.Submit([this, sp, d] {
     if (d->failure.ok()) {
-      try {
-        FaultScope scope(sp->name);
+      RunStageTimed(sp, d, StageKind::kMigrate, [this, sp, d] {
         sp->trainer.MigrateStage(d->ctx.get());
         // Post-migrate guard covers the whole durable state: migration just
         // rewrote the memory bank through phi, so params AND memory
@@ -237,11 +276,7 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
           Status health = sp->trainer.CheckNumericalHealth();
           if (!health.ok()) throw StatusError(health);
         }
-      } catch (const StatusError& e) {
-        d->failure = e.status();
-      } catch (const std::exception& e) {
-        d->failure = Status::Internal(e.what());
-      }
+      });
     }
     if (!d->failure.ok()) {
       HandleFailure(sp, d);
@@ -271,8 +306,16 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       Status serialized = sp->trainer.SerializeCheckpoint(&last_good);
       if (!serialized.ok()) last_good.clear();
     }
+    const double completion_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - d->pushed_at)
+            .count();
     {
       std::lock_guard<std::mutex> lock(state_mutex_);
+      // Domain-completion latency (push to migrated), successes only:
+      // dropped domains have no meaningful service time and would poison
+      // the SLO percentiles the bench gates on.
+      sp->latency.Record(completion_ms);
       sp->results.push_back(result);
       sp->consecutive_failures = 0;
       if (sp->health == StreamHealth::kDegraded) {
@@ -286,6 +329,7 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       // stage, so the PendingDomain itself can go.
       sp->in_flight.reset();
       MaybeDispatchLocked(sp);
+      UpdateScheduleLocked(sp);
       // Notify INSIDE the lock: a drain-waiter may be the engine
       // destructor, and notifying an already-destroyed condvar is a race —
       // holding the mutex pins the engine alive until the call returns.
@@ -323,13 +367,18 @@ void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
   }
 
   // Bounded retry (health_guards only: without rollback a replay would run
-  // on a dirty trainer and could not be bit-identical).
+  // on a dirty trainer and could not be bit-identical). The backoff is a
+  // DEADLINE requeue, not a sleep: the domain parks on the pool's timer
+  // heap and the worker returns to serving other streams; when the deadline
+  // fires, the attempt is resubmitted onto the stream's (idle) strand. The
+  // domain stays in_flight throughout, so Drain and the snapshot fence keep
+  // waiting it out exactly as before.
   if (!d->terminal && options_.health_guards &&
       d->attempt < options_.max_domain_retries) {
     const Status failure = d->failure;
     ++d->attempt;
     d->failure = Status::Ok();
-    BackoffSleep(options_.retry_backoff_ms, d->attempt);
+    const int delay_ms = BackoffMs(options_.retry_backoff_ms, d->attempt);
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (sp->health == StreamHealth::kHealthy) {
       sp->health = StreamHealth::kDegraded;
@@ -337,7 +386,18 @@ void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
     CERL_LOG(Warning) << "stream '" << sp->name << "' domain "
                       << d->domain_index << " attempt " << d->attempt
                       << " after rollback: " << failure.ToString();
-    SubmitAttemptLocked(sp);
+    // Infinite priority like the validation tasks: the requeue itself is
+    // microseconds (it only re-submits the stage tasks), and a delayed
+    // retry should not additionally queue behind heavy stage work.
+    ExecOptions opts;
+    opts.priority = std::numeric_limits<double>::infinity();
+    pool_.ExecuteAfter(
+        delay_ms,
+        [this, sp] {
+          std::lock_guard<std::mutex> relock(state_mutex_);
+          SubmitAttemptLocked(sp);
+        },
+        opts);
     return;
   }
 
@@ -367,7 +427,107 @@ void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
   }
   sp->in_flight.reset();
   MaybeDispatchLocked(sp);
+  UpdateScheduleLocked(sp);
   state_cv_.notify_all();
+}
+
+double StreamEngine::ExpectedPendingMsLocked(const StreamState& s) const {
+  double pending = 0.0;
+  for (const auto& queued : s.queue) {
+    pending += s.cost_model.PredictDomainMs(queued->shape);
+  }
+  if (s.in_flight != nullptr) {
+    for (int stage = s.in_flight->stages_done; stage < kNumStages; ++stage) {
+      pending += s.cost_model.PredictMs(static_cast<StageKind>(stage),
+                                        s.in_flight->shape);
+    }
+  }
+  return pending;
+}
+
+double StreamEngine::OldestPendingAgeMsLocked(const StreamState& s) const {
+  // Per-stream FIFO: the in-flight domain (if any) was pushed before
+  // anything still queued.
+  const PendingDomain* oldest = s.in_flight != nullptr
+                                    ? s.in_flight.get()
+                                    : (!s.queue.empty() ? s.queue.front().get()
+                                                        : nullptr);
+  if (oldest == nullptr) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - oldest->pushed_at)
+      .count();
+}
+
+void StreamEngine::UpdateScheduleLocked(StreamState* s) {
+  if (options_.schedule_policy != SchedulePolicy::kCostAware) return;
+  ExecOptions opts;
+  // Longest-expected-queue-first with aging: the age of the stream's oldest
+  // un-migrated domain dominates (so completion order tracks arrival order
+  // and no tenant can be starved by a heavier one — the pool additionally
+  // ages every waiting task at 1 ms/ms), while a fraction of the expected
+  // pending work breaks age ties toward backlogged streams, which then
+  // drain back-to-back instead of one stage per cycle of the ready set.
+  // kPendingWeight trades the two: 1.0 lets a deep backlog pre-empt light
+  // tenants for its whole drain (p50 suffers), 0 is plain oldest-first and
+  // forfeits the continuous-drain win; 0.5 measured best for p99 on the
+  // skewed-tenant SLO bench. Both terms are in milliseconds, the pool's
+  // priority unit.
+  constexpr double kPendingWeight = 0.5;
+  opts.priority = kPendingWeight * ExpectedPendingMsLocked(*s) +
+                  OldestPendingAgeMsLocked(*s);
+  opts.home = s->home;
+  s->group.SetExecOptions(opts);
+}
+
+StreamSchedStats StreamEngine::SchedStatsLocked(const StreamState& s) const {
+  StreamSchedStats stats;
+  stats.queue_depth = static_cast<int>(s.queue.size()) +
+                      (s.in_flight != nullptr ? 1 : 0);
+  for (int stage = 0; stage < kNumStages; ++stage) {
+    stats.ewma_stage_cost_ms[stage] =
+        s.cost_model.ewma_stage_ms(static_cast<StageKind>(stage));
+  }
+  stats.steal_count = s.stolen_stages;
+  stats.stages_executed = s.cost_model.observations();
+  stats.cost_model_error = s.cost_model.mean_abs_pct_error();
+  stats.expected_pending_ms = ExpectedPendingMsLocked(s);
+  stats.completion_latency = s.latency;
+  return stats;
+}
+
+StreamSchedStats StreamEngine::sched_stats(int id) const {
+  const StreamState& s = stream(id);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return SchedStatsLocked(s);
+}
+
+StreamSchedStats StreamEngine::TotalSchedStats() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  StreamSchedStats total;
+  double weighted_error = 0.0;
+  int64_t error_weight = 0;
+  for (const auto& s : streams_) {
+    const StreamSchedStats stats = SchedStatsLocked(*s);
+    total.queue_depth += stats.queue_depth;
+    total.steal_count += stats.steal_count;
+    total.stages_executed += stats.stages_executed;
+    total.expected_pending_ms += stats.expected_pending_ms;
+    total.completion_latency.Merge(stats.completion_latency);
+    const int64_t scored = s->cost_model.scored_predictions();
+    weighted_error += stats.cost_model_error * static_cast<double>(scored);
+    error_weight += scored;
+    // The per-stage EWMAs do not aggregate meaningfully across streams of
+    // different sizes; the total reports the max as "worst stage cost".
+    for (int stage = 0; stage < kNumStages; ++stage) {
+      total.ewma_stage_cost_ms[stage] = std::max(
+          total.ewma_stage_cost_ms[stage], stats.ewma_stage_cost_ms[stage]);
+    }
+  }
+  if (error_weight > 0) {
+    total.cost_model_error =
+        weighted_error / static_cast<double>(error_weight);
+  }
+  return total;
 }
 
 void StreamEngine::Drain() {

@@ -4,8 +4,8 @@
 // (Algorithm 1); deployments serve MANY such streams at once (one per
 // tenant / scenario / data source — arXiv:2301.01026 frames continual
 // causal estimation as exactly this). The engine owns a shared
-// util::ThreadPool of stream workers and drives each registered stream
-// through the explicit per-domain stage pipeline exposed by
+// util::WorkStealingPool of stream workers and drives each registered
+// stream through the explicit per-domain stage pipeline exposed by
 // core::CerlTrainer:
 //
 //   PushDomain ──► [pre-flight validation]          (shared pool, immediate)
@@ -23,6 +23,18 @@
 //    config.train.async_validation is set. The algorithmic chain
 //    train(d) -> migrate(d) -> train(d+1) is inherently sequential (stage
 //    d+1 replays the memory M_d), so it stays serialized by the TaskGroup.
+//
+// Scheduling (SchedulePolicy::kCostAware, the default): ready stage work is
+// ordered longest-expected-queue-first — each stream's strand carries a
+// priority equal to its expected pending milliseconds under a per-stream
+// EWMA stage cost model (stream/cost_model.h), stage tasks prefer the
+// stream's home worker, and idle workers steal the globally most-backlogged
+// stream's next stage. A backlogged tenant therefore drains continuously at
+// its own stage cadence instead of one stage per round-robin cycle of every
+// ready stream, which is what bounds tail latency under skewed multi-tenant
+// load (bench/load_generator.cc measures it; README "Scheduling & SLOs").
+// SchedulePolicy::kRoundRobin keeps the legacy strict-FIFO dispatch as the
+// A/B baseline.
 //
 // Determinism: a stream's results depend only on its own config/seed and
 // pushed domains. One stream through the engine is bit-identical to calling
@@ -44,15 +56,33 @@
 #include "core/cerl_trainer.h"
 #include "data/dataset.h"
 #include "ot/fused_micro_solver.h"
+#include "stream/cost_model.h"
+#include "util/histogram.h"
+#include "util/scheduler.h"
 #include "util/task_group.h"
-#include "util/thread_pool.h"
 
 namespace cerl::stream {
+
+/// How the engine orders ready stage work across streams (see
+/// util/scheduler.h for the pool mechanics). Either policy produces
+/// bit-identical stream results — scheduling only picks WHO runs next.
+enum class SchedulePolicy : uint8_t {
+  /// Longest-expected-queue-first: each stream's dispatch priority is its
+  /// expected pending milliseconds under its StageCostModel, stage tasks
+  /// have worker affinity, and idle workers steal. The default.
+  kCostAware = 0,
+  /// Strict FIFO over all streams' stage tasks — the legacy round-robin
+  /// dispatch, kept as the A/B baseline for the SLO bench and tests.
+  kRoundRobin = 1,
+};
 
 struct StreamEngineOptions {
   /// Stream workers (the pool running stage tasks; compute kernels inside a
   /// stage fan out to the global pool as usual). 0 = hardware concurrency.
   int num_workers = 0;
+  /// Ready-work ordering across streams. Runtime scheduling choice, not
+  /// durable state (snapshots neither save nor restore it).
+  SchedulePolicy schedule_policy = SchedulePolicy::kCostAware;
   /// Run CerlTrainer::ValidateDomain on the shared pool as soon as a domain
   /// is pushed, overlapping earlier stages; the ingest stage then merely
   /// checks the verdict. Off = validate inside the ingest stage.
@@ -86,7 +116,10 @@ struct StreamEngineOptions {
   /// again and falls through to the drop.
   int max_domain_retries = 2;
   /// Backoff before retry r is retry_backoff_ms << (r-1) milliseconds,
-  /// capped at 100ms (slept on the stream's worker; other streams proceed).
+  /// capped at 100ms. The waiting domain is parked on the pool's timer
+  /// heap (WorkStealingPool::ExecuteAfter) — no worker is occupied while
+  /// the backoff elapses, so under faults every scheduler slot keeps
+  /// serving healthy streams.
   int retry_backoff_ms = 1;
   /// Consecutive dropped domains after which the stream is quarantined:
   /// its queue is rejected with kUnavailable, as is every later push.
@@ -114,6 +147,33 @@ enum class StreamHealth : uint8_t {
 
 /// Short human-readable name ("healthy", "degraded", "quarantined").
 const char* StreamHealthName(StreamHealth health);
+
+/// One stream's scheduler observability surface (StreamEngine::sched_stats):
+/// everything an operator needs to answer "why is this tenant slow" — how
+/// much work is waiting, what the engine thinks it costs, how well that
+/// estimate tracks reality, and the completion-latency distribution it all
+/// produces. Aggregated across streams by StreamEngine::TotalSchedStats
+/// (counters sum, histograms merge, the error is observation-weighted).
+struct StreamSchedStats {
+  /// Domains queued but not yet dispatched, plus the in-flight one.
+  int queue_depth = 0;
+  /// Plain EWMA of observed wall ms per stage, indexed by StageKind
+  /// (0 while the stage is cold).
+  double ewma_stage_cost_ms[kNumStages] = {0.0, 0.0, 0.0};
+  /// Stage tasks of this stream executed by a worker other than the
+  /// stream's home worker (always 0 under SchedulePolicy::kRoundRobin).
+  int64_t steal_count = 0;
+  /// Stage executions observed by the cost model.
+  int64_t stages_executed = 0;
+  /// Cost-model accuracy: mean absolute percentage error of warm stage
+  /// predictions (StageCostModel::mean_abs_pct_error).
+  double cost_model_error = 0.0;
+  /// The stream's current dispatch priority: expected pending milliseconds
+  /// (queued domains plus the in-flight domain's remaining stages).
+  double expected_pending_ms = 0.0;
+  /// Push-to-migrated latency of every successful domain, ms.
+  LatencyHistogram completion_latency;
+};
 
 /// Outcome of one pushed domain of one stream — trained or dropped.
 struct DomainResult {
@@ -176,6 +236,17 @@ class StreamEngine {
   /// quarantine-shed ones).
   int failed_domains(int id) const;
 
+  // --- Scheduler observability (see StreamSchedStats) -------------------
+
+  /// Snapshot of stream `id`'s scheduling state. Safe to call while the
+  /// engine is under load (it locks the engine state briefly).
+  StreamSchedStats sched_stats(int id) const;
+  /// Engine-wide aggregate: counters summed, completion histograms merged,
+  /// cost-model error weighted by each stream's scored predictions.
+  StreamSchedStats TotalSchedStats() const;
+  /// Cross-queue pops of homed tasks at the pool level (0 under FIFO).
+  int64_t steal_count() const { return pool_.steal_count(); }
+
   int num_streams() const { return static_cast<int>(streams_.size()); }
   const std::string& name(int id) const;
 
@@ -202,11 +273,12 @@ class StreamEngine {
   /// dispatch, waits for every stream's in-flight domain pipeline to reach
   /// its domain boundary (workers stay up; queued domains stay queued; a
   /// domain mid-retry resolves — succeeds or drops — before the fence),
-  /// writes a CERLENG2 container — engine options, per-stream name / config
+  /// writes a CERLENG3 container — engine options, per-stream name / config
   /// / completed-domain counter / health state (health, consecutive
-  /// failures, dropped-domain total), each stream's embedded CERLCKP1
-  /// trainer blob, and a replay journal of the still-queued domains so
-  /// pushed work is never lost — then resumes dispatch. The write is
+  /// failures, dropped-domain total), learned stage cost rates, each
+  /// stream's embedded CERLCKP1 trainer blob, and a replay journal of the
+  /// still-queued domains so pushed work is never lost — then resumes
+  /// dispatch. The write is
   /// crash-safe (temp file + fsync + atomic rename), carries a checksum,
   /// and transient IO failures are retried with bounded exponential
   /// backoff (options.snapshot_io_retries). Concurrent PushDomain is safe:
@@ -220,8 +292,10 @@ class StreamEngine {
   /// re-enqueues the journaled domains in their original order (training
   /// resumes immediately on the engine's workers; a quarantined stream's
   /// journal drains through the pipeline as kUnavailable drops, exactly as
-  /// it would have in the saved engine). Reads both CERLENG2 and the older
-  /// CERLENG1 (which predates health state: streams restore as healthy).
+  /// it would have in the saved engine). Reads CERLENG3 plus the older
+  /// CERLENG2 (predates the cost-model block: streams restore with cold
+  /// cost models and re-learn rates within a few stages) and CERLENG1
+  /// (also predates health state: streams restore as healthy).
   /// Worker count and validate_on_push stay as THIS engine was constructed
   /// — they are runtime scheduling choices, not durable state. Per-domain
   /// results of the saved engine are not restored (stats are transient
@@ -257,16 +331,43 @@ class StreamEngine {
 
   /// Failure epilogue for the in-flight domain, running on the stream's
   /// task group: rolls the trainer back to its last-good boundary
-  /// (health_guards), then either resubmits the attempt after backoff or
-  /// drops the domain and advances the health state machine.
+  /// (health_guards), then either requeues the attempt with a backoff
+  /// deadline (pool timer heap — no worker sleeps) or drops the domain and
+  /// advances the health state machine.
   void HandleFailure(StreamState* s, PendingDomain* d);
+
+  /// Runs one stage body with wall-time measurement, feeds the observation
+  /// to the stream's cost model, attributes steals, and refreshes the
+  /// stream's dispatch priority. Failure fencing stays in the stage lambdas.
+  template <typename Body>
+  void RunStageTimed(StreamState* s, PendingDomain* d, StageKind stage,
+                     Body&& body);
+
+  /// Expected pending milliseconds of the stream under its cost model:
+  /// every queued domain in full, plus the in-flight domain's remaining
+  /// stages. This IS the stream's dispatch priority. Caller holds
+  /// state_mutex_.
+  double ExpectedPendingMsLocked(const StreamState& s) const;
+  /// Milliseconds since the stream's oldest un-migrated domain was pushed
+  /// (0 when idle) — the aging term of the dispatch priority.
+  double OldestPendingAgeMsLocked(const StreamState& s) const;
+
+  /// Recomputes the stream's expected pending milliseconds and pushes it
+  /// into the strand's ExecOptions (priority + home worker). Caller holds
+  /// state_mutex_.
+  void UpdateScheduleLocked(StreamState* s);
+
+  /// Builds the stats snapshot of one stream. Caller holds state_mutex_.
+  StreamSchedStats SchedStatsLocked(const StreamState& s) const;
 
   /// Builds the CERLENG2 payload. Caller holds state_mutex_ with dispatch
   /// paused and no in-flight domains (SaveSnapshot's boundary wait).
   Status SerializeSnapshotLocked(std::string* out);
 
   StreamEngineOptions options_;
-  ThreadPool pool_;  ///< stream workers (declared before the groups using it)
+  /// Stream workers (declared before the groups using it). Cost-aware
+  /// (priority + stealing) or strict FIFO per options_.schedule_policy.
+  WorkStealingPool pool_;
   /// Cross-stream fused micro-solver (options_.fuse_micro_solves): every
   /// stream's trainer config points its SinkhornConfig::batcher here.
   /// Declared before streams_ so it outlives every stage task's solves.

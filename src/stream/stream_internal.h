@@ -2,6 +2,7 @@
 // (the two halves of StreamEngine). Not part of the public stream API.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -19,6 +20,15 @@ namespace cerl::stream {
 struct StreamEngine::PendingDomain {
   data::DataSplit split;
   int domain_index = 0;
+
+  /// Cost-relevant shape, captured at push (the split moves into the
+  /// trainer during ingest, so it cannot be re-derived later).
+  DomainShape shape;
+  /// Push wall-clock, for the completion-latency histogram.
+  std::chrono::steady_clock::time_point pushed_at;
+  /// Pipeline stages of the CURRENT attempt that already completed (0..3);
+  /// the remainder prices the in-flight part of the stream's priority.
+  int stages_done = 0;
 
   // Pre-flight validation rendezvous: set by the free pool task, awaited by
   // the ingest stage (usually already complete — it overlapped an earlier
@@ -43,7 +53,7 @@ struct StreamEngine::PendingDomain {
 
 struct StreamEngine::StreamState {
   StreamState(std::string stream_name, const core::CerlConfig& config,
-              int input_dim, ThreadPool* pool)
+              int input_dim, Executor* pool)
       : name(std::move(stream_name)),
         input_dim(input_dim),
         trainer(config, input_dim),
@@ -53,6 +63,13 @@ struct StreamEngine::StreamState {
   int input_dim;
   core::CerlTrainer trainer;
   TaskGroup group;
+
+  // Cost-aware scheduling state (guarded by the engine's state_mutex_; the
+  // stage tasks lock it briefly per stage to observe/re-prioritize).
+  int home = -1;              ///< preferred pool worker (round-robin by id)
+  StageCostModel cost_model;  ///< learned per-stage rates -> priorities
+  LatencyHistogram latency;   ///< push->migrated ms, successful domains
+  int64_t stolen_stages = 0;  ///< stage tasks executed off the home worker
 
   // Domain-boundary dispatch (guarded by the engine's state_mutex_): pushed
   // domains wait in `queue`; exactly one domain owns the stage pipeline at a

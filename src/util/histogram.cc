@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cerl {
+
+namespace {
+
+// Bucket i covers [kMinMs * kGrowth^i, kMinMs * kGrowth^(i+1)): 1us lower
+// edge, ~4% geometric steps, top edge ~ 5e5 ms (~8 minutes) at 512 buckets.
+constexpr double kMinMs = 1e-3;
+constexpr double kGrowth = 1.04;
+const double kLogGrowth = std::log(kGrowth);
+
+}  // namespace
+
+int LatencyHistogram::BucketIndex(double ms) {
+  if (!(ms > kMinMs)) return 0;  // also catches NaN
+  const int i = static_cast<int>(std::log(ms / kMinMs) / kLogGrowth);
+  return std::min(i, kBuckets - 1);
+}
+
+double LatencyHistogram::BucketLowMs(int i) {
+  return kMinMs * std::exp(kLogGrowth * i);
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (std::isnan(ms) || ms < 0.0) ms = 0.0;
+  ++buckets_[BucketIndex(ms)];
+  ++count_;
+  total_ms_ += ms;
+  max_ms_ = std::max(max_ms_, ms);
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max_ms_;
+  // Rank of the q-quantile sample (1-based), then walk the cumulative
+  // counts to the bucket containing it.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count_))));
+  int64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const int64_t prev = cum;
+    cum += buckets_[i];
+    if (cum >= rank) {
+      // Linear interpolation of the rank within the bucket's span; the last
+      // bucket's upper edge is the observed maximum.
+      const double low = BucketLowMs(i);
+      const double high =
+          (i == kBuckets - 1) ? std::max(max_ms_, low) : BucketLowMs(i + 1);
+      const double frac = buckets_[i] == 0
+                              ? 0.0
+                              : static_cast<double>(rank - prev) /
+                                    static_cast<double>(buckets_[i]);
+      return std::min(low + frac * (high - low), max_ms_);
+    }
+  }
+  return max_ms_;  // unreachable: counts always cover the rank
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_ms_ += other.total_ms_;
+  max_ms_ = std::max(max_ms_, other.max_ms_);
+}
+
+}  // namespace cerl

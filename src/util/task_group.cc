@@ -6,14 +6,15 @@
 
 namespace cerl {
 
-TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
-  CERL_CHECK(pool != nullptr);
+TaskGroup::TaskGroup(Executor* executor) : executor_(executor) {
+  CERL_CHECK(executor != nullptr);
 }
 
 TaskGroup::~TaskGroup() { Wait(); }
 
-void TaskGroup::Submit(std::function<void()> task) {
+void TaskGroup::Submit(TaskFn task) {
   bool start_pump = false;
+  ExecOptions options;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.push_back(std::move(task));
@@ -21,13 +22,19 @@ void TaskGroup::Submit(std::function<void()> task) {
     if (!pump_active_) {
       pump_active_ = true;
       start_pump = true;
+      options = exec_options_;
     }
   }
-  if (start_pump) pool_->Submit([this] { Pump(); });
+  if (start_pump) executor_->Execute([this] { Pump(); }, options);
+}
+
+void TaskGroup::SetExecOptions(const ExecOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exec_options_ = options;
 }
 
 void TaskGroup::Pump() {
-  std::function<void()> task;
+  TaskFn task;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // The pump is only ever scheduled with work pending; pending_ can only
@@ -38,19 +45,24 @@ void TaskGroup::Pump() {
   }
   task();
   bool more = false;
+  ExecOptions options;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++completed_;
     more = !pending_.empty();
-    if (!more) {
+    if (more) {
+      options = exec_options_;
+    } else {
       pump_active_ = false;
       cv_idle_.notify_all();
     }
   }
-  // Re-submit instead of looping: the worker returns to the pool between
-  // group tasks, so many groups sharing few workers round-robin instead of
-  // one group monopolizing a worker until its queue drains.
-  if (more) pool_->Submit([this] { Pump(); });
+  // Re-submit instead of looping: the worker returns to the executor between
+  // group tasks, so many groups sharing few workers interleave (per the
+  // executor's policy) instead of one group monopolizing a worker until its
+  // queue drains. The re-read exec_options_ is what lets a cost-aware
+  // engine re-prioritize a stream between stages.
+  if (more) executor_->Execute([this] { Pump(); }, options);
 }
 
 void TaskGroup::Wait() {

@@ -1,18 +1,24 @@
-// Serialized task submission on a shared ThreadPool (a "strand").
+// Serialized task submission on a shared executor (a "strand").
 //
 // A TaskGroup guarantees that its tasks run one at a time, in submission
 // order (fenced submit: every task observes the effects of all tasks
 // submitted to the same group before it), while tasks of DIFFERENT groups
-// interleave freely across the pool's workers. This is the primitive the
+// interleave freely across the executor's workers. This is the primitive the
 // stream engine uses to serialize the per-stream stage pipeline
 // (ingest -> train -> migrate) without one stream's work blocking another:
 // unlike ThreadPool::Wait — which fences the whole pool — TaskGroup::Wait
 // only drains this group.
 //
 // The group never occupies a worker while idle: a pump task is scheduled on
-// the pool only while the group has pending work, and it re-submits itself
-// after each task so long-queued groups round-robin fairly with other groups
-// (and other pool users) instead of holding a worker until drained.
+// the executor only while the group has pending work, and it re-submits
+// itself after each task so long-queued groups share workers fairly with
+// other groups (and other executor users) instead of holding a worker until
+// drained. HOW the ready pumps are ordered is the executor's policy: on the
+// FIFO ThreadPool groups round-robin; on the cost-aware WorkStealingPool
+// the pump carries the group's ExecOptions (priority = the stream's
+// expected pending work, home = its preferred worker), refreshed via
+// SetExecOptions before each pump submission — the hook the stream engine's
+// longest-expected-queue-first dispatch is built on.
 //
 // Blocking inside a group task follows the same rule as any pool task:
 // tasks that block on the pool they run on (ParallelFor on the same pool,
@@ -24,18 +30,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <mutex>
 
-#include "util/thread_pool.h"
+#include "util/executor.h"
 
 namespace cerl {
 
-/// FIFO-serialized executor on top of a ThreadPool.
+/// FIFO-serialized executor strand on top of an Executor.
 class TaskGroup {
  public:
-  /// The pool must outlive the group.
-  explicit TaskGroup(ThreadPool* pool);
+  /// The executor must outlive the group.
+  explicit TaskGroup(Executor* executor);
 
   /// Drains pending tasks (Wait) before destruction.
   ~TaskGroup();
@@ -46,10 +51,16 @@ class TaskGroup {
   /// Enqueues a task. Tasks of one group run strictly one at a time in
   /// submission order; the completion of task k happens-before the start of
   /// task k+1 (the internal mutex carries the memory fence).
-  void Submit(std::function<void()> task);
+  void Submit(TaskFn task);
+
+  /// Sets the scheduling options attached to the group's NEXT pump
+  /// submission (each task completion re-submits the pump, so a refreshed
+  /// priority takes effect within one task). Purely advisory — execution
+  /// order within the group is always FIFO regardless.
+  void SetExecOptions(const ExecOptions& options);
 
   /// Blocks until every task submitted to THIS group so far has finished.
-  /// Tasks of other groups (and unrelated pool work) are not waited on.
+  /// Tasks of other groups (and unrelated executor work) are not waited on.
   void Wait();
 
   /// Tasks submitted over the group's lifetime (monotonic; for tests/stats).
@@ -62,10 +73,11 @@ class TaskGroup {
   /// Runs the front task, then re-submits itself while work remains.
   void Pump();
 
-  ThreadPool* pool_;
+  Executor* executor_;
   mutable std::mutex mutex_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> pending_;
+  std::deque<TaskFn> pending_;
+  ExecOptions exec_options_;  ///< applied to pump submissions
   bool pump_active_ = false;  ///< a Pump task is scheduled or running
   int64_t submitted_ = 0;
   int64_t completed_ = 0;

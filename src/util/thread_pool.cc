@@ -23,13 +23,17 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(TaskFn task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::Execute(TaskFn task, const ExecOptions& /*options*/) {
+  Submit(std::move(task));
 }
 
 void ThreadPool::Wait() {
@@ -39,7 +43,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    TaskFn task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });

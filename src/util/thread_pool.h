@@ -1,6 +1,11 @@
 // Fixed-size thread pool plus a ParallelFor helper used by the GEMM kernels
 // and data generators. The pool is created once (per process by default) and
 // reused; tasks must not throw.
+//
+// Tasks are move-only TaskFns (no per-submit heap allocation for typical
+// captures; see task_fn.h). Scheduling is strict FIFO: the pool implements
+// Executor but ignores ExecOptions — priority/affinity scheduling lives in
+// WorkStealingPool (scheduler.h), which the stream engine uses.
 #pragma once
 
 #include <condition_variable>
@@ -11,20 +16,26 @@
 #include <thread>
 #include <vector>
 
+#include "util/executor.h"
+
 namespace cerl {
 
-/// A minimal fixed-size thread pool.
-class ThreadPool {
+/// A minimal fixed-size FIFO thread pool.
+class ThreadPool : public Executor {
  public:
   /// Creates `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(TaskFn task);
+
+  /// Executor: FIFO — scheduling options are ignored.
+  void Execute(TaskFn task, const ExecOptions& options) override;
+  using Executor::Execute;
 
   /// Blocks until every submitted task has finished.
   void Wait();
@@ -38,7 +49,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<TaskFn> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;

@@ -131,6 +131,38 @@ TEST(TaskGroupTest, FencedSubmitSeesPriorTasksEffects) {
   EXPECT_EQ(value, expected);
 }
 
+TEST(TaskGroupTest, SmallTasksNeverTouchTheHeap) {
+  // The scheduling hot path (Submit + the group's self-resubmitting pump)
+  // must stay allocation-free for small closures: TaskFn's inline storage
+  // holds them, and the pump lambda is a single captured pointer. A heap
+  // allocation per stage task would put malloc on every scheduler decision.
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> runs{0};
+  group.Submit([&runs] { runs.fetch_add(1); });
+  group.Wait();  // warm up: pool/group internals allocate lazily
+
+  const int64_t before = TaskFn::heap_allocations();
+  const int kTasks = 200;
+  for (int i = 0; i < kTasks; ++i) {
+    group.Submit([&runs] { runs.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(runs.load(), kTasks + 1);
+  EXPECT_EQ(TaskFn::heap_allocations(), before);
+
+  // A closure past kInlineBytes boxes (and is counted) — the counter works.
+  struct Fat {
+    char pad[128];
+  } fat{};
+  group.Submit([&runs, fat] {
+    (void)fat;
+    runs.fetch_add(1);
+  });
+  group.Wait();
+  EXPECT_EQ(TaskFn::heap_allocations(), before + 1);
+}
+
 TEST(TaskGroupTest, DestructorDrains) {
   ThreadPool pool(2);
   std::atomic<int> runs{0};

@@ -4,21 +4,28 @@ the committed baseline and fail on slowdowns.
 
 Usage:
   tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25]
-      [--pair NAME BASE MAXRATIO ...]
+      [--gate-counter SUFFIX ...] [--pair NAME BASE MAXRATIO ...]
 
 Rules:
   - benchmarks present in BOTH files are compared by real_time (after
     normalizing to nanoseconds);
   - any benchmark slower than threshold x baseline fails the gate;
+  - user counters are addressable as "BENCH#counter" (e.g.
+    "BM_LoadSkewedTenants/iterations:5/real_time#ca_p99_ms"). Each
+    --gate-counter SUFFIX (repeatable) also applies the
+    baseline-vs-current threshold to every counter whose name ends in
+    SUFFIX and is present in both files — this is how latency percentiles
+    are regression-gated, not just wall time;
   - benchmarks only in one file are reported but never fail the gate (new
     benches land before their baseline regenerates; retired ones linger in
     old baselines);
   - each --pair NAME BASE MAXRATIO (repeatable) gates WITHIN the current
-    run: NAME must not be slower than MAXRATIO x BASE. This pins a feature's
-    overhead against its own baseline variant (e.g. the stream engine's
-    health guards vs the guards-off run) independent of machine speed;
-    a pair whose members are missing from the current run is a hard error —
-    a silently skipped overhead gate is worse than a failing one;
+    run: NAME must not be slower than MAXRATIO x BASE, where either side
+    may be a "BENCH#counter" entry. This pins a feature's overhead — or a
+    scheduler's tail-latency win — against its own baseline variant in the
+    same run, independent of machine speed; a pair whose members are
+    missing from the current run is a hard error — a silently skipped gate
+    is worse than a failing one;
   - exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 
 CI runners are noisy; the default 25% threshold is deliberately loose — it
@@ -30,6 +37,15 @@ import json
 import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# google-benchmark's JSON reporter flattens user counters into the benchmark
+# object itself; anything numeric that is not one of these bookkeeping fields
+# is a counter.
+STANDARD_FIELDS = {
+    "real_time", "cpu_time", "iterations", "repetitions",
+    "repetition_index", "threads", "family_index",
+    "per_family_instance_index",
+}
 
 
 def load_benchmarks(path):
@@ -49,6 +65,14 @@ def load_benchmarks(path):
                   file=sys.stderr)
             sys.exit(2)
         out[bench["name"]] = float(bench["real_time"]) * unit
+        # Counters keep their native unit; they are only ever compared to
+        # the same counter (threshold gate) or ratioed (pair gate), so a
+        # common unit across entries is unnecessary.
+        for key, value in bench.items():
+            if key in STANDARD_FIELDS or isinstance(value, (str, bool)):
+                continue
+            if isinstance(value, (int, float)):
+                out[f"{bench['name']}#{key}"] = float(value)
     if not out:
         print(f"error: no benchmarks found in {path}", file=sys.stderr)
         sys.exit(2)
@@ -62,22 +86,46 @@ def main():
     parser.add_argument("--threshold", type=float, default=1.25,
                         help="fail when current > threshold * baseline "
                              "(default 1.25 = 25%% slowdown)")
+    parser.add_argument("--gate-counter", action="append", default=[],
+                        metavar="SUFFIX",
+                        help="also threshold-gate '#SUFFIX' counters "
+                             "present in both files, e.g. p99_ms "
+                             "(repeatable)")
     parser.add_argument("--pair", nargs=3, action="append", default=[],
                         metavar=("NAME", "BASE", "MAXRATIO"),
                         help="within the CURRENT run, fail when "
-                             "NAME > MAXRATIO * BASE (repeatable)")
+                             "NAME > MAXRATIO * BASE; either side may be "
+                             "a 'BENCH#counter' entry (repeatable)")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
 
-    shared = sorted(set(baseline) & set(current))
-    only_baseline = sorted(set(baseline) - set(current))
-    only_current = sorted(set(current) - set(baseline))
+    gated_suffixes = set(args.gate_counter)
+
+    def in_gate(name):
+        """real_time rows always; counter rows only when their name ends in
+        a gated suffix (most counters — steal counts, throughput — are
+        informational, not budgets). Suffix matching lets one flag cover a
+        family: --gate-counter p99_ms gates rr_p99_ms and ca_p99_ms."""
+        if "#" not in name:
+            return True
+        counter = name.rsplit("#", 1)[1]
+        return any(counter.endswith(s) for s in gated_suffixes)
+
+    shared = sorted(n for n in set(baseline) & set(current) if in_gate(n))
+    only_baseline = sorted(
+        n for n in set(baseline) - set(current) if in_gate(n))
+    only_current = sorted(
+        n for n in set(current) - set(baseline) if in_gate(n))
 
     regressions = []
     print(f"{'benchmark':44s} {'baseline':>12s} {'current':>12s} "
           f"{'ratio':>7s}")
+    def fmt(name, value):
+        # Counters keep their native unit (the suffix names it: p99_ms).
+        return f"{value:10.0f}ns" if "#" not in name else f"{value:12.2f}"
+
     for name in shared:
         ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
         flag = ""
@@ -86,13 +134,14 @@ def main():
             flag = "  << REGRESSION"
         elif ratio < 1.0 / args.threshold:
             flag = "  (faster)"
-        print(f"{name:44s} {baseline[name]:10.0f}ns {current[name]:10.0f}ns "
-              f"{ratio:6.2f}x{flag}")
+        print(f"{name:44s} {fmt(name, baseline[name])} "
+              f"{fmt(name, current[name])} {ratio:6.2f}x{flag}")
 
     for name in only_current:
-        print(f"{name:44s} {'--':>12s} {current[name]:10.0f}ns    new")
+        print(f"{name:44s} {'--':>12s} {fmt(name, current[name])}    new")
     for name in only_baseline:
-        print(f"{name:44s} {baseline[name]:10.0f}ns {'--':>12s}    retired")
+        print(f"{name:44s} {fmt(name, baseline[name])} {'--':>12s}    "
+              f"retired")
 
     pair_failures = []
     for name, base, max_ratio_str in args.pair:
