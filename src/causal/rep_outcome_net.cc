@@ -3,7 +3,6 @@
 #include "util/check.h"
 
 namespace cerl::causal {
-namespace {
 
 nn::MlpConfig RepMlpConfig(const NetConfig& config, int input_dim) {
   nn::MlpConfig m;
@@ -27,8 +26,6 @@ nn::MlpConfig HeadMlpConfig(const NetConfig& config) {
   m.output_activation = nn::Activation::kNone;
   return m;
 }
-
-}  // namespace
 
 RepOutcomeNet::RepOutcomeNet(Rng* rng, const NetConfig& config, int input_dim)
     : config_(config), input_dim_(input_dim) {

@@ -33,6 +33,16 @@ struct NetConfig {
   bool cosine_normalized_rep = true;
 };
 
+/// Layer structure of g_w for a config / input dimension. Exposed so the
+/// serving plane (src/serve/) can reconstruct the exact forward pass from
+/// snapshot weights without duplicating the architecture rules (hidden
+/// activation, forced-tanh output, cosine-normalized last layer).
+nn::MlpConfig RepMlpConfig(const NetConfig& config, int input_dim);
+
+/// Layer structure of each outcome head h_t (rep_dim -> ... -> 1, linear
+/// output).
+nn::MlpConfig HeadMlpConfig(const NetConfig& config);
+
 /// g_w plus h_theta = {h_0, h_1}, with scalers.
 class RepOutcomeNet {
  public:

@@ -509,7 +509,7 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
 
     auto state = std::make_unique<StreamState>(
         std::move(stream_name), config, static_cast<int>(input_dim), &pool_);
-    state->health = static_cast<StreamHealth>(health);
+    SetHealth(state.get(), static_cast<StreamHealth>(health));
     state->consecutive_failures = static_cast<int>(consecutive_failures);
     state->failed_domains = static_cast<int>(failed_domains);
     // Home workers are runtime scheduling state: reassigned round-robin for
@@ -563,6 +563,11 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
     }
     streams_ = std::move(staged);
   }
+  // Re-publish the serving plane: a restored trained stream is queryable
+  // immediately (version restarts at 1 — publish sequence numbers are
+  // engine-lifetime, not durable). Runs before journal replay so queries
+  // never race the rebuilt trainers.
+  for (auto& state : streams_) PublishSnapshot(state.get());
   // Replay the journal: queued-but-untrained work resumes exactly where the
   // saved engine left it (re-validated and dispatched normally). The
   // admission-free internal push is deliberate — these domains were already

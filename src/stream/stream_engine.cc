@@ -62,6 +62,15 @@ const StreamEngine::StreamState& StreamEngine::stream(int id) const {
   return *streams_[id];
 }
 
+void StreamEngine::SetHealth(StreamState* s, StreamHealth health) {
+  s->health = health;
+  // The query path reads this mirror instead of taking state_mutex_; plain
+  // relaxed is enough (staleness flagging needs no ordering with the
+  // snapshot pointer — both values are independently consistent).
+  s->health_mirror.store(static_cast<uint8_t>(health),
+                         std::memory_order_relaxed);
+}
+
 int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
                             int input_dim) {
   // Point the stream's micro Sinkhorn solves at the shared cross-stream
@@ -306,6 +315,10 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       Status serialized = sp->trainer.SerializeCheckpoint(&last_good);
       if (!serialized.ok()) last_good.clear();
     }
+    // Publish the new domain boundary to the serving plane, still outside
+    // the engine lock (the group serializes the trainer; readers swap in
+    // the snapshot via the RCU exchange, never via state_mutex_).
+    PublishSnapshot(sp);
     const double completion_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - d->pushed_at)
@@ -319,7 +332,7 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       sp->results.push_back(result);
       sp->consecutive_failures = 0;
       if (sp->health == StreamHealth::kDegraded) {
-        sp->health = StreamHealth::kHealthy;
+        SetHealth(sp, StreamHealth::kHealthy);
       }
       if (!last_good.empty()) sp->last_good = std::move(last_good);
       // Raw domain data and stage scratch are dead weight once migrated —
@@ -381,7 +394,7 @@ void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
     const int delay_ms = BackoffMs(options_.retry_backoff_ms, d->attempt);
     std::lock_guard<std::mutex> lock(state_mutex_);
     if (sp->health == StreamHealth::kHealthy) {
-      sp->health = StreamHealth::kDegraded;
+      SetHealth(sp, StreamHealth::kDegraded);
     }
     CERL_LOG(Warning) << "stream '" << sp->name << "' domain "
                       << d->domain_index << " attempt " << d->attempt
@@ -417,12 +430,12 @@ void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
     ++sp->consecutive_failures;
     if (sp->consecutive_failures >=
         std::max(1, options_.quarantine_after_failures)) {
-      sp->health = StreamHealth::kQuarantined;
+      SetHealth(sp, StreamHealth::kQuarantined);
       CERL_LOG(Warning) << "stream '" << sp->name << "' quarantined after "
                         << sp->consecutive_failures
                         << " consecutive dropped domains";
     } else {
-      sp->health = StreamHealth::kDegraded;
+      SetHealth(sp, StreamHealth::kDegraded);
     }
   }
   sp->in_flight.reset();

@@ -56,6 +56,8 @@
 #include "core/cerl_trainer.h"
 #include "data/dataset.h"
 #include "ot/fused_micro_solver.h"
+#include "serve/batch_predictor.h"
+#include "serve/effect_snapshot.h"
 #include "stream/cost_model.h"
 #include "util/histogram.h"
 #include "util/scheduler.h"
@@ -130,6 +132,16 @@ struct StreamEngineOptions {
   /// Backoff before snapshot-write retry r: snapshot_retry_backoff_ms <<
   /// (r-1) milliseconds, capped at 100ms.
   int snapshot_retry_backoff_ms = 1;
+
+  // --- Serving plane (QueryEffect / QueryEffectBatch) -------------------
+
+  /// Publish an immutable serve::EffectSnapshot after every successful
+  /// domain migration (and after LoadSnapshot restores a trained stream),
+  /// making the stream queryable concurrently with training. Off = no
+  /// snapshot builds on the write path (queries return
+  /// kFailedPrecondition); the bench's publish-off configuration isolates
+  /// the serving plane's ingest cost.
+  bool publish_snapshots = true;
 };
 
 /// Per-stream health (Healthy -> Degraded -> Quarantined). Degraded means
@@ -187,6 +199,42 @@ struct DomainResult {
   /// domains carry no stats/metrics.
   Status status;
   int attempts = 1;              ///< pipeline attempts consumed (1 + retries)
+};
+
+/// Per-thread handle for the effect-query read path (see
+/// StreamEngine::CreateQueryContext). Owns the thread's inference arena and
+/// its cached per-stream snapshot references + query counters; opaque
+/// outside the engine.
+class QueryContext;
+
+/// Read-side metadata returned with each answered effect query.
+struct EffectQueryMeta {
+  /// Version of the snapshot that answered the query (1-based publish
+  /// sequence number of the stream).
+  uint64_t snapshot_version = 0;
+  /// Trained domains baked into that snapshot.
+  int snapshot_stage = 0;
+  /// The stream is quarantined: this answer comes from its last-good model
+  /// and will not refresh. Healthy/degraded streams answer with stale=false
+  /// (a degraded stream's rollback target IS its published snapshot).
+  bool stale = false;
+};
+
+/// One stream's serving observability (StreamEngine::query_stats): what is
+/// published and how it is being read. Counters/latency are merged across
+/// every QueryContext.
+struct StreamQueryStats {
+  uint64_t snapshot_version = 0;  ///< 0 = nothing published yet
+  int snapshot_stage = 0;
+  /// Milliseconds since the current snapshot was published (0 if none).
+  double staleness_ms = 0.0;
+  /// The stream is serving its last-good snapshot from quarantine.
+  bool stale = false;
+  int64_t queries = 0;   ///< answered QueryEffect/QueryEffectBatch calls
+  int64_t rows = 0;      ///< total covariate rows evaluated
+  int64_t rejected = 0;  ///< rejected queries (no snapshot / bad dims)
+  /// Per-call serving latency across all contexts, ms.
+  LatencyHistogram latency;
 };
 
 class StreamEngine {
@@ -259,6 +307,49 @@ class StreamEngine {
   core::CerlTrainer& trainer(int id);
 
   int num_workers() const { return pool_.num_threads(); }
+
+  // --- Effect-query serving plane (stream/query_plane.cc) ---------------
+  //
+  // Reads run concurrently with training and never block or get blocked by
+  // the stage pipeline: each stream's finish task publishes an immutable
+  // serve::EffectSnapshot (copy-on-publish, RCU-style shared_ptr swap), and
+  // the query path is lock-free in steady state — a relaxed/acquire version
+  // check against the context's cached snapshot, zero shared_ptr traffic
+  // while the version is unchanged, and a forward pass through the
+  // context's reusable arena (no allocations after warm-up).
+
+  /// Creates a query handle for one reader thread (a context must not be
+  /// used from two threads at once; create one per thread). Owned by the
+  /// engine, freed at engine destruction. Register every stream BEFORE
+  /// creating contexts — a context sizes its per-stream slots at creation
+  /// and rejects later-added stream ids with kInvalidArgument.
+  QueryContext* CreateQueryContext();
+
+  /// ITE for one user (covariate row `x` of `input_dim` doubles) under
+  /// stream `id`'s current snapshot, in original outcome units — bitwise
+  /// equal to the publishing trainer's PredictIte. kNotFound for a bad id,
+  /// kInvalidArgument on a dimension mismatch, kFailedPrecondition before
+  /// the stream's first publish. Quarantined streams ANSWER (last-good
+  /// snapshot) with meta->stale set rather than erroring.
+  Status QueryEffect(QueryContext* ctx, int id, const double* x,
+                     int input_dim, double* ite,
+                     EffectQueryMeta* meta = nullptr);
+
+  /// Batched variant: ITE per row of x_raw (n x input_dim) into `ite`
+  /// (resized to n; reuse the vector to stay allocation-free). One snapshot
+  /// answers the whole batch — no torn reads across rows.
+  Status QueryEffectBatch(QueryContext* ctx, int id,
+                          const linalg::Matrix& x_raw, linalg::Vector* ite,
+                          EffectQueryMeta* meta = nullptr);
+
+  /// The stream's currently published snapshot (nullptr before the first
+  /// publish). Same acquire load the query path uses; the returned
+  /// reference stays valid for as long as the caller holds it.
+  std::shared_ptr<const serve::EffectSnapshot> effect_snapshot(int id) const;
+
+  /// Serving stats of stream `id`: published version/stage/staleness plus
+  /// query counters and latency merged across every QueryContext.
+  StreamQueryStats query_stats(int id) const;
 
   // --- Snapshot / restore (engine_checkpoint.cc) ------------------------
 
@@ -336,6 +427,18 @@ class StreamEngine {
   /// advances the health state machine.
   void HandleFailure(StreamState* s, PendingDomain* d);
 
+  /// Health transition that also refreshes the stream's lock-free mirror
+  /// for the query path. Caller holds state_mutex_ (or owns the stream
+  /// exclusively, as LoadSnapshot does).
+  static void SetHealth(StreamState* s, StreamHealth health);
+
+  /// Builds and RCU-publishes the stream's next EffectSnapshot from its
+  /// trainer. Must run where the trainer is quiescent and externally
+  /// serialized: the stream's task group (finish task) or LoadSnapshot's
+  /// single-threaded restore. No-op when options_.publish_snapshots is off
+  /// or the trainer has no model yet. Defined in stream/query_plane.cc.
+  void PublishSnapshot(StreamState* s);
+
   /// Runs one stage body with wall-time measurement, feeds the observation
   /// to the stream's cost model, attributes steals, and refreshes the
   /// stream's dispatch priority. Failure fencing stays in the stage lambdas.
@@ -380,6 +483,11 @@ class StreamEngine {
   mutable std::mutex state_mutex_;
   std::condition_variable state_cv_;
   bool paused_ = false;  ///< snapshot in progress: no new dispatches
+
+  /// Guards the context registry only — context creation and stats
+  /// aggregation, never the query hot path.
+  mutable std::mutex query_mutex_;
+  std::vector<std::unique_ptr<QueryContext>> query_contexts_;
 };
 
 }  // namespace cerl::stream

@@ -2,6 +2,7 @@
 // (the two halves of StreamEngine). Not part of the public stream API.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -10,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/effect_snapshot.h"
 #include "stream/stream_engine.h"
 
 namespace cerl::stream {
@@ -93,6 +95,49 @@ struct StreamEngine::StreamState {
   // read only by HandleFailure on the same stream's group (serialized), so
   // access needs no extra lock beyond state_mutex_ for the capture.
   std::string last_good;
+
+  // --- Serving plane (stream/query_plane.cc) ---------------------------
+  // The stream's published read-side model. Written only by the finish task
+  // / snapshot restore via atomic_store(release); read by query threads via
+  // atomic_load(acquire). `snapshot_version` is the lock-free fast-path
+  // version gate: readers re-load the shared_ptr only when it changes
+  // (publish order: snapshot first, then version, both release — a reader
+  // that acquires the new version therefore sees the new snapshot).
+  std::shared_ptr<const serve::EffectSnapshot> snapshot;
+  std::atomic<uint64_t> snapshot_version{0};
+  // Mirror of `health` maintained at every transition so the query path can
+  // flag quarantined-stream staleness without touching state_mutex_.
+  std::atomic<uint8_t> health_mirror{0};
+};
+
+// Per-thread query handle (StreamEngine::CreateQueryContext). All mutable
+// state on the query hot path lives here, owned by exactly one reader
+// thread: the inference arena plus one slot per stream caching the last
+// snapshot reference (so an unchanged version costs zero shared_ptr
+// traffic). The counters are atomics only so query_stats can aggregate
+// them from another thread; the single writer makes them uncontended.
+class QueryContext {
+ public:
+  explicit QueryContext(int num_streams)
+      : slots_(static_cast<size_t>(num_streams)) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+ private:
+  friend class StreamEngine;
+
+  struct Slot {
+    std::shared_ptr<const serve::EffectSnapshot> snap;
+    uint64_t version = 0;
+    ConcurrentLatencyHistogram latency;
+    std::atomic<int64_t> queries{0};
+    std::atomic<int64_t> rows{0};
+    std::atomic<int64_t> rejected{0};
+  };
+
+  serve::BatchPredictor predictor_;
+  std::vector<Slot> slots_;  ///< sized at creation; never resized
 };
 
 }  // namespace cerl::stream

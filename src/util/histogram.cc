@@ -69,4 +69,33 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   max_ms_ = std::max(max_ms_, other.max_ms_);
 }
 
+void ConcurrentLatencyHistogram::Record(double ms) {
+  if (std::isnan(ms) || ms < 0.0) ms = 0.0;
+  const auto ns = static_cast<int64_t>(ms * 1e6);
+  buckets_[LatencyHistogram::BucketIndex(ms)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  // The maximum only ratchets up; losing a CAS to a larger value means the
+  // work is already done. Uncontended (the common case) this is one load.
+  int64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram ConcurrentLatencyHistogram::Snapshot() const {
+  LatencyHistogram out;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    out.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.count_ = count_.load(std::memory_order_relaxed);
+  out.total_ms_ =
+      static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-6;
+  out.max_ms_ =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-6;
+  return out;
+}
+
 }  // namespace cerl

@@ -11,9 +11,12 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 namespace cerl {
+
+class ConcurrentLatencyHistogram;
 
 /// Fixed-size log-bucketed histogram of latencies in milliseconds.
 class LatencyHistogram {
@@ -39,6 +42,8 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
 
  private:
+  friend class ConcurrentLatencyHistogram;
+
   static int BucketIndex(double ms);
   /// Lower edge of bucket `i` in ms.
   static double BucketLowMs(int i);
@@ -47,6 +52,33 @@ class LatencyHistogram {
   int64_t count_ = 0;
   double max_ms_ = 0.0;
   double total_ms_ = 0.0;
+};
+
+/// Wait-free recording variant for query hot paths: the same log buckets as
+/// LatencyHistogram, but every field is a relaxed atomic, so one thread can
+/// Record while another Snapshots — no mutex, no torn reads (TSan-clean by
+/// construction). Record is two relaxed fetch_adds (bucket + total) plus a
+/// rare CAS when the running maximum moves; Snapshot folds the counters into
+/// a plain LatencyHistogram for percentile queries and merging. Concurrent
+/// Record/Snapshot is safe; a snapshot taken mid-record may miss the
+/// in-flight sample (eventually-consistent stats, exact once quiescent).
+class ConcurrentLatencyHistogram {
+ public:
+  /// Records one latency sample. Safe from any thread, never blocks.
+  void Record(double ms);
+
+  /// Folds the current counts into a plain histogram (percentiles, Merge).
+  LatencyHistogram Snapshot() const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<int64_t>, LatencyHistogram::kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  /// Totals in nanoseconds as integers: doubles have no atomic fetch_add in
+  /// C++17, and at ns resolution an int64 holds ~292 years of latency.
+  std::atomic<int64_t> total_ns_{0};
+  std::atomic<int64_t> max_ns_{0};
 };
 
 }  // namespace cerl

@@ -5,6 +5,7 @@ the committed baseline and fail on slowdowns.
 Usage:
   tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 1.25]
       [--gate-counter SUFFIX ...] [--pair NAME BASE MAXRATIO ...]
+      [--floor NAME MIN ...]
 
 Rules:
   - benchmarks present in BOTH files are compared by real_time (after
@@ -26,6 +27,10 @@ Rules:
     same run, independent of machine speed; a pair whose members are
     missing from the current run is a hard error — a silently skipped gate
     is worse than a failing one;
+  - each --floor NAME MIN (repeatable) fails when the CURRENT run's NAME
+    (typically a "BENCH#counter" rate, e.g. a queries/s counter) is below
+    MIN — an absolute performance floor for throughput-style acceptance
+    targets; a missing NAME is a hard error, same as --pair;
   - exit code 0 = pass, 1 = regression, 2 = usage/parse error.
 
 CI runners are noisy; the default 25% threshold is deliberately loose — it
@@ -96,6 +101,11 @@ def main():
                         help="within the CURRENT run, fail when "
                              "NAME > MAXRATIO * BASE; either side may be "
                              "a 'BENCH#counter' entry (repeatable)")
+    parser.add_argument("--floor", nargs=2, action="append", default=[],
+                        metavar=("NAME", "MIN"),
+                        help="fail when the current run's NAME (often a "
+                             "'BENCH#counter' rate) is below MIN "
+                             "(repeatable)")
     args = parser.parse_args()
 
     baseline = load_benchmarks(args.baseline)
@@ -164,19 +174,42 @@ def main():
         print(f"pair {name} / {base}: {ratio:.3f}x "
               f"(budget {max_ratio:.2f}x){flag}")
 
+    floor_failures = []
+    for name, min_str in args.floor:
+        try:
+            floor = float(min_str)
+        except ValueError:
+            print(f"error: --floor minimum is not a number: {min_str}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name not in current:
+            print(f"error: --floor benchmark missing from current run: "
+                  f"{name}", file=sys.stderr)
+            sys.exit(2)
+        flag = ""
+        if current[name] < floor:
+            floor_failures.append((name, current[name], floor))
+            flag = "  << BELOW FLOOR"
+        print(f"floor {name}: {current[name]:.0f} "
+              f"(minimum {floor:.0f}){flag}")
+
     print(f"\ncompared {len(shared)} benchmarks "
           f"({len(only_current)} new, {len(only_baseline)} retired), "
-          f"threshold {args.threshold:.2f}x, {len(args.pair)} pair gate(s)")
+          f"threshold {args.threshold:.2f}x, {len(args.pair)} pair gate(s), "
+          f"{len(args.floor)} floor gate(s)")
     for name, base, ratio, max_ratio in pair_failures:
         print(f"FAIL: {name} is {ratio:.3f}x of {base} "
               f"(budget {max_ratio:.2f}x)", file=sys.stderr)
+    for name, value, floor in floor_failures:
+        print(f"FAIL: {name} is {value:.0f}, below the {floor:.0f} floor",
+              file=sys.stderr)
     if regressions:
         print(f"FAIL: {len(regressions)} regression(s) over "
               f"{args.threshold:.2f}x:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x slower", file=sys.stderr)
         sys.exit(1)
-    if pair_failures:
+    if pair_failures or floor_failures:
         sys.exit(1)
     print("PASS: no benchmark regressed past the threshold")
 
