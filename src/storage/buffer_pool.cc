@@ -1,0 +1,154 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cerl {
+namespace storage {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  if (!pool_) return;
+  std::lock_guard<std::mutex> lock(pool_->mutex_);
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (!pool_) return;
+  pool_->Unpin(frame_);
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames) : disk_(disk) {
+  CERL_CHECK_MSG(num_frames >= 1, "buffer pool needs at least one frame");
+  frames_.resize(num_frames);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: spilled state is reconstructible from snapshot + WAL.
+  (void)FlushAll();
+}
+
+size_t BufferPool::FindFrameLocked(PageId id) const {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].id == id) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+Result<size_t> BufferPool::ReserveFrameLocked() {
+  // First an empty frame, else the unpinned frame least recently unpinned.
+  size_t victim = static_cast<size_t>(-1);
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (f.id == kInvalidPageId) {
+      if (!f.data) f.data = std::make_unique<char[]>(kPageSize);
+      return i;
+    }
+    if (f.pins == 0 &&
+        (victim == static_cast<size_t>(-1) ||
+         f.last_used < frames_[victim].last_used)) {
+      victim = i;
+    }
+  }
+  if (victim == static_cast<size_t>(-1)) {
+    return Status::ResourceExhausted(
+        "buffer pool: all " + std::to_string(frames_.size()) +
+        " frames are pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    CERL_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+    ++stats_.writebacks;
+    f.dirty = false;
+  }
+  f.id = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t i = FindFrameLocked(id);
+  if (i != static_cast<size_t>(-1)) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    auto reserved = ReserveFrameLocked();
+    CERL_RETURN_IF_ERROR(reserved.status());
+    i = reserved.value();
+    CERL_RETURN_IF_ERROR(disk_->ReadPage(id, frames_[i].data.get()));
+    frames_[i].id = id;
+    frames_[i].dirty = false;
+  }
+  Frame& f = frames_[i];
+  ++f.pins;
+  return PageHandle(this, i, id, f.data.get());
+}
+
+Result<PageHandle> BufferPool::Create() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto reserved = ReserveFrameLocked();
+  CERL_RETURN_IF_ERROR(reserved.status());
+  const size_t i = reserved.value();
+  auto id = disk_->AllocatePage();
+  CERL_RETURN_IF_ERROR(id.status());
+  Frame& f = frames_[i];
+  std::memset(f.data.get(), 0, kPageSize);
+  f.id = id.value();
+  f.dirty = true;
+  ++f.pins;
+  return PageHandle(this, i, id.value(), f.data.get());
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& f : frames_) {
+    if (f.id == kInvalidPageId || !f.dirty) continue;
+    CERL_RETURN_IF_ERROR(disk_->WritePage(f.id, f.data.get()));
+    ++stats_.writebacks;
+    f.dirty = false;
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Discard(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t i = FindFrameLocked(id);
+  if (i == static_cast<size_t>(-1)) return;
+  CERL_CHECK_MSG(frames_[i].pins == 0, "Discard of a pinned page");
+  frames_[i].id = kInvalidPageId;
+  frames_[i].dirty = false;
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[frame];
+  CERL_CHECK_MSG(f.pins > 0, "unpin of an unpinned frame");
+  --f.pins;
+  f.last_used = ++tick_;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace storage
+}  // namespace cerl

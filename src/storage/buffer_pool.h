@@ -1,0 +1,123 @@
+// Fixed-capacity page cache over a DiskManager: a frame table with pin
+// counts and LRU eviction.
+//
+// Access model: Fetch()/Create() return a PageHandle that pins the page in
+// its frame; the pin is released when the handle is destroyed. A pinned
+// page is never evicted, so the handle's data pointer stays valid for the
+// handle's lifetime. Eviction picks the least-recently-unpinned clean-or-
+// dirty frame (dirty pages are written back first); if every frame is
+// pinned, Fetch/Create fail with ResourceExhausted instead of blocking.
+//
+// Thread safety: the pool's bookkeeping is mutex-guarded and handles may be
+// created/destroyed from any thread, but the bytes of ONE page are not
+// internally synchronized — callers must not write a page concurrently
+// with other access to the same page (the engine serializes per-tenant
+// access via its TaskGroups).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace cerl {
+namespace storage {
+
+class BufferPool;
+
+/// RAII pin on a page frame. Movable, not copyable; unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Marks the page dirty so eviction/FlushAll writes it back.
+  void MarkDirty();
+
+  /// Releases the pin early (the handle becomes invalid).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId id, char* data)
+      : pool_(pool), frame_(frame), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // Fetch served from a resident frame
+    uint64_t misses = 0;      // Fetch that had to read from disk
+    uint64_t evictions = 0;   // frames recycled to make room
+    uint64_t writebacks = 0;  // dirty pages written to disk
+  };
+
+  /// `disk` must outlive the pool. `num_frames` >= 1.
+  BufferPool(DiskManager* disk, size_t num_frames);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page from the DiskManager and pins it, zero-filled
+  /// and marked dirty.
+  Result<PageHandle> Create();
+
+  /// Writes back every dirty frame (pages stay cached).
+  Status FlushAll();
+
+  /// Drops page `id` from the cache WITHOUT write-back. Precondition: the
+  /// page is unpinned. Callers use this immediately before FreePage so a
+  /// stale cached image cannot resurface if the page id is re-allocated.
+  void Discard(PageId id);
+
+  size_t num_frames() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
+  Stats stats() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;  // kInvalidPageId = frame empty
+    int pins = 0;
+    bool dirty = false;
+    uint64_t last_used = 0;  // LRU tick, updated on unpin
+    std::unique_ptr<char[]> data;
+  };
+
+  /// Finds the frame holding `id`, or SIZE_MAX.
+  size_t FindFrameLocked(PageId id) const;
+  /// Returns an empty frame, evicting if needed.
+  Result<size_t> ReserveFrameLocked();
+  void Unpin(size_t frame);
+
+  DiskManager* const disk_;
+  mutable std::mutex mutex_;
+  std::vector<Frame> frames_;
+  uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace cerl

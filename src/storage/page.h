@@ -1,0 +1,26 @@
+// Page-granular storage substrate shared by the DiskManager (single-file
+// page allocator), the BufferPool (pinned/LRU page cache), and the
+// TenantStore (blob chains over pages).
+//
+// Page 0 of every store file is the superblock; data pages start at 1, so
+// PageId 0 doubles as the null/invalid id and zero-initialized next-page
+// links terminate chains naturally.
+#pragma once
+
+#include <cstdint>
+
+namespace cerl {
+namespace storage {
+
+using PageId = uint32_t;
+
+/// Page 0 is the superblock and is never handed out by the allocator, so 0
+/// is the null page id (end-of-chain marker, "no page").
+inline constexpr PageId kInvalidPageId = 0;
+
+/// Fixed page size. 4 KiB matches the common filesystem block size, so a
+/// page write is one block write.
+inline constexpr uint32_t kPageSize = 4096;
+
+}  // namespace storage
+}  // namespace cerl

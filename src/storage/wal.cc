@@ -1,0 +1,177 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+
+namespace cerl {
+namespace storage {
+namespace {
+
+constexpr size_t kHeaderBytes = 16;
+// A single WAL payload is one domain's serialized splits; 1 GiB is far
+// beyond any real record and caps what a corrupted length field can make
+// the scanner allocate.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+uint64_t RecordChecksum(const char* header8, std::string_view payload) {
+  // Checksum covers len + type (the first 8 header bytes) and the payload,
+  // so a flip in any of the three is detected.
+  uint64_t hash = 0xCBF29CE484222325ull;
+  const auto mix = [&hash](const char* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      hash ^= static_cast<unsigned char>(p[i]);
+      hash *= 0x100000001B3ull;
+    }
+  };
+  mix(header8, 8);
+  mix(payload.data(), payload.size());
+  return hash;
+}
+
+}  // namespace
+
+Wal::Wal(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Wal::EncodeRecord(uint32_t type, std::string_view payload) {
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + payload.size());
+  const auto len = static_cast<uint32_t>(payload.size());
+  WritePod(&bytes, len);
+  WritePod(&bytes, type);
+  const uint64_t checksum = RecordChecksum(bytes.data(), payload);
+  WritePod(&bytes, checksum);
+  if (!payload.empty()) bytes.append(payload.data(), payload.size());
+  return bytes;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       const Options& options) {
+  std::unique_ptr<Wal> wal(new Wal(path, options));
+
+  // Scan whatever is on disk for the valid record prefix.
+  std::string contents;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      ::close(fd);
+      auto read = ReadFileToString(path);
+      CERL_RETURN_IF_ERROR(read.status());
+      contents = std::move(read).value();
+    }
+    // A missing file is simply an empty log.
+  }
+  size_t valid_end = 0;
+  while (contents.size() - valid_end >= kHeaderBytes) {
+    const char* header = contents.data() + valid_end;
+    uint32_t len = 0, type = 0;
+    uint64_t stored = 0;
+    std::memcpy(&len, header, sizeof(len));
+    std::memcpy(&type, header + 4, sizeof(type));
+    std::memcpy(&stored, header + 8, sizeof(stored));
+    if (len > kMaxPayload ||
+        static_cast<uint64_t>(len) + kHeaderBytes >
+            contents.size() - valid_end) {
+      break;  // torn or corrupt length
+    }
+    const std::string_view payload(contents.data() + valid_end + kHeaderBytes,
+                                   len);
+    if (RecordChecksum(header, payload) != stored) break;
+    Record r;
+    r.type = type;
+    r.payload.assign(payload.data(), payload.size());
+    wal->recovered_.push_back(std::move(r));
+    valid_end += kHeaderBytes + len;
+  }
+  wal->truncated_bytes_ = contents.size() - valid_end;
+
+  wal->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (wal->fd_ < 0) return Status::IoError("cannot open WAL: " + path);
+  if (wal->truncated_bytes_ > 0) {
+    if (::ftruncate(wal->fd_, static_cast<off_t>(valid_end)) != 0) {
+      return Status::IoError("cannot truncate torn WAL tail: " + path);
+    }
+  }
+  if (::lseek(wal->fd_, static_cast<off_t>(valid_end), SEEK_SET) < 0) {
+    return Status::IoError("cannot seek WAL: " + path);
+  }
+  wal->size_bytes_ = valid_end;
+  return wal;
+}
+
+Status Wal::Append(uint32_t type, std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument("WAL record payload too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (CERL_FAULT_POINT(FaultPoint::kIoWrite)) {
+    return Status::IoError("injected WAL append failure: " + path_);
+  }
+  const std::string bytes = EncodeRecord(type, payload);
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t rc = ::write(fd_, bytes.data() + done, bytes.size() - done);
+    if (rc < 0) {
+      // Restore the pre-append length so a half-written record never
+      // becomes a parseable-looking tail.
+      (void)::ftruncate(fd_, static_cast<off_t>(size_bytes_));
+      (void)::lseek(fd_, static_cast<off_t>(size_bytes_), SEEK_SET);
+      return Status::IoError("WAL append failed: " + path_);
+    }
+    done += static_cast<size_t>(rc);
+  }
+  if (options_.fsync_each_append && ::fsync(fd_) != 0) {
+    (void)::ftruncate(fd_, static_cast<off_t>(size_bytes_));
+    (void)::lseek(fd_, static_cast<off_t>(size_bytes_), SEEK_SET);
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
+  size_bytes_ += bytes.size();
+  ++appended_records_;
+  return Status::Ok();
+}
+
+Status Wal::Compact(const std::vector<Record>& keep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string contents;
+  for (const Record& r : keep) {
+    contents += EncodeRecord(r.type, r.payload);
+  }
+  // WriteFileAtomic publishes the compacted log or leaves the old one —
+  // never a torn intermediate — then the fd is repointed at the new file.
+  CERL_RETURN_IF_ERROR(WriteFileAtomic(path_, contents));
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot reopen WAL after compaction: " + path_);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::IoError("cannot seek WAL after compaction: " + path_);
+  }
+  ::close(fd_);
+  fd_ = fd;
+  size_bytes_ = contents.size();
+  return Status::Ok();
+}
+
+uint64_t Wal::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_bytes_;
+}
+
+uint64_t Wal::appended_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_records_;
+}
+
+}  // namespace storage
+}  // namespace cerl

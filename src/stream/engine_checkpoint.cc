@@ -8,18 +8,21 @@
 // not been consumed yet (they are current, not past-domain, data), and
 // nothing else in the container is raw covariates.
 //
-// Format CERLENG3 (writes; CERLENG2 and CERLENG1 still read — golden
-// fixtures under tests/testdata/ pin the old layouts):
-//   magic "CERLENG3",
+// Format CERLENG4 (writes; CERLENG1..3 still read — golden fixtures under
+// tests/testdata/ pin the old layouts):
+//   magic "CERLENG4",
 //   u32 num_workers, u8 validate_on_push          (informational),
+//   u8 backlog_in_wal                              (v4: 1 = the journal is
+//     elided; the still-queued domains live in the WAL and Recover()
+//     replays them — see engine_storage.cc),
 //   u32 num_streams, then per stream:
 //     u32 name_len, name bytes,
 //     u32 input_dim,
-//     CerlConfig block (fixed field order, see WriteConfig),
+//     CerlConfig block (fixed field order, see snapfmt::WriteConfig),
 //     u32 completed_domains                        (resumes domain indices),
 //     u8 health, u32 consecutive_failures, u32 failed_domains
 //                                    (v2+ only; v1 restores as healthy/0/0),
-//     3 x { f64 rate_ms_per_unit, i64 count }      (v3 only: the stream's
+//     3 x { f64 rate_ms_per_unit, i64 count }      (v3+ only: the stream's
 //       learned StageCostModel rates; v1/v2 restore with COLD cost models —
 //       the scheduler re-learns rates within a few stages, so older
 //       snapshots stay fully loadable),
@@ -27,12 +30,21 @@
 //     u32 journal_count, then per queued domain a DataSplit
 //       (train/valid/test, each: u32 rows, u32 cols, f64 x[], u8 t[],
 //        u32 n + f64 y[], u32 n + f64 mu0[], u32 n + f64 mu1[]),
-//   u64 FNV-1a checksum of all preceding bytes.
+//   u64 FNV-1a checksum.
+//
+// v4 checksum scope: the trailing hash covers the container METADATA only —
+// the embedded CERLCKP1 blob spans are excluded. Each blob already carries
+// its own whole-payload checksum (verified by DeserializeCheckpoint), so
+// corruption anywhere is still detected; what the exclusion buys is an
+// O(dirty streams) SaveSnapshot — an unchanged tenant costs one memcpy of
+// its cached blob instead of a re-serialize plus a re-hash of megabytes of
+// parameters. v1..3 hash every byte (VerifyChecksum), and their readers
+// still do.
 //
 // The last-good rollback blob is NOT a separate field: at the snapshot
 // fence every trainer sits at a domain boundary, so its serialized
 // checkpoint IS the last-good state — LoadSnapshot re-seeds each stream's
-// rollback target from the embedded trainer blob.
+// rollback target (and the v4 blob-reuse cache) from the embedded blob.
 //
 // Every read is bounds-checked against the remaining payload before
 // allocating, and LoadSnapshot stages the entire engine (streams, trainers,
@@ -47,9 +59,11 @@
 #include <utility>
 #include <vector>
 
+#include "storage/tenant_store.h"
 #include "stream/stream_engine.h"
 #include "stream/stream_internal.h"
 #include "util/binary_io.h"
+#include "util/logging.h"
 
 namespace cerl::stream {
 namespace {
@@ -57,17 +71,16 @@ namespace {
 constexpr char kMagicV1[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '1'};
 constexpr char kMagicV2[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '2'};
 constexpr char kMagicV3[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '3'};
+constexpr char kMagicV4[8] = {'C', 'E', 'R', 'L', 'E', 'N', 'G', '4'};
 
 // Decode-time sanity caps: generous for any real deployment, small enough
 // that a corrupted count fails fast with a descriptive error instead of an
 // attempted allocation (the byte-level guard is BoundedReader::Require) —
 // and, for the dataset dims, small enough that rows * cols * 8 can never
-// overflow uint64 and defeat that guard.
-constexpr uint32_t kMaxStreams = 1u << 16;
-constexpr uint32_t kMaxNameLen = 1u << 12;
+// overflow uint64 and defeat that guard. The stream/name/journal caps live
+// in snapfmt (stream_internal.h) because the WAL replay path shares them.
 constexpr uint32_t kMaxHiddenLayers = 1u << 10;
 constexpr uint32_t kMaxLayerWidth = 1u << 20;
-constexpr uint32_t kMaxJournal = 1u << 20;
 constexpr uint32_t kMaxUnits = 1u << 27;
 constexpr uint32_t kMaxFeatures = 1u << 24;
 
@@ -100,6 +113,93 @@ Status ReadIntVector(BoundedReader* r, std::vector<int>* v,
   }
   return Status::Ok();
 }
+
+Status ReadBool(BoundedReader* r, bool* v, const char* what) {
+  uint8_t b = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&b, what));
+  if (b > 1) {
+    return Status::IoError(std::string(what) + ": flag is not 0/1");
+  }
+  *v = b != 0;
+  return Status::Ok();
+}
+
+// --- DataSplit dataset codec (the replay journal) -------------------------
+
+void WriteDataset(std::string* out, const data::CausalDataset& d) {
+  WritePod(out, static_cast<uint32_t>(d.x.rows()));
+  WritePod(out, static_cast<uint32_t>(d.x.cols()));
+  out->append(reinterpret_cast<const char*>(d.x.data()),
+              static_cast<size_t>(d.x.size()) * sizeof(double));
+  for (int t : d.t) WritePod(out, static_cast<uint8_t>(t));
+  WriteF64Vector(out, d.y);
+  WriteF64Vector(out, d.mu0);
+  WriteF64Vector(out, d.mu1);
+}
+
+// A mu column is either aligned with the units or absent (production
+// domains without counterfactual ground truth serialize empty mu vectors).
+Status ReadMuColumn(BoundedReader* r, uint32_t rows, linalg::Vector* v,
+                    const char* what) {
+  uint32_t n = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&n, what));
+  if (n != rows && n != 0) {
+    return Status::IoError(std::string(what) + ": size " + std::to_string(n) +
+                           " does not match unit count " +
+                           std::to_string(rows));
+  }
+  CERL_RETURN_IF_ERROR(
+      r->Require(static_cast<uint64_t>(n) * sizeof(double), what));
+  v->resize(n);
+  return r->ReadRaw(v->data(), static_cast<uint64_t>(n) * sizeof(double),
+                    what);
+}
+
+Status ReadDataset(BoundedReader* r, data::CausalDataset* d,
+                   const char* what) {
+  uint32_t rows = 0, cols = 0;
+  CERL_RETURN_IF_ERROR(r->ReadPod(&rows, what));
+  CERL_RETURN_IF_ERROR(r->ReadPod(&cols, what));
+  // The caps keep rows * cols * 8 far below uint64 overflow (2^27 * 2^24 *
+  // 2^3 = 2^54), so the Require byte check below cannot be defeated by
+  // wraparound.
+  if (rows > kMaxUnits) {
+    return Status::IoError(std::string(what) + ": implausible unit count " +
+                           std::to_string(rows));
+  }
+  if (cols > kMaxFeatures) {
+    return Status::IoError(std::string(what) +
+                           ": implausible feature count " +
+                           std::to_string(cols));
+  }
+  const uint64_t x_bytes = static_cast<uint64_t>(rows) * cols * sizeof(double);
+  CERL_RETURN_IF_ERROR(r->Require(x_bytes, what));
+  d->x.Resize(static_cast<int>(rows), static_cast<int>(cols));
+  CERL_RETURN_IF_ERROR(r->ReadRaw(d->x.data(), x_bytes, what));
+  CERL_RETURN_IF_ERROR(r->Require(rows, what));
+  d->t.resize(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    uint8_t b = 0;
+    CERL_RETURN_IF_ERROR(r->ReadPod(&b, what));
+    if (b > 1) {
+      return Status::IoError(std::string(what) +
+                             ": journal treatment is not 0/1");
+    }
+    d->t[i] = b;
+  }
+  CERL_RETURN_IF_ERROR(ReadF64VectorExpected(r, rows, &d->y, what));
+  CERL_RETURN_IF_ERROR(ReadMuColumn(r, rows, &d->mu0, what));
+  CERL_RETURN_IF_ERROR(ReadMuColumn(r, rows, &d->mu1, what));
+  return Status::Ok();
+}
+
+}  // namespace
+
+// Shared snapshot/WAL wire codecs (declared in stream_internal.h): the WAL
+// record payloads reuse the config and split codecs verbatim, so a
+// WAL-replayed domain decodes through the same bounds-checked path as a
+// journaled one.
+namespace snapfmt {
 
 // --- CerlConfig codec (fixed field order; the CERLENG1 magic versions it) --
 
@@ -136,16 +236,6 @@ void WriteConfig(std::string* out, const core::CerlConfig& c) {
   WritePod(out, static_cast<uint8_t>(c.init_from_previous ? 1 : 0));
   WritePod(out, c.continual_lr_scale);
   WriteIntVector(out, c.transform_hidden);
-}
-
-Status ReadBool(BoundedReader* r, bool* v, const char* what) {
-  uint8_t b = 0;
-  CERL_RETURN_IF_ERROR(r->ReadPod(&b, what));
-  if (b > 1) {
-    return Status::IoError(std::string(what) + ": flag is not 0/1");
-  }
-  *v = b != 0;
-  return Status::Ok();
 }
 
 Status ReadConfig(BoundedReader* r, core::CerlConfig* c) {
@@ -217,75 +307,6 @@ Status ReadConfig(BoundedReader* r, core::CerlConfig* c) {
   return Status::Ok();
 }
 
-// --- DataSplit codec (the replay journal) ---------------------------------
-
-void WriteDataset(std::string* out, const data::CausalDataset& d) {
-  WritePod(out, static_cast<uint32_t>(d.x.rows()));
-  WritePod(out, static_cast<uint32_t>(d.x.cols()));
-  out->append(reinterpret_cast<const char*>(d.x.data()),
-              static_cast<size_t>(d.x.size()) * sizeof(double));
-  for (int t : d.t) WritePod(out, static_cast<uint8_t>(t));
-  WriteF64Vector(out, d.y);
-  WriteF64Vector(out, d.mu0);
-  WriteF64Vector(out, d.mu1);
-}
-
-// A mu column is either aligned with the units or absent (production
-// domains without counterfactual ground truth serialize empty mu vectors).
-Status ReadMuColumn(BoundedReader* r, uint32_t rows, linalg::Vector* v,
-                    const char* what) {
-  uint32_t n = 0;
-  CERL_RETURN_IF_ERROR(r->ReadPod(&n, what));
-  if (n != rows && n != 0) {
-    return Status::IoError(std::string(what) + ": size " + std::to_string(n) +
-                           " does not match unit count " +
-                           std::to_string(rows));
-  }
-  CERL_RETURN_IF_ERROR(
-      r->Require(static_cast<uint64_t>(n) * sizeof(double), what));
-  v->resize(n);
-  return r->ReadRaw(v->data(), static_cast<uint64_t>(n) * sizeof(double),
-                    what);
-}
-
-Status ReadDataset(BoundedReader* r, data::CausalDataset* d,
-                   const char* what) {
-  uint32_t rows = 0, cols = 0;
-  CERL_RETURN_IF_ERROR(r->ReadPod(&rows, what));
-  CERL_RETURN_IF_ERROR(r->ReadPod(&cols, what));
-  // The caps keep rows * cols * 8 far below uint64 overflow (2^27 * 2^24 *
-  // 2^3 = 2^54), so the Require byte check below cannot be defeated by
-  // wraparound.
-  if (rows > kMaxUnits) {
-    return Status::IoError(std::string(what) + ": implausible unit count " +
-                           std::to_string(rows));
-  }
-  if (cols > kMaxFeatures) {
-    return Status::IoError(std::string(what) +
-                           ": implausible feature count " +
-                           std::to_string(cols));
-  }
-  const uint64_t x_bytes = static_cast<uint64_t>(rows) * cols * sizeof(double);
-  CERL_RETURN_IF_ERROR(r->Require(x_bytes, what));
-  d->x.Resize(static_cast<int>(rows), static_cast<int>(cols));
-  CERL_RETURN_IF_ERROR(r->ReadRaw(d->x.data(), x_bytes, what));
-  CERL_RETURN_IF_ERROR(r->Require(rows, what));
-  d->t.resize(rows);
-  for (uint32_t i = 0; i < rows; ++i) {
-    uint8_t b = 0;
-    CERL_RETURN_IF_ERROR(r->ReadPod(&b, what));
-    if (b > 1) {
-      return Status::IoError(std::string(what) +
-                             ": journal treatment is not 0/1");
-    }
-    d->t[i] = b;
-  }
-  CERL_RETURN_IF_ERROR(ReadF64VectorExpected(r, rows, &d->y, what));
-  CERL_RETURN_IF_ERROR(ReadMuColumn(r, rows, &d->mu0, what));
-  CERL_RETURN_IF_ERROR(ReadMuColumn(r, rows, &d->mu1, what));
-  return Status::Ok();
-}
-
 void WriteSplit(std::string* out, const data::DataSplit& split) {
   WriteDataset(out, split.train);
   WriteDataset(out, split.valid);
@@ -299,19 +320,39 @@ Status ReadSplit(BoundedReader* r, data::DataSplit* split) {
   return Status::Ok();
 }
 
-}  // namespace
+}  // namespace snapfmt
 
-Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
+Status StreamEngine::SerializeSnapshotLocked(std::string* out,
+                                             SnapshotInfo* info) {
   out->clear();
-  out->append(kMagicV3, sizeof(kMagicV3));
+  // Size hint so the fence's dominant cost — appending cached trainer blobs
+  // — is one copy each, not a geometric-growth realloc cascade. Spilled
+  // blobs and journaled splits are fetched later and missing from the
+  // estimate; reserve() is a hint, not a bound.
+  size_t reserve_bytes = 64;
+  for (const auto& s : streams_) {
+    reserve_bytes += s->name.size() + s->last_good.size() + 256;
+  }
+  out->reserve(reserve_bytes);
+  out->append(kMagicV4, sizeof(kMagicV4));
   WritePod(out, static_cast<uint32_t>(pool_.num_threads()));
   WritePod(out, static_cast<uint8_t>(options_.validate_on_push ? 1 : 0));
+  // With a WAL attached the journal is elided: every still-queued domain is
+  // already an accepted-domain WAL record, and Recover() replays exactly the
+  // ones at or past each stream's restored completed count. Snapshot size
+  // is then independent of backlog depth.
+  const bool backlog_in_wal = wal_ != nullptr;
+  WritePod(out, static_cast<uint8_t>(backlog_in_wal ? 1 : 0));
   WritePod(out, static_cast<uint32_t>(streams_.size()));
+  // Byte ranges of the embedded CERLCKP1 blobs, excluded from the trailing
+  // metadata checksum (see the format comment at the top of this file).
+  std::vector<std::pair<size_t, size_t>> blob_spans;
+  blob_spans.reserve(streams_.size());
   for (const auto& s : streams_) {
     WritePod(out, static_cast<uint32_t>(s->name.size()));
     out->append(s->name);
     WritePod(out, static_cast<uint32_t>(s->input_dim));
-    WriteConfig(out, s->trainer.config());
+    snapfmt::WriteConfig(out, s->trainer.config());
     // At the snapshot fence nothing is in flight, so pushed minus queued is
     // the completed-domain count; restoring it keeps domain indices
     // continuous across the restart.
@@ -328,28 +369,76 @@ Status StreamEngine::SerializeSnapshotLocked(std::string* out) {
     // means a restored backlogged engine schedules with warm estimates from
     // the first dispatch instead of re-learning under load.
     s->cost_model.Serialize(out);
-    const bool has_trainer = s->trainer.stages_seen() > 0;
-    WritePod(out, static_cast<uint8_t>(has_trainer ? 1 : 0));
-    if (has_trainer) {
-      std::string blob;
-      CERL_RETURN_IF_ERROR(s->trainer.SerializeCheckpoint(&blob));
-      WritePod(out, static_cast<uint64_t>(blob.size()));
-      out->append(blob);
+    // Trainer blob, cheapest source first: a spilled stream's state IS its
+    // stored blob (embedding it keeps the snapshot self-contained — restore
+    // never needs the page store); an unchanged resident stream re-embeds
+    // its cached last-good capture; only dirty streams re-serialize.
+    const std::string* blob = nullptr;
+    std::string fetched;
+    if (!s->resident) {
+      if (store_ == nullptr) {
+        return Status::Internal("stream '" + s->name +
+                                "' is spilled but no store is open");
+      }
+      Result<std::string> got = store_->Get(s->id);
+      if (!got.ok()) return got.status();
+      fetched = std::move(got).value();
+      blob = &fetched;
+      if (info != nullptr) ++info->reused_blobs;
+    } else if (s->trainer.stages_seen() > 0) {
+      if (options_.snapshot_reuse_blobs &&
+          s->last_good_stage == s->trainer.stages_seen() &&
+          !s->last_good.empty()) {
+        blob = &s->last_good;
+        if (info != nullptr) ++info->reused_blobs;
+      } else {
+        // Dirty (or caching off): serialize fresh and refresh the cache —
+        // at the fence this is a domain-boundary state, i.e. exactly the
+        // stream's last-good state.
+        std::string fresh;
+        CERL_RETURN_IF_ERROR(s->trainer.SerializeCheckpoint(&fresh));
+        s->last_good = std::move(fresh);
+        s->last_good_stage = s->trainer.stages_seen();
+        blob = &s->last_good;
+        if (info != nullptr) ++info->dirty_streams;
+      }
     }
-    // Replay journal: the queue verbatim, in push order. Validation verdicts
-    // are deliberately not persisted — restore re-runs pre-flight validation
-    // on every journaled domain, so the restored engine enforces exactly the
-    // same contract as the original push.
-    WritePod(out, static_cast<uint32_t>(s->queue.size()));
-    for (const auto& d : s->queue) WriteSplit(out, d->split);
+    WritePod(out, static_cast<uint8_t>(blob != nullptr ? 1 : 0));
+    if (blob != nullptr) {
+      WritePod(out, static_cast<uint64_t>(blob->size()));
+      blob_spans.emplace_back(out->size(), blob->size());
+      out->append(*blob);
+    }
+    // Replay journal: the queue verbatim, in push order (elided when the
+    // backlog lives in the WAL). Validation verdicts are deliberately not
+    // persisted — restore re-runs pre-flight validation on every journaled
+    // domain, so the restored engine enforces exactly the same contract as
+    // the original push.
+    const uint32_t journal_count =
+        backlog_in_wal ? 0u : static_cast<uint32_t>(s->queue.size());
+    WritePod(out, journal_count);
+    if (!backlog_in_wal) {
+      for (const auto& d : s->queue) snapfmt::WriteSplit(out, d->split);
+    }
   }
-  AppendChecksum(out);
+  // Metadata-only trailing checksum: hash everything except the blob spans
+  // (which verify themselves).
+  Fnv1a64Stream hasher;
+  const std::string_view bytes(*out);
+  size_t pos = 0;
+  for (const auto& span : blob_spans) {
+    hasher.Update(bytes.substr(pos, span.first - pos));
+    pos = span.first + span.second;
+  }
+  hasher.Update(bytes.substr(pos));
+  WritePod(out, hasher.digest());
   return Status::Ok();
 }
 
 Status StreamEngine::SaveSnapshot(const std::string& path,
                                   SnapshotInfo* info) {
   std::string payload;
+  int fence_num_streams = 0;
   {
     std::unique_lock<std::mutex> lock(state_mutex_);
     if (paused_) {
@@ -359,12 +448,17 @@ Status StreamEngine::SaveSnapshot(const std::string& path,
     // Domain-boundary fence: dispatch is paused, so once every in-flight
     // pipeline completes, each trainer sits between domains, the queues are
     // frozen, and the TaskGroups are idle — the workers stay up throughout.
+    // Pending spill tasks are waited out too: SerializeSnapshotLocked must
+    // never serialize a trainer a spill task is concurrently serializing
+    // (and no NEW spill can start while paused_ — spills are only scheduled
+    // by completing pipelines).
     state_cv_.wait(lock, [this] {
       for (const auto& s : streams_) {
-        if (s->in_flight != nullptr) return false;
+        if (s->in_flight != nullptr || s->spilling) return false;
       }
       return true;
     });
+    fence_num_streams = static_cast<int>(streams_.size());
     if (info != nullptr) {
       *info = SnapshotInfo();
       info->num_streams = static_cast<int>(streams_.size());
@@ -374,7 +468,14 @@ Status StreamEngine::SaveSnapshot(const std::string& path,
             s->pushed - static_cast<int>(s->queue.size());
       }
     }
-    Status serialized = SerializeSnapshotLocked(&payload);
+    const auto serialize_start = std::chrono::steady_clock::now();
+    Status serialized = SerializeSnapshotLocked(&payload, info);
+    if (info != nullptr) {
+      info->serialize_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - serialize_start)
+              .count();
+    }
     if (!serialized.ok()) {
       paused_ = false;
       for (auto& s : streams_) MaybeDispatchLocked(s.get());
@@ -403,6 +504,20 @@ Status StreamEngine::SaveSnapshot(const std::string& path,
   }
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
+    if (written.ok() && wal_ != nullptr) {
+      // The published snapshot subsumes every completed domain: shrink the
+      // WAL to the records it does not cover — still-queued domains and
+      // post-fence registrations. paused_ kept every post-fence push in its
+      // queue, and this thread holds state_mutex_ (which serializes WAL
+      // appends), so the rebuilt keep-set is complete. Compaction failure
+      // is non-fatal: the old WAL remains, and replay dedups subsumed
+      // records by domain index.
+      Status compacted = CompactWalLocked(fence_num_streams);
+      if (!compacted.ok()) {
+        CERL_LOG(Warning) << "WAL compaction after snapshot failed (log "
+                          << "keeps full history): " << compacted.ToString();
+      }
+    }
     paused_ = false;
     for (auto& s : streams_) MaybeDispatchLocked(s.get());
     state_cv_.notify_all();
@@ -420,10 +535,30 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   }
   Result<std::string> bytes = ReadFileToString(path);
   if (!bytes.ok()) return bytes.status();
-  Result<std::string_view> verified =
-      VerifyChecksum(bytes.value(), "engine snapshot");
-  if (!verified.ok()) return verified.status();
-  const std::string_view payload = verified.value();
+  const std::string& raw = bytes.value();
+
+  // v4 containers checksum metadata only (blob spans excluded), so the hash
+  // cannot be verified until the parse has located the spans — sniff the
+  // magic from the raw bytes to pick the verification strategy. v1..3 keep
+  // the up-front whole-payload check.
+  const bool is_v4 =
+      raw.size() >= sizeof(kMagicV4) &&
+      std::memcmp(raw.data(), kMagicV4, sizeof(kMagicV4)) == 0;
+  std::string_view payload;
+  uint64_t stored_hash = 0;
+  if (is_v4) {
+    if (raw.size() < sizeof(kMagicV4) + sizeof(uint64_t)) {
+      return Status::IoError("engine snapshot: too short to carry a checksum");
+    }
+    payload = std::string_view(raw).substr(0, raw.size() - sizeof(uint64_t));
+    std::memcpy(&stored_hash, raw.data() + payload.size(),
+                sizeof(stored_hash));
+  } else {
+    Result<std::string_view> verified =
+        VerifyChecksum(raw, "engine snapshot");
+    if (!verified.ok()) return verified.status();
+    payload = verified.value();
+  }
 
   ViewStreambuf buf(payload);
   std::istream in(&buf);
@@ -431,7 +566,9 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   char magic[8];
   CERL_RETURN_IF_ERROR(r.ReadRaw(magic, sizeof(magic), "magic"));
   int version = 0;
-  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+  if (is_v4) {
+    version = 4;
+  } else if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
     version = 3;
   } else if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
     version = 2;
@@ -444,9 +581,13 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   uint8_t saved_validate = 0;
   CERL_RETURN_IF_ERROR(r.ReadPod(&saved_workers, "worker count"));
   CERL_RETURN_IF_ERROR(r.ReadPod(&saved_validate, "validate flag"));
+  bool backlog_in_wal = false;
+  if (version >= 4) {
+    CERL_RETURN_IF_ERROR(ReadBool(&r, &backlog_in_wal, "backlog flag"));
+  }
   uint32_t num_streams = 0;
   CERL_RETURN_IF_ERROR(r.ReadPod(&num_streams, "stream count"));
-  if (num_streams > kMaxStreams) {
+  if (num_streams > snapfmt::kMaxStreams) {
     return Status::IoError("implausible stream count " +
                            std::to_string(num_streams));
   }
@@ -456,11 +597,12 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   // leaves this engine with zero streams.
   std::vector<std::unique_ptr<StreamState>> staged;
   std::vector<std::vector<data::DataSplit>> journals(num_streams);
+  std::vector<std::pair<size_t, size_t>> blob_spans;
   staged.reserve(num_streams);
   for (uint32_t i = 0; i < num_streams; ++i) {
     uint32_t name_len = 0;
     CERL_RETURN_IF_ERROR(r.ReadPod(&name_len, "stream name length"));
-    if (name_len > kMaxNameLen) {
+    if (name_len > snapfmt::kMaxNameLen) {
       return Status::IoError("implausible stream name length " +
                              std::to_string(name_len));
     }
@@ -475,7 +617,7 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
                              std::to_string(input_dim));
     }
     core::CerlConfig config;
-    CERL_RETURN_IF_ERROR(ReadConfig(&r, &config));
+    CERL_RETURN_IF_ERROR(snapfmt::ReadConfig(&r, &config));
     // The batcher pointer is runtime scheduling state, never serialized:
     // re-wire it exactly as AddStream does for THIS engine's options.
     config.train.sinkhorn.batcher =
@@ -509,6 +651,7 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
 
     auto state = std::make_unique<StreamState>(
         std::move(stream_name), config, static_cast<int>(input_dim), &pool_);
+    state->id = static_cast<int>(i);
     SetHealth(state.get(), static_cast<StreamHealth>(health));
     state->consecutive_failures = static_cast<int>(consecutive_failures);
     state->failed_domains = static_cast<int>(failed_domains);
@@ -529,30 +672,62 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
       uint64_t blob_len = 0;
       CERL_RETURN_IF_ERROR(r.ReadPod(&blob_len, "trainer blob length"));
       CERL_RETURN_IF_ERROR(r.Require(blob_len, "trainer blob"));
+      // v4: the blob bytes are excluded from the container checksum —
+      // record the span for the post-parse verification below.
+      blob_spans.emplace_back(payload.size() - r.remaining(),
+                              static_cast<size_t>(blob_len));
       std::string blob(static_cast<size_t>(blob_len), '\0');
       CERL_RETURN_IF_ERROR(r.ReadRaw(blob.data(), blob_len, "trainer blob"));
       CERL_RETURN_IF_ERROR(state->trainer.DeserializeCheckpoint(blob));
       // The fence guarantees the blob is a domain-boundary state, so it
-      // doubles as the restored stream's last-good rollback target.
-      if (options_.health_guards) state->last_good = std::move(blob);
+      // doubles as the restored stream's last-good rollback target and
+      // blob-reuse cache.
+      if (options_.health_guards || options_.snapshot_reuse_blobs) {
+        state->last_good = std::move(blob);
+        state->last_good_stage = state->trainer.stages_seen();
+      }
     }
     state->pushed = static_cast<int>(completed);
 
     uint32_t journal_count = 0;
     CERL_RETURN_IF_ERROR(r.ReadPod(&journal_count, "journal count"));
-    if (journal_count > kMaxJournal) {
+    if (journal_count > snapfmt::kMaxJournal) {
       return Status::IoError("implausible journal count " +
                              std::to_string(journal_count));
     }
     journals[i].resize(journal_count);
     for (uint32_t j = 0; j < journal_count; ++j) {
-      CERL_RETURN_IF_ERROR(ReadSplit(&r, &journals[i][j]));
+      CERL_RETURN_IF_ERROR(snapfmt::ReadSplit(&r, &journals[i][j]));
     }
     staged.push_back(std::move(state));
   }
   if (r.remaining() != 0) {
     return Status::IoError("engine snapshot has " +
                            std::to_string(r.remaining()) + " trailing bytes");
+  }
+  if (version >= 4) {
+    // Post-parse metadata verification: hash everything except the blob
+    // spans (each blob verified its own checksum in DeserializeCheckpoint
+    // above). Runs before anything is committed, so a corrupt container
+    // still leaves the engine with zero streams.
+    Fnv1a64Stream hasher;
+    size_t pos = 0;
+    for (const auto& span : blob_spans) {
+      hasher.Update(payload.substr(pos, span.first - pos));
+      pos = span.first + span.second;
+    }
+    hasher.Update(payload.substr(pos));
+    if (hasher.digest() != stored_hash) {
+      return Status::IoError(
+          "engine snapshot: checksum mismatch (corrupted file)");
+    }
+  }
+  if (backlog_in_wal && wal_ == nullptr) {
+    CERL_LOG(Warning)
+        << "snapshot was written with a WAL attached (its backlog lives "
+        << "there) but this engine has none open — queued-but-untrained "
+        << "domains from the saved engine will not be replayed; use "
+        << "Recover() with the matching wal_path";
   }
 
   {
@@ -573,7 +748,10 @@ Status StreamEngine::LoadSnapshot(const std::string& path) {
   // admission-free internal push is deliberate — these domains were already
   // admitted by the saved engine, so queue bounds do not re-apply, and a
   // quarantined stream's journal drains through the pipeline as
-  // kUnavailable drops instead of being silently lost here.
+  // kUnavailable drops instead of being silently lost here. When THIS
+  // engine has a WAL open (pre-v4 snapshot carried a journal into a
+  // WAL-enabled engine), the internal push re-logs each domain — harmless:
+  // a later Recover() skips records below the restored completed count.
   for (uint32_t i = 0; i < num_streams; ++i) {
     for (data::DataSplit& split : journals[i]) {
       PushDomainInternal(streams_[i].get(), std::move(split));

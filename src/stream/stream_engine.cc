@@ -6,6 +6,10 @@
 #include <limits>
 #include <utility>
 
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/tenant_store.h"
+#include "storage/wal.h"
 #include "stream/stream_internal.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -79,16 +83,33 @@ int StreamEngine::AddStream(std::string name, const core::CerlConfig& config,
   core::CerlConfig stream_config = config;
   stream_config.train.sinkhorn.batcher =
       options_.fuse_micro_solves ? &micro_batcher_ : nullptr;
+  // Registration happens under the engine lock: the spill scheduler and WAL
+  // compaction iterate streams_ while holding it, and the WAL append below
+  // must be ordered against concurrent domain appends.
+  std::lock_guard<std::mutex> lock(state_mutex_);
   streams_.push_back(std::make_unique<StreamState>(
       std::move(name), stream_config, input_dim, &pool_));
   const int id = num_streams() - 1;
   // Home worker by round-robin over the stream id: streams spread evenly,
   // and the assignment is deterministic so the steal tests can pin it.
   StreamState& s = *streams_[id];
+  s.id = id;
   s.home = id % pool_.num_threads();
+  s.touch_tick = ++storage_tick_;
   ExecOptions opts;
   opts.home = s.home;
   s.group.SetExecOptions(opts);
+  if (wal_ != nullptr && !wal_replaying_) {
+    Status logged = WalLogAddStreamLocked(s);
+    if (!logged.ok()) {
+      // AddStream has no failure channel; an unlogged registration only
+      // matters if the process dies before the next snapshot, so warn
+      // loudly rather than abort the tenant.
+      CERL_LOG(Error) << "stream '" << s.name
+                      << "' registration not logged to WAL: "
+                      << logged.ToString();
+    }
+  }
   return id;
 }
 
@@ -112,6 +133,17 @@ Status StreamEngine::PushDomain(int id, data::DataSplit split) {
         "stream '" + s.name + "' queue is full (" +
         std::to_string(s.queue.size()) + " domains queued)");
   }
+  // Accepted implies logged: the WAL append happens under the same lock
+  // that admits (log order == push order), and a failed append REJECTS the
+  // push — the caller must never believe a domain is recoverable when it is
+  // not. EnqueueLocked below assigns this domain index (s.pushed).
+  if (wal_ != nullptr && !wal_replaying_) {
+    Status logged = WalLogDomainLocked(s, s.pushed, owned->split);
+    if (!logged.ok()) {
+      return Status::IoError("domain rejected: WAL append failed: " +
+                             logged.message());
+    }
+  }
   EnqueueLocked(&s, std::move(owned));
   return Status::Ok();
 }
@@ -120,6 +152,18 @@ void StreamEngine::PushDomainInternal(StreamState* s, data::DataSplit split) {
   auto owned = std::make_unique<PendingDomain>();
   owned->split = std::move(split);
   std::lock_guard<std::mutex> lock(state_mutex_);
+  // Re-log journaled domains from a pre-v4 snapshot into the WAL (they were
+  // accepted by the saved engine and must stay recoverable). Suppressed
+  // during Recover()'s own replay; a failure here cannot reject — the
+  // domain is already admitted — so it degrades to a warning.
+  if (wal_ != nullptr && !wal_replaying_) {
+    Status logged = WalLogDomainLocked(*s, s->pushed, owned->split);
+    if (!logged.ok()) {
+      CERL_LOG(Warning) << "stream '" << s->name
+                        << "': journaled domain not re-logged to WAL: "
+                        << logged.ToString();
+    }
+  }
   EnqueueLocked(s, std::move(owned));
 }
 
@@ -249,6 +293,18 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       d->terminal = true;
       return;
     }
+    // Fault a spilled tenant back in before the first trainer touch. A
+    // store failure drops this domain through the normal failure plane
+    // (terminal: a retry on a reset trainer could not be bit-identical);
+    // the blob stays in the store for the next domain's attempt.
+    if (store_ != nullptr) {
+      Status resident = EnsureResidentOnGroup(sp);
+      if (!resident.ok()) {
+        d->failure = std::move(resident);
+        d->terminal = true;
+        return;
+      }
+    }
     RunStageTimed(sp, d, StageKind::kIngest, [sp, d] {
       if (CERL_FAULT_POINT(FaultPoint::kStageThrow)) {
         throw StatusError(Status::Internal("injected stage failure"));
@@ -307,13 +363,20 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       result.metrics = sp->trainer.Evaluate(test);
     }
     // Capture the new last-good rollback boundary outside the engine lock
-    // (the group serializes all trainer access). On the vanishingly
-    // unlikely serialize failure the previous boundary stays in place —
-    // a stale rollback target beats none.
+    // (the group serializes all trainer access). Doubles as the snapshot
+    // blob cache when snapshot_reuse_blobs is on, so it is captured under
+    // either option. On the vanishingly unlikely serialize failure the
+    // previous boundary stays in place — a stale rollback target beats
+    // none (and the stale cache is rejected by its stage tag).
     std::string last_good;
-    if (options_.health_guards) {
+    int last_good_stage = -1;
+    if (options_.health_guards || options_.snapshot_reuse_blobs) {
       Status serialized = sp->trainer.SerializeCheckpoint(&last_good);
-      if (!serialized.ok()) last_good.clear();
+      if (!serialized.ok()) {
+        last_good.clear();
+      } else {
+        last_good_stage = sp->trainer.stages_seen();
+      }
     }
     // Publish the new domain boundary to the serving plane, still outside
     // the engine lock (the group serializes the trainer; readers swap in
@@ -334,15 +397,20 @@ void StreamEngine::SubmitAttemptLocked(StreamState* s) {
       if (sp->health == StreamHealth::kDegraded) {
         SetHealth(sp, StreamHealth::kHealthy);
       }
-      if (!last_good.empty()) sp->last_good = std::move(last_good);
+      if (!last_good.empty()) {
+        sp->last_good = std::move(last_good);
+        sp->last_good_stage = last_good_stage;
+      }
       // Raw domain data and stage scratch are dead weight once migrated —
       // long-lived tenant streams must not accumulate covariates (the same
       // accessibility criterion the trainer upholds for its memory). The
       // validation task has long been consumed by this pipeline's ingest
       // stage, so the PendingDomain itself can go.
       sp->in_flight.reset();
+      sp->touch_tick = ++storage_tick_;
       MaybeDispatchLocked(sp);
       UpdateScheduleLocked(sp);
+      MaybeScheduleSpillsLocked();
       // Notify INSIDE the lock: a drain-waiter may be the engine
       // destructor, and notifying an already-destroyed condvar is a race —
       // holding the mutex pins the engine alive until the call returns.
@@ -439,8 +507,10 @@ void StreamEngine::HandleFailure(StreamState* sp, PendingDomain* d) {
     }
   }
   sp->in_flight.reset();
+  sp->touch_tick = ++storage_tick_;
   MaybeDispatchLocked(sp);
   UpdateScheduleLocked(sp);
+  MaybeScheduleSpillsLocked();
   state_cv_.notify_all();
 }
 
@@ -548,7 +618,12 @@ void StreamEngine::Drain() {
   state_cv_.wait(lock, [this] {
     if (paused_) return false;  // snapshot fence first, then keep draining
     for (const auto& s : streams_) {
-      if (s->in_flight != nullptr || !s->queue.empty()) return false;
+      // A pending spill task also counts as in-flight work: the destructor
+      // relies on Drain leaving no task that could touch engine state (the
+      // mutex/condvar are destroyed before the TaskGroups).
+      if (s->in_flight != nullptr || !s->queue.empty() || s->spilling) {
+        return false;
+      }
     }
     return true;
   });
@@ -561,7 +636,8 @@ Status StreamEngine::DrainStream(int id) {
   StreamState& s = *streams_[id];
   std::unique_lock<std::mutex> lock(state_mutex_);
   state_cv_.wait(lock, [this, &s] {
-    return !paused_ && s.in_flight == nullptr && s.queue.empty();
+    return !paused_ && s.in_flight == nullptr && s.queue.empty() &&
+           !s.spilling;
   });
   return Status::Ok();
 }

@@ -63,6 +63,13 @@
 #include "util/scheduler.h"
 #include "util/task_group.h"
 
+namespace cerl::storage {
+class BufferPool;
+class DiskManager;
+class TenantStore;
+class Wal;
+}  // namespace cerl::storage
+
 namespace cerl::stream {
 
 /// How the engine orders ready stage work across streams (see
@@ -142,6 +149,37 @@ struct StreamEngineOptions {
   /// kFailedPrecondition); the bench's publish-off configuration isolates
   /// the serving plane's ingest cost.
   bool publish_snapshots = true;
+
+  // --- Paged tenant-state storage (src/storage/; see README "Storage
+  // engine & durability"). Activated by OpenStorage()/Recover(). ----------
+
+  /// Single-file page store for spilled tenant state ("" = no spill
+  /// store). The store is a RAM extension, not a durability source:
+  /// durability is snapshot + WAL, and the store is repopulated organically
+  /// after a crash as tenants go cold again.
+  std::string storage_path;
+  /// Spill target: when more than this many streams hold live trainer
+  /// state, the least-recently-active idle streams are spilled (CERLCKP1
+  /// blob to the store, trainer reset) and fault back on their next pushed
+  /// domain. 0 = unbounded (never spill). Requires storage_path.
+  int max_resident_streams = 0;
+  /// Page cache frames between the engine and the store file (4 KiB each).
+  int buffer_pool_frames = 256;
+  /// Write-ahead log ("" = no WAL): every accepted domain (and stream
+  /// registration) is logged on arrival, making "accepted implies
+  /// recoverable" hold between snapshots — PushDomain returns IoError and
+  /// does NOT accept the domain if its WAL append fails. Recover() replays
+  /// the log into a fresh engine bit-identically.
+  std::string wal_path;
+  /// fsync the WAL after every append: machine-crash durability at one
+  /// fsync per accepted domain. Off (default) survives process death only
+  /// (the write() completed before PushDomain returned).
+  bool wal_fsync = false;
+  /// O(dirty streams) snapshots: streams whose trainer is unchanged since
+  /// the last blob capture re-embed the cached CERLCKP1 blob instead of
+  /// re-serializing. Off = every SaveSnapshot re-serializes every trainer
+  /// (the full-rewrite baseline arm of the snapshot bench).
+  bool snapshot_reuse_blobs = true;
 };
 
 /// Per-stream health (Healthy -> Degraded -> Quarantined). Degraded means
@@ -358,6 +396,17 @@ class StreamEngine {
     int num_streams = 0;
     int completed_domains = 0;  ///< fully trained+migrated, summed
     int journaled_domains = 0;  ///< queued-but-untrained, summed
+    /// Streams whose trainer blob had to be re-serialized at the fence
+    /// (changed since the last capture, or blob caching disabled).
+    int dirty_streams = 0;
+    /// Streams whose blob was reused: memcpy of the cached capture, or a
+    /// page-store read for a spilled stream. dirty + reused + untrained
+    /// streams = num_streams.
+    int reused_blobs = 0;
+    /// Wall milliseconds spent building the container under the fence —
+    /// the O(dirty) work the storage engine bounds (file write excluded;
+    /// the snapshot bench gates on this).
+    double serialize_ms = 0.0;
   };
 
   /// Drain-consistent snapshot of the ENTIRE engine under load: pauses
@@ -393,6 +442,46 @@ class StreamEngine {
   /// diagnostics); domain indices continue from the saved counters.
   /// All-or-nothing: on any error the engine still has zero streams.
   Status LoadSnapshot(const std::string& path);
+
+  // --- Paged tenant-state storage + WAL (engine_storage.cc) -------------
+
+  /// Opens the storage plane configured in options_ (page store and/or
+  /// WAL) on a fresh engine (no streams). Does NOT replay the WAL — use
+  /// Recover() on restart; OpenStorage() alone is for a first boot or for
+  /// spill-only use. Idempotent once open.
+  Status OpenStorage();
+
+  /// Full restart path: OpenStorage(), then LoadSnapshot(snapshot_path)
+  /// when that file exists (missing = cold start), then replay of every
+  /// WAL record the snapshot does not subsume — stream registrations the
+  /// snapshot predates, and per stream exactly the accepted domains whose
+  /// index is at or past its restored completed count, in original push
+  /// order. The rebuilt engine trains on bit-identically to the
+  /// uninterrupted run. Requires a fresh engine; snapshot_path may be ""
+  /// (WAL-only recovery).
+  Status Recover(const std::string& snapshot_path);
+
+  /// Faults stream `id`'s state back in from the page store if it was
+  /// spilled (no-op while resident). Only touch a drained stream — same
+  /// contract as trainer(id); the ingest pipeline faults in automatically
+  /// on the next pushed domain.
+  Status EnsureResident(int id);
+
+  /// Storage-plane observability.
+  struct StorageStats {
+    int resident_streams = 0;   ///< live trainer state in RAM
+    int spilled_streams = 0;    ///< serialized to the page store
+    int64_t spills = 0;         ///< lifetime spill count
+    int64_t fault_backs = 0;    ///< lifetime fault-back count
+    uint64_t store_blob_bytes = 0;  ///< payload bytes in the tenant store
+    uint32_t store_pages = 0;       ///< pages in the store file
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+    uint64_t pool_evictions = 0;
+    uint64_t wal_bytes = 0;         ///< current WAL file size
+    uint64_t wal_records = 0;       ///< records appended this process
+  };
+  StorageStats storage_stats() const;
 
  private:
   struct PendingDomain;
@@ -463,9 +552,41 @@ class StreamEngine {
   /// Builds the stats snapshot of one stream. Caller holds state_mutex_.
   StreamSchedStats SchedStatsLocked(const StreamState& s) const;
 
-  /// Builds the CERLENG2 payload. Caller holds state_mutex_ with dispatch
+  /// Builds the CERLENG4 payload. Caller holds state_mutex_ with dispatch
   /// paused and no in-flight domains (SaveSnapshot's boundary wait).
-  Status SerializeSnapshotLocked(std::string* out);
+  /// Fills the blob-reuse counters of `info` when non-null.
+  Status SerializeSnapshotLocked(std::string* out, SnapshotInfo* info);
+
+  // --- Storage plane internals (engine_storage.cc) ----------------------
+
+  /// Logs a stream registration / accepted domain to the WAL (no-op when
+  /// the WAL is closed or a replay is feeding the push back in). Callers
+  /// hold state_mutex_, which serializes appends with push order.
+  Status WalLogAddStreamLocked(const StreamState& s);
+  Status WalLogDomainLocked(const StreamState& s, int domain_index,
+                            const data::DataSplit& split);
+
+  /// Rewrites the WAL down to the records the just-written snapshot does
+  /// not subsume (still-queued domains and post-fence registrations).
+  /// Caller holds state_mutex_ — pushes cannot append concurrently.
+  Status CompactWalLocked(int fence_num_streams);
+
+  /// Fault-back body: restores the stream's trainer from the page store.
+  /// Must run where the trainer is externally serialized (the stream's
+  /// group, or a drained stream).
+  Status EnsureResidentOnGroup(StreamState* s);
+
+  /// Spills least-recently-active idle streams until at most
+  /// options_.max_resident_streams hold live state. Caller holds
+  /// state_mutex_; the serialize-and-store work runs as a task on each
+  /// victim's group (serialized with its stage pipeline).
+  void MaybeScheduleSpillsLocked();
+
+  /// Spill-task body, running on the victim's group: re-checks idleness,
+  /// serializes the trainer (or reuses the cached last-good blob), stores
+  /// the blob, and resets the trainer. Clears StreamState::spilling and
+  /// notifies state_cv_ on every path.
+  void SpillOnGroup(StreamState* s);
 
   StreamEngineOptions options_;
   /// Stream workers (declared before the groups using it). Cost-aware
@@ -488,6 +609,21 @@ class StreamEngine {
   /// aggregation, never the query hot path.
   mutable std::mutex query_mutex_;
   std::vector<std::unique_ptr<QueryContext>> query_contexts_;
+
+  // --- Paged tenant-state storage plane (engine_storage.cc) -------------
+  // Opened by OpenStorage()/Recover(); null when the engine runs all-RAM.
+  // Declaration order: the store and WAL must outlive no stage task — they
+  // are torn down after the destructor's Drain() like everything above.
+  std::unique_ptr<storage::DiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> buffer_pool_;
+  std::unique_ptr<storage::TenantStore> store_;
+  std::unique_ptr<storage::Wal> wal_;
+  /// True while Recover() feeds WAL records back through the push path —
+  /// suppresses re-logging them. Only touched single-threaded (Recover
+  /// runs on a fresh engine before concurrent use).
+  bool wal_replaying_ = false;
+  /// Monotonic activity clock for the spill LRU (guarded by state_mutex_).
+  uint64_t storage_tick_ = 0;
 };
 
 }  // namespace cerl::stream

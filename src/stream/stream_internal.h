@@ -13,6 +13,7 @@
 
 #include "serve/effect_snapshot.h"
 #include "stream/stream_engine.h"
+#include "util/binary_io.h"
 
 namespace cerl::stream {
 
@@ -66,6 +67,10 @@ struct StreamEngine::StreamState {
   core::CerlTrainer trainer;
   TaskGroup group;
 
+  /// The stream's engine id (its index in streams_), fixed at registration.
+  /// The spill key in the tenant store and the stream tag in WAL records.
+  int id = -1;
+
   // Cost-aware scheduling state (guarded by the engine's state_mutex_; the
   // stage tasks lock it briefly per stage to observe/re-prioritize).
   int home = -1;              ///< preferred pool worker (round-robin by id)
@@ -90,11 +95,30 @@ struct StreamEngine::StreamState {
   int failed_domains = 0;        ///< dropped domains, lifetime total
 
   // Serialized trainer state (CERLCKP1) at the last successful domain
-  // boundary — the rollback target for health-guard failures. Captured by
-  // the finish task after every successful domain when health_guards is on;
-  // read only by HandleFailure on the same stream's group (serialized), so
-  // access needs no extra lock beyond state_mutex_ for the capture.
+  // boundary — the rollback target for health-guard failures AND the
+  // snapshot blob cache (O(dirty) snapshots re-embed it instead of
+  // re-serializing an unchanged trainer). Captured by the finish task
+  // after every successful domain when health_guards or
+  // snapshot_reuse_blobs is on; read by HandleFailure / the spill task on
+  // the same stream's group (serialized), so access needs no extra lock
+  // beyond state_mutex_ for the capture.
   std::string last_good;
+  /// trainer.stages_seen() at the moment last_good was captured; -1 when
+  /// the cache is absent or stale. The currency check for blob reuse.
+  int last_good_stage = -1;
+
+  // --- Paged tenant-state storage (engine_storage.cc; guarded by the
+  // engine's state_mutex_) ----------------------------------------------
+  /// Live trainer state is in RAM. False = spilled: the trainer is reset
+  /// and the CERLCKP1 blob lives in the tenant store until the next
+  /// pushed domain (or EnsureResident) faults it back.
+  bool resident = true;
+  /// A spill task is queued on this stream's group and has not resolved.
+  bool spilling = false;
+  /// Last activity tick (engine storage_tick_) — the spill LRU key.
+  uint64_t touch_tick = 0;
+  int64_t spills = 0;       ///< lifetime spill count
+  int64_t fault_backs = 0;  ///< lifetime fault-back count
 
   // --- Serving plane (stream/query_plane.cc) ---------------------------
   // The stream's published read-side model. Written only by the finish task
@@ -109,6 +133,29 @@ struct StreamEngine::StreamState {
   // flag quarantined-stream staleness without touching state_mutex_.
   std::atomic<uint8_t> health_mirror{0};
 };
+
+// Snapshot wire codecs shared by engine_checkpoint.cc (CERLENG containers)
+// and engine_storage.cc (WAL record payloads reuse the config and split
+// codecs verbatim, so a WAL-replayed domain decodes through the same
+// bounds-checked path as a journaled one). Defined in engine_checkpoint.cc.
+namespace snapfmt {
+
+// Decode-time sanity caps (see engine_checkpoint.cc for the rationale).
+inline constexpr uint32_t kMaxStreams = 1u << 16;
+inline constexpr uint32_t kMaxNameLen = 1u << 12;
+inline constexpr uint32_t kMaxJournal = 1u << 20;
+
+void WriteConfig(std::string* out, const core::CerlConfig& c);
+Status ReadConfig(BoundedReader* r, core::CerlConfig* c);
+void WriteSplit(std::string* out, const data::DataSplit& split);
+Status ReadSplit(BoundedReader* r, data::DataSplit* split);
+
+// WAL record types (storage::Wal is payload-agnostic; these tag the
+// engine's records).
+inline constexpr uint32_t kWalAddStream = 1;
+inline constexpr uint32_t kWalDomain = 2;
+
+}  // namespace snapfmt
 
 // Per-thread query handle (StreamEngine::CreateQueryContext). All mutable
 // state on the query hot path lives here, owned by exactly one reader

@@ -3,9 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 #include "util/fault_injection.h"
 
@@ -37,12 +39,9 @@ std::string ParentDirectory(const std::string& path) {
 }  // namespace
 
 uint64_t Fnv1a64(std::string_view data) {
-  uint64_t hash = 0xCBF29CE484222325ull;
-  for (const char c : data) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001B3ull;
-  }
-  return hash;
+  Fnv1a64Stream hasher;
+  hasher.Update(data);
+  return hasher.digest();
 }
 
 void AppendChecksum(std::string* payload) {
@@ -84,7 +83,16 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
   if (CERL_FAULT_POINT(FaultPoint::kIoWrite)) {
     return Status::IoError("injected write failure: " + path);
   }
-  const std::string tmp = path + ".tmp";
+  // The tmp name must be unique per in-flight write: a shared `path + ".tmp"`
+  // lets two concurrent saves of the same path clobber each other's
+  // half-written tmp and publish a torn file via the other thread's rename.
+  // pid + process-wide counter keeps names distinct across threads and
+  // across processes sharing a directory.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const uint64_t serial = tmp_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(serial);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open for write: " + tmp);
@@ -139,6 +147,8 @@ Status BoundedReader::Require(uint64_t n, const char* what) const {
 
 void WriteF64Vector(std::string* out, const std::vector<double>& v) {
   WritePod(out, static_cast<uint32_t>(v.size()));
+  // An empty vector's data() may be null; append(nullptr, 0) is UB.
+  if (v.empty()) return;
   out->append(reinterpret_cast<const char*>(v.data()),
               v.size() * sizeof(double));
 }
@@ -170,16 +180,29 @@ ViewStreambuf::pos_type ViewStreambuf::seekoff(off_type off,
                                                std::ios_base::seekdir dir,
                                                std::ios_base::openmode which) {
   if (!(which & std::ios_base::in)) return pos_type(off_type(-1));
-  char* target = nullptr;
+  // Resolve the target position in the integer domain before touching any
+  // pointer: `eback() + off` for a hostile `off` (reachable from corrupt
+  // checkpoint bytes) is out-of-range pointer arithmetic — UB even if the
+  // result is only compared, never dereferenced.
+  const off_type size = egptr() - eback();
+  off_type base = 0;
   switch (dir) {
-    case std::ios_base::beg: target = eback() + off; break;
-    case std::ios_base::cur: target = gptr() + off; break;
-    case std::ios_base::end: target = egptr() + off; break;
+    case std::ios_base::beg: base = 0; break;
+    case std::ios_base::cur: base = gptr() - eback(); break;
+    case std::ios_base::end: base = size; break;
     default: return pos_type(off_type(-1));
   }
-  if (target < eback() || target > egptr()) return pos_type(off_type(-1));
-  setg(eback(), target, egptr());
-  return pos_type(target - eback());
+  // Signed-overflow guard for base + off, then the bounds check proper.
+  if (off > 0 && base > std::numeric_limits<off_type>::max() - off) {
+    return pos_type(off_type(-1));
+  }
+  if (off < 0 && base < std::numeric_limits<off_type>::min() - off) {
+    return pos_type(off_type(-1));
+  }
+  const off_type pos = base + off;
+  if (pos < 0 || pos > size) return pos_type(off_type(-1));
+  setg(eback(), eback() + pos, egptr());
+  return pos_type(pos);
 }
 
 ViewStreambuf::pos_type ViewStreambuf::seekpos(pos_type pos,

@@ -26,6 +26,25 @@ namespace cerl {
 /// FNV-1a 64-bit hash (the checkpoint integrity checksum).
 uint64_t Fnv1a64(std::string_view data);
 
+/// Incremental FNV-1a 64: Update() in pieces, digest() at any point.
+/// Feeding the same bytes in any segmentation yields Fnv1a64 of their
+/// concatenation — used where a container checksum must skip embedded
+/// self-checksummed spans (CERLENG4 trainer blobs) or cover disjoint
+/// header+payload pieces (WAL records).
+class Fnv1a64Stream {
+ public:
+  void Update(std::string_view data) {
+    for (const char c : data) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
 /// Appends the 8-byte little-endian FNV-1a checksum of `payload` to it.
 /// Containers are always finalized with this before hitting disk.
 void AppendChecksum(std::string* payload);
@@ -39,10 +58,12 @@ Result<std::string_view> VerifyChecksum(std::string_view bytes,
 /// Reads an entire file into memory.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Crash-safe whole-file write: contents go to `path + ".tmp"`, are flushed
+/// Crash-safe whole-file write: contents go to a uniquely named temp file
+/// (`path + ".tmp.<pid>.<serial>"` — unique per in-flight write, so
+/// concurrent saves of the same path cannot clobber each other), are flushed
 /// and fsync'd, then atomically renamed over `path`. Either the old file or
 /// the complete new one exists at every instant; the temp file is removed on
-/// failure.
+/// failure. Concurrent saves each publish a complete file; last rename wins.
 Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 /// Bounds-checked reads from a stream whose total remaining byte count is

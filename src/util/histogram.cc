@@ -71,6 +71,11 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 void ConcurrentLatencyHistogram::Record(double ms) {
   if (std::isnan(ms) || ms < 0.0) ms = 0.0;
+  // +inf and anything >= ~9.2e12 ms pass the guard above but overflow the
+  // int64 nanosecond cast below — UB. Clamp to a ceiling that still fits:
+  // 9e12 ms (~285 years) * 1e6 < 2^63.
+  constexpr double kMaxMs = 9e12;
+  if (!(ms < kMaxMs)) ms = kMaxMs;  // also catches +inf
   const auto ns = static_cast<int64_t>(ms * 1e6);
   buckets_[LatencyHistogram::BucketIndex(ms)].fetch_add(
       1, std::memory_order_relaxed);

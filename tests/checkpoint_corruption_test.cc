@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -255,18 +256,19 @@ TEST(CheckpointCorruptionTest, EngineStructuralCorruptionsBehindChecksum) {
 
   // Bad magic.
   ExpectEngineRejects(&engine, Refinalized("Y" + payload.substr(1)));
-  // Absurd stream count (offset 8+4+1 = 13: workers u32, validate u8).
+  // Absurd stream count (offset 8+4+1+1 = 14: workers u32, validate u8,
+  // backlog-in-wal u8 — the CERLENG4 header).
   {
     std::string p = payload;
     const uint32_t huge = 0x7fffffff;
-    std::memcpy(p.data() + 13, &huge, 4);
+    std::memcpy(p.data() + 14, &huge, 4);
     ExpectEngineRejects(&engine, Refinalized(p));
   }
-  // Absurd stream-name length (first stream's name_len at offset 17).
+  // Absurd stream-name length (first stream's name_len at offset 18).
   {
     std::string p = payload;
     const uint32_t huge = 0x00ffffff;
-    std::memcpy(p.data() + 17, &huge, 4);
+    std::memcpy(p.data() + 18, &huge, 4);
     ExpectEngineRejects(&engine, Refinalized(p));
   }
   // Truncations with recomputed checksums: bounds checks must fire.
@@ -287,6 +289,67 @@ TEST(CheckpointCorruptionTest, EngineStructuralCorruptionsBehindChecksum) {
     ASSERT_TRUE(engine.LoadSnapshot(path).ok());
     EXPECT_EQ(engine.num_streams(), 2);
   }
+}
+
+// Hostile seek offsets on the payload stream interface: seekoff used to
+// compute eback() + off BEFORE the bounds check, so an offset from a corrupt
+// length field overflowed the pointer arithmetic (UB, flagged by UBSan
+// pre-fix). The range check must happen in the integer domain, every
+// out-of-range seek must fail cleanly, and the stream must stay usable.
+TEST(CheckpointCorruptionTest, ViewStreambufRejectsHostileSeekOffsets) {
+  const std::string bytes = "0123456789";
+  ViewStreambuf buf(bytes);
+  std::istream in(&buf);
+  const auto size = static_cast<std::streamoff>(bytes.size());
+
+  // Sane seeks across all three anchors still work.
+  in.seekg(3, std::ios::beg);
+  EXPECT_EQ(in.get(), '3');
+  in.seekg(2, std::ios::cur);
+  EXPECT_EQ(in.get(), '6');
+  in.seekg(-1, std::ios::end);
+  EXPECT_EQ(in.get(), '9');
+  in.seekg(0, std::ios::end);  // one past the last byte is a valid position
+  EXPECT_FALSE(in.fail());
+
+  const std::streamoff offsets[] = {
+      std::numeric_limits<std::streamoff>::max(),
+      std::numeric_limits<std::streamoff>::max() - 1,
+      std::numeric_limits<std::streamoff>::min(),
+      std::numeric_limits<std::streamoff>::min() + 1,
+      size + 1,
+      -size - 1,
+      -1,
+      1,
+  };
+  const std::ios::seekdir dirs[] = {std::ios::beg, std::ios::cur,
+                                    std::ios::end};
+  for (const auto dir : dirs) {
+    for (const std::streamoff off : offsets) {
+      in.clear();
+      in.seekg(1, std::ios::beg);  // known-good current position
+      ASSERT_FALSE(in.fail());
+      const std::streamoff base =
+          dir == std::ios::beg ? 0 : (dir == std::ios::cur ? 1 : size);
+      // base is in [0, 10], so the in-range test below cannot itself
+      // overflow: valid iff base + off lands in [0, size].
+      const bool in_range = off >= -base && off <= size - base;
+      in.seekg(off, dir);
+      EXPECT_EQ(!in.fail(), in_range)
+          << "dir=" << dir << " off=" << off;
+      if (in_range) {
+        EXPECT_EQ(static_cast<std::streamoff>(in.tellg()), base + off);
+      }
+    }
+  }
+
+  // seekpos takes the same integer-domain guard (it routes through seekoff).
+  in.clear();
+  in.seekg(std::streampos(std::numeric_limits<std::streamoff>::max()));
+  EXPECT_TRUE(in.fail());
+  in.clear();
+  in.seekg(std::streampos(4));
+  EXPECT_EQ(in.get(), '4');
 }
 
 }  // namespace

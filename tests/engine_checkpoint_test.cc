@@ -328,6 +328,73 @@ TEST(EngineCheckpointTest, SaveSnapshotRetriesTransientIoFailure) {
   EXPECT_EQ(exhausted.code(), StatusCode::kIoError);
 }
 
+// CERLENG4 blob reuse: a stream whose trainer is unchanged since its last
+// blob capture is embedded from the cache (reused), not re-serialized
+// (dirty) — and the container is byte-identical either way.
+TEST(EngineCheckpointTest, SnapshotInfoCountsReusedAndDirtyBlobs) {
+  const int kStreams = 3;
+  std::vector<CerlConfig> configs;
+  std::vector<std::vector<DataSplit>> domains;
+  for (int s = 0; s < kStreams; ++s) {
+    configs.push_back(FastConfig(700 + 13 * s));
+    domains.push_back(MakeStream(60 + s, 1, 0.5));
+  }
+
+  const auto run = [&](bool reuse, const std::string& path,
+                       StreamEngine::SnapshotInfo* info) {
+    StreamEngineOptions options;
+    options.num_workers = 2;
+    options.snapshot_reuse_blobs = reuse;
+    StreamEngine engine(options);
+    for (int s = 0; s < kStreams; ++s) {
+      engine.AddStream("tenant-" + std::to_string(s), configs[s], kFeatures);
+    }
+    engine.AddStream("untrained", FastConfig(999), kFeatures);
+    for (int s = 0; s < kStreams; ++s) {
+      ASSERT_TRUE(engine.PushDomain(s, domains[s][0]).ok());
+    }
+    engine.Drain();
+    ASSERT_TRUE(engine.SaveSnapshot(path, info).ok());
+    if (reuse) {
+      // A second fence with nothing retrained reuses every blob again.
+      StreamEngine::SnapshotInfo again;
+      ASSERT_TRUE(engine.SaveSnapshot(path, &again).ok());
+      EXPECT_EQ(again.reused_blobs, kStreams);
+      EXPECT_EQ(again.dirty_streams, 0);
+    }
+  };
+
+  const std::string reuse_path = ::testing::TempDir() + "/engine_reuse.snap";
+  const std::string full_path = ::testing::TempDir() + "/engine_full.snap";
+  StreamEngine::SnapshotInfo reuse_info, full_info;
+  run(true, reuse_path, &reuse_info);
+  run(false, full_path, &full_info);
+
+  EXPECT_EQ(reuse_info.num_streams, kStreams + 1);
+  // Reuse on: the finish task captured every trainer's blob at its domain
+  // boundary, so the fence re-serializes nothing. Off: every trained
+  // stream is serialized under the fence (the full-rewrite baseline).
+  EXPECT_EQ(reuse_info.reused_blobs, kStreams);
+  EXPECT_EQ(reuse_info.dirty_streams, 0);
+  EXPECT_EQ(full_info.reused_blobs, 0);
+  EXPECT_EQ(full_info.dirty_streams, kStreams);
+  EXPECT_GE(reuse_info.serialize_ms, 0.0);
+
+  // The cached blob IS the fence-time serialization: both containers
+  // restore to bitwise-identical trainers (the containers themselves differ
+  // only in timing-dependent cost-model rates).
+  StreamEngineOptions options;
+  options.num_workers = 2;
+  StreamEngine a(options), b(options);
+  ASSERT_TRUE(a.LoadSnapshot(reuse_path).ok());
+  ASSERT_TRUE(b.LoadSnapshot(full_path).ok());
+  for (int s = 0; s < kStreams; ++s) {
+    ExpectTrainersBitIdentical(&a.trainer(s), &b.trainer(s),
+                               domains[s][0].test.x,
+                               "stream " + std::to_string(s));
+  }
+}
+
 TEST(EngineCheckpointTest, SnapshotWriteIsAtomic) {
   // A snapshot over an existing file must never leave a torn file: the temp
   // is renamed into place, so the destination always parses.

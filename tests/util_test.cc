@@ -2,19 +2,24 @@
 // scalar distributions, alias sampling, thread pool, CSV, flags.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "util/binary_io.h"
 #include "util/csv.h"
 #include "util/distributions.h"
 #include "util/flags.h"
+#include "util/histogram.h"
 #include "util/keyed_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -203,6 +208,119 @@ TEST(BinaryIoTest, WriteFileAtomicPublishesAllOrNothing) {
   EXPECT_FALSE(tmp.good());  // temp removed after publish
   // Unwritable destination directory fails cleanly.
   EXPECT_FALSE(WriteFileAtomic("/nonexistent-dir/x.bin", "data").ok());
+}
+
+TEST(BinaryIoTest, Fnv1a64StreamMatchesAnySegmentation) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint64_t whole = Fnv1a64(data);
+  // One-shot, byte-at-a-time, uneven chunks, and with empty updates mixed
+  // in: every segmentation of the same bytes yields the same digest.
+  {
+    Fnv1a64Stream s;
+    s.Update(data);
+    EXPECT_EQ(s.digest(), whole);
+  }
+  {
+    Fnv1a64Stream s;
+    for (char c : data) s.Update(std::string_view(&c, 1));
+    EXPECT_EQ(s.digest(), whole);
+  }
+  {
+    Fnv1a64Stream s;
+    s.Update(std::string_view(data).substr(0, 7));
+    s.Update(std::string_view());  // empty update is a no-op
+    s.Update(std::string_view(data).substr(7, 20));
+    s.Update(std::string_view(data).substr(27));
+    EXPECT_EQ(s.digest(), whole);
+  }
+  // A fresh stream's digest is the FNV offset basis (hash of "").
+  EXPECT_EQ(Fnv1a64Stream().digest(), Fnv1a64(""));
+}
+
+TEST(BinaryIoTest, WriteF64VectorEmptyVectorIsJustTheCount) {
+  // Regression: v.data() is null for an empty vector, and passing null to
+  // string::append is UB even with length 0. The writer must emit the u32
+  // zero count and nothing else.
+  std::string out = "prefix";
+  WriteF64Vector(&out, {});
+  ASSERT_EQ(out.size(), 6 + 4);
+  uint32_t count = 0xff;
+  std::memcpy(&count, out.data() + 6, 4);
+  EXPECT_EQ(count, 0u);
+
+  // And the empty vector round-trips through the bounded reader.
+  std::istringstream in(out.substr(6));
+  BoundedReader r(&in, 4);
+  std::vector<double> v = {1.0, 2.0};  // must be cleared by the read
+  ASSERT_TRUE(ReadF64VectorExpected(&r, 0, &v, "empty").ok());
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIoTest, ConcurrentAtomicWritesToOnePathStayComplete) {
+  // Regression for the shared ".tmp" suffix: concurrent writers used to
+  // clobber each other's temp file and could publish a torn payload. Each
+  // writer repeatedly publishes its own full-size pattern; every read must
+  // observe one COMPLETE pattern, never a mix or a prefix.
+  const std::string path = ::testing::TempDir() + "/atomic_race.bin";
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 25;
+  constexpr size_t kSize = 64 * 1024;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::string contents(kSize, static_cast<char>('A' + w));
+      for (int r = 0; r < kRounds && !failed.load(); ++r) {
+        if (!WriteFileAtomic(path, contents).ok()) failed.store(true);
+      }
+    });
+  }
+  for (int r = 0; r < kWriters * kRounds; ++r) {
+    Result<std::string> read = ReadFileToString(path);
+    if (!read.ok()) continue;  // not yet published the first time
+    const std::string& bytes = read.value();
+    ASSERT_EQ(bytes.size(), kSize) << "torn file published";
+    ASSERT_NE(bytes.find_first_of("ABCD"), std::string::npos);
+    ASSERT_EQ(bytes.find_first_not_of(bytes[0]), std::string::npos)
+        << "mixed-writer file published";
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_FALSE(failed.load());
+  Result<std::string> final_read = ReadFileToString(path);
+  ASSERT_TRUE(final_read.ok());
+  EXPECT_EQ(final_read.value().size(), kSize);
+}
+
+TEST(HistogramTest, RecordExtremeInputsStaysFinite) {
+  // Regression: +inf and >= ~9.2e12 ms passed the NaN/negative guard and
+  // overflowed the int64 nanosecond cast (UB, caught by UBSan pre-fix).
+  ConcurrentLatencyHistogram h;
+  h.Record(std::numeric_limits<double>::infinity());
+  h.Record(9e15);
+  h.Record(std::numeric_limits<double>::max());
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(-std::numeric_limits<double>::infinity());
+  h.Record(-5.0);
+  h.Record(1.5);  // one sane sample
+  EXPECT_EQ(h.count(), 7);
+  const LatencyHistogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 7);
+  // The clamp keeps the folded totals finite and ordered.
+  EXPECT_TRUE(std::isfinite(snap.total_ms()));
+  EXPECT_TRUE(std::isfinite(snap.max_ms()));
+  EXPECT_GE(snap.max_ms(), 1.5);
+  EXPECT_TRUE(std::isfinite(snap.Percentile(0.5)));
+  EXPECT_TRUE(std::isfinite(snap.Percentile(1.0)));
+
+  // The plain histogram takes the same hostile inputs (it stores doubles,
+  // so the clamp lives in the concurrent variant's ns cast only).
+  LatencyHistogram plain;
+  plain.Record(std::numeric_limits<double>::quiet_NaN());
+  plain.Record(-1.0);
+  plain.Record(2.0);
+  EXPECT_EQ(plain.count(), 3);
+  EXPECT_GE(plain.max_ms(), 2.0);
 }
 
 TEST(BinaryIoTest, BoundedReaderStopsAtBudget) {
